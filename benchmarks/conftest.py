@@ -1,0 +1,52 @@
+"""Benchmark-harness configuration.
+
+Each benchmark regenerates one paper table/figure: it runs the
+corresponding ``repro.experiments`` driver once (``benchmark.pedantic``
+with a single round — retraining a model many times to time it would be
+pointless), prints the paper-style table, writes it to
+``benchmarks/results/`` and asserts the expected *shape*.
+
+Scale is selected with ``ADRIAS_SCALE`` (quick | default | paper).
+Quantitative accuracy bands are only asserted from the ``default`` scale
+upwards; at ``quick`` scale the assertions are structural/directional,
+because the deliberately small training budget cannot reach the paper's
+model accuracy.
+"""
+
+import pathlib
+
+import pytest
+
+from repro.experiments.common import scale_from_env
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+@pytest.fixture(scope="session")
+def scale():
+    return scale_from_env("quick")
+
+
+@pytest.fixture(scope="session")
+def strict(scale):
+    """True when quantitative bands should be enforced."""
+    return scale.name != "quick"
+
+
+@pytest.fixture
+def report(request):
+    """Write a rendered experiment table under benchmarks/results/."""
+
+    def _write(text: str, name: str | None = None) -> None:
+        RESULTS_DIR.mkdir(exist_ok=True)
+        stem = name or request.node.name.replace("test_", "")
+        (RESULTS_DIR / f"{stem}.txt").write_text(text + "\n")
+        print("\n" + text)
+
+    return _write
+
+
+def run_once(benchmark, fn, *args, **kwargs):
+    """Run an experiment exactly once under the benchmark timer."""
+    return benchmark.pedantic(fn, args=args, kwargs=kwargs,
+                              rounds=1, iterations=1)

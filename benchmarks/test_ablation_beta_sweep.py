@@ -1,0 +1,36 @@
+"""Ablation — fine-grained β sweep (DESIGN.md §5.4).
+
+Extends Fig. 16's five β points to a finer grid, mapping the full
+offload/performance trade-off curve that the slack parameter controls.
+"""
+
+from benchmarks.conftest import run_once
+from repro.analysis import format_table
+from repro.experiments import ablations
+
+
+def test_ablation_beta_sweep(benchmark, report, scale, strict):
+    points = run_once(benchmark, ablations.beta_sweep, scale=scale)
+    report(format_table(
+        ["beta", "BE offload", "median drop"],
+        [
+            (f"{p.beta:g}", f"{p.offload_fraction * 100:.1f}%",
+             f"{p.median_drop * 100:+.1f}%")
+            for p in points
+        ],
+        title="Ablation — offload/performance trade-off vs beta",
+    ))
+
+    betas = [p.beta for p in points]
+    offloads = [p.offload_fraction for p in points]
+    assert betas == sorted(betas, reverse=True)
+    # Offload fraction is (weakly) monotone as beta falls.
+    assert all(b >= a - 0.05 for a, b in zip(offloads, offloads[1:]))
+    # The curve spans the full range: near-zero to majority offload.
+    assert offloads[0] <= 0.2
+    assert offloads[-1] >= 0.4
+    if strict:
+        # Cost is monotone too: more offloading never helps the median
+        # beyond noise.
+        drops = [p.median_drop for p in points]
+        assert drops[-1] > drops[0]

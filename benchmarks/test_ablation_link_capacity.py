@@ -1,0 +1,34 @@
+"""Ablation — what-if link capacity (DESIGN.md §5.5).
+
+The 2.5 Gbps application-visible cap is the root cause of remarks R1,
+R2 and R5.  This bench re-runs the congested-remote experiment at
+hypothetical 10 and 40 Gbps channels: the remote/local interference gap
+should collapse towards the isolated remote slowdown as the channel
+stops saturating.
+"""
+
+import pytest
+
+from benchmarks.conftest import run_once
+from repro.analysis import format_table
+from repro.experiments import ablations
+from repro.workloads import spark_profile
+
+
+def test_ablation_link_capacity(benchmark, report):
+    results = run_once(benchmark, ablations.link_capacity_whatif)
+    report(format_table(
+        ["link capacity Gbps", "nweight remote/local under 8 memBw"],
+        [(f"{c:g}", f"{r:.2f}x") for c, r in sorted(results.items())],
+        title="Ablation — interference gap vs hypothetical link capacity",
+    ))
+
+    assert set(results) == {2.5, 10.0, 40.0}
+    iso = spark_profile("nweight").remote_slowdown
+    # The stock channel shows the chasm...
+    assert results[2.5] > 1.3 * iso
+    # ...a 10 Gbps channel shrinks it...
+    assert results[10.0] < results[2.5]
+    # ...and a 40 Gbps channel removes it: the gap converges to the
+    # isolated remote slowdown.
+    assert results[40.0] == pytest.approx(iso, rel=0.15)

@@ -1,0 +1,27 @@
+"""Ablation — LSTM hidden width (DESIGN.md §5.3).
+
+Sweeps the system-state model's hidden size.  Expected shape: accuracy
+rises steeply from tiny widths and plateaus — the default (32) sits on
+the plateau, so the paper-style 2-layer LSTM is not capacity-bound.
+"""
+
+from benchmarks.conftest import run_once
+from repro.analysis import format_table
+from repro.experiments import ablations
+
+
+def test_ablation_model_capacity(benchmark, report, scale):
+    results = run_once(benchmark, ablations.capacity_ablation, scale=scale)
+    report(format_table(
+        ["hidden units", "avg R2"],
+        [(h, f"{r2:.3f}") for h, r2 in sorted(results.items())],
+        title="Ablation — system-state R2 vs LSTM hidden width",
+    ))
+
+    assert set(results) == {8, 16, 32, 64}
+    assert all(r2 > 0.2 for r2 in results.values())
+    best = max(results.values())
+    # The default width is on the plateau.
+    assert results[32] >= best - 0.08
+    # Doubling beyond the default buys little.
+    assert results[64] - results[32] < 0.08

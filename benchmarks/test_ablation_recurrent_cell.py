@@ -1,0 +1,32 @@
+"""Ablation — LSTM vs GRU backbone for the system-state model.
+
+The paper motivates LSTMs for interpreting monitor time series (§VII);
+the GRU is the natural alternative from the same family with ~25% fewer
+parameters.  Expected shape: comparable accuracy, smaller model — i.e.
+the specific gated cell is not the load-bearing choice, the stacked
+recurrent + dense-block architecture is.
+"""
+
+from benchmarks.conftest import run_once
+from repro.analysis import format_table
+from repro.experiments import ablations
+
+
+def test_ablation_recurrent_cell(benchmark, report, scale):
+    results = run_once(benchmark, ablations.recurrent_cell_ablation, scale=scale)
+    report(format_table(
+        ["cell", "avg R2", "parameters"],
+        [
+            (cell, f"{r['r2']:.3f}", f"{int(r['parameters']):,}")
+            for cell, r in results.items()
+        ],
+        title="Ablation — recurrent backbone of the system-state model",
+    ))
+
+    assert set(results) == {"lstm", "gru"}
+    # Both backbones learn the task.
+    assert all(r["r2"] > 0.4 for r in results.values())
+    # GRU is the smaller model.
+    assert results["gru"]["parameters"] < results["lstm"]["parameters"]
+    # And the accuracy gap between the two cells is small.
+    assert abs(results["lstm"]["r2"] - results["gru"]["r2"]) < 0.15

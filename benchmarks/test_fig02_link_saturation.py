@@ -1,0 +1,33 @@
+"""Bench Fig. 2 — link saturation sweep (remarks R1-R3).
+
+Paper shape: delivered throughput caps at ~2.5 Gbps; channel latency
+~350 cycles through 4 memBw trashers, ~900 from 8 onwards; local memory
+counters rise with remote traffic.
+"""
+
+import pytest
+
+from benchmarks.conftest import run_once
+from repro.experiments import fig02_link_saturation
+
+
+def test_fig02_link_saturation(benchmark, report):
+    result = run_once(benchmark, fig02_link_saturation.run)
+    report(result.format())
+
+    points = {p.n_microbenchmarks: p for p in result.points}
+
+    # R1 — bounded throughput at ~2.5 Gbps regardless of offered load.
+    assert result.throughput_cap_gbps == pytest.approx(2.5, abs=0.01)
+    assert points[32].delivered_gbps == pytest.approx(points[8].delivered_gbps,
+                                                      rel=0.01)
+    # R2 — two latency regimes with the knee between 4 and 8.
+    assert points[1].latency_cycles == pytest.approx(350, abs=10)
+    assert points[4].latency_cycles < 500
+    assert points[8].latency_cycles > 850
+    assert points[32].latency_cycles == pytest.approx(900, abs=20)
+    # R3 — remote traffic inflates local-hierarchy counters.
+    assert points[8].counters.mem_loads > points[1].counters.mem_loads
+    assert points[8].counters.llc_loads > points[1].counters.llc_loads
+    # Back-pressure grows with offered load past saturation.
+    assert points[32].backpressure > points[16].backpressure > points[8].backpressure

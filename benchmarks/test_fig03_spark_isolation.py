@@ -1,0 +1,27 @@
+"""Bench Fig. 3 — Spark isolated local vs remote runtimes (remark R4).
+
+Paper shape: ~20% mean degradation, non-uniform — nweight/lr ~2x,
+gmm/pca <10%.
+"""
+
+from benchmarks.conftest import run_once
+from repro.experiments import fig03_spark_isolation
+
+
+def test_fig03_spark_isolation(benchmark, report):
+    result = run_once(benchmark, fig03_spark_isolation.run)
+    report(result.format())
+
+    assert len(result.results) == 17
+    # Mean degradation in the paper's band.
+    assert 0.15 <= result.mean_degradation <= 0.32
+    # The winners and losers the paper names.
+    assert result.ratio("nweight") >= 1.8
+    assert result.ratio("lr") >= 1.7
+    assert result.ratio("gmm") <= 1.10
+    assert result.ratio("pca") <= 1.10
+    # Non-uniformity: a wide spread across the suite.
+    ratios = [entry["ratio"] for entry in result.results.values()]
+    assert max(ratios) / min(ratios) > 1.6
+    # Remote is never faster in isolation.
+    assert min(ratios) >= 1.0

@@ -1,0 +1,29 @@
+"""Bench Fig. 4 — LC tail latency vs clients, local vs remote (R4).
+
+Paper shape: local and remote curves almost identical for Redis and
+Memcached at every client count; latency grows with the client
+population.
+"""
+
+from benchmarks.conftest import run_once
+from repro.experiments import fig04_lc_isolation
+
+
+def test_fig04_lc_isolation(benchmark, report):
+    result = run_once(benchmark, fig04_lc_isolation.run)
+    report(result.format())
+
+    for app in ("redis", "memcached"):
+        # R4 — modes nearly identical in isolation.
+        assert result.max_mode_gap(app) < 0.12
+        # Closed-loop latency grows with clients in both modes.
+        for mode in ("local", "remote"):
+            p99s = [s.p99_ms for s in result.sweeps[app][mode]]
+            assert all(b >= a for a, b in zip(p99s, p99s[1:]))
+            p999s = [s.p999_ms for s in result.sweeps[app][mode]]
+            assert all(hi > lo for lo, hi in zip(p99s, p999s))
+    # Memcached is faster than Redis at the same operating point.
+    assert (
+        result.sweeps["memcached"]["local"][0].p99_ms
+        < result.sweeps["redis"]["local"][0].p99_ms
+    )

@@ -1,0 +1,44 @@
+"""Bench Fig. 5 — interference heatmap, remote/local ratio (R5-R7).
+
+Paper shape: ratios near the isolated remote slowdown at low
+interference; a chasm (up to ~4x additional) past the channel
+saturation point for l3/memBw; stacking benchmarks (nweight, sort,
+kmeans) elevated even under cpu/l2 trashing; LC apps more resistant.
+"""
+
+import pytest
+
+from benchmarks.conftest import run_once
+from repro.experiments import fig05_interference_heatmap
+from repro.workloads import spark_profile
+
+
+def test_fig05_interference_heatmap(benchmark, report):
+    result = run_once(benchmark, fig05_interference_heatmap.run)
+    report(result.format())
+
+    # R5 — the chasm opens past the saturation knee for memBw.
+    for app in ("nweight", "lr", "sort"):
+        iso = spark_profile(app).remote_slowdown
+        assert result.ratio(app, "memBw", 1) == pytest.approx(iso, rel=0.1)
+        assert result.ratio(app, "memBw", 16) > 1.5 * iso
+        assert result.ratio(app, "memBw", 16) <= 4.5 * iso
+
+    # R5 — LC more resistant: at peak interference the LC remote/local
+    # ratio stays below the bandwidth-bound BE applications'.
+    redis_peak = result.ratio("redis", "memBw", 16)
+    assert redis_peak < result.ratio("lr", "memBw", 16)
+    assert redis_peak < result.ratio("nweight", "memBw", 16)
+
+    # R7 — stacking under cpu-only interference for nweight/sort.
+    for app in ("nweight", "sort"):
+        iso = spark_profile(app).remote_slowdown
+        assert result.ratio(app, "cpu", 16) > iso * 1.02
+    # gmm does not stack.
+    gmm_iso = spark_profile("gmm").remote_slowdown
+    assert result.ratio("gmm", "cpu", 16) == pytest.approx(gmm_iso, rel=0.03)
+
+    # Monotonicity in trasher count for the saturating kinds.
+    for app in result.heatmaps:
+        ratios = [result.ratio(app, "memBw", c) for c in (1, 2, 4, 8, 16)]
+        assert all(b >= a - 0.05 for a, b in zip(ratios, ratios[1:]))

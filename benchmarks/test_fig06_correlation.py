@@ -1,0 +1,29 @@
+"""Bench Fig. 6 — metric/performance correlation (remark R8).
+
+Paper shape: a clear correlation exists between low-level metrics and
+application performance, and during-execution (runtime) metrics
+correlate more strongly than the 120 s-prior (historical) ones.
+"""
+
+from benchmarks.conftest import run_once
+from repro.experiments import fig06_correlation
+
+
+def test_fig06_correlation(benchmark, report, scale, strict):
+    result = run_once(benchmark, fig06_correlation.run, scale=scale)
+    report(result.format())
+
+    for cls in (result.be, result.lc):
+        # A correlation exists (|r| clearly above noise for some metric).
+        assert max(abs(v) for v in cls.during.values()) > 0.3
+        assert cls.n_samples >= 10
+
+    # R8 — runtime beats historical for the cache/link metrics (BE).
+    be = result.be
+    stronger = [
+        name for name in be.prior
+        if abs(be.during[name]) > abs(be.prior[name])
+    ]
+    assert len(stronger) >= 4
+    if strict:
+        assert be.mean_abs_during() > be.mean_abs_prior()

@@ -1,0 +1,30 @@
+"""Bench Fig. 8 — scenario congestion phases.
+
+Paper shape: heavy {5,20} scenarios sustain many more concurrent
+applications than relaxed {5,60} ones (paper max: 35 concurrent apps),
+and every scenario's metric time series shows distinct phases (non-zero
+spread).
+"""
+
+from benchmarks.conftest import run_once
+from repro.experiments import fig08_scenarios
+
+
+def test_fig08_scenarios(benchmark, report):
+    result = run_once(benchmark, fig08_scenarios.run)
+    report(result.format())
+
+    by_spawn = {s.spawn_interval: s for s in result.summaries}
+    heavy, moderate, relaxed = by_spawn[(5, 20)], by_spawn[(5, 40)], by_spawn[(5, 60)]
+
+    # Congestion ordering.
+    assert heavy.mean_concurrent > moderate.mean_concurrent > relaxed.mean_concurrent
+    assert heavy.max_concurrent >= 20  # paper: up to 35 concurrent apps
+    assert relaxed.max_concurrent < heavy.max_concurrent
+
+    # Distinct metric phases within each scenario.
+    for summary in result.summaries:
+        assert summary.mem_loads_std > 0.1 * summary.mem_loads_mean
+
+    # Heavier congestion loads the channel more.
+    assert heavy.link_latency_mean > relaxed.link_latency_mean

@@ -1,0 +1,35 @@
+"""Bench Fig. 9 — Spark performance distributions over scenarios.
+
+Paper shape: remote distributions shifted towards higher runtimes;
+certain benchmarks (gmm) show overlapping local/remote distributions
+while others (nweight) are clearly separated.
+"""
+
+import numpy as np
+
+from benchmarks.conftest import run_once
+from repro.experiments import fig09_10_distributions
+from repro.workloads import WorkloadKind
+
+
+def test_fig09_spark_distributions(benchmark, report, scale, strict):
+    result = run_once(
+        benchmark, fig09_10_distributions.run,
+        WorkloadKind.BEST_EFFORT, scale=scale,
+    )
+    report(result.format())
+
+    dists = result.distributions
+    assert len(dists) >= 12  # most of the 17 must have samples in both modes
+
+    # Remote medians shift up for the majority of benchmarks.  At quick
+    # scale (few scenarios) the mode signal is confounded with which
+    # congestion phase each sample landed in, so only the majority
+    # direction is asserted; the per-benchmark claims need real scale.
+    shifts = [d.median_shift for d in dists.values()]
+    assert np.mean([s > 0 for s in shifts]) >= (0.75 if strict else 0.6)
+
+    if strict:
+        # gmm overlaps between modes; nweight is clearly separated.
+        assert dists["gmm"].overlapping
+        assert dists["nweight"].median_shift > 0.3

@@ -1,0 +1,36 @@
+"""Bench Fig. 10 — Redis/Memcached p99 distributions over scenarios.
+
+Paper shape: remote mode yields higher response times but the two
+distributions overlap, which leaves headroom for offloading under
+relaxed QoS constraints.
+"""
+
+from benchmarks.conftest import run_once
+from repro.experiments import fig09_10_distributions
+from repro.workloads import WorkloadKind
+
+
+def test_fig10_lc_distributions(benchmark, report, scale, strict):
+    result = run_once(
+        benchmark, fig09_10_distributions.run,
+        WorkloadKind.LATENCY_CRITICAL, scale=scale,
+    )
+    report(result.format())
+
+    dists = result.distributions
+    assert set(dists) == {"redis", "memcached"}
+    for dist in dists.values():
+        # Base sanity: a real distribution with an upper tail.
+        assert dist.local.median < dist.local.p99
+        assert dist.local.count >= 2 and dist.remote.count >= 2
+    if strict:
+        for dist in dists.values():
+            # Remote p99 medians sit above local ones: not because the
+            # medium is slower (R4) but because remote deployments share
+            # the saturable channel in congested scenarios.  The shift
+            # can be large in the simulated corpus (closed-loop tail
+            # amplification); the key paper shape is the ordering plus
+            # distribution overlap.
+            assert dist.median_shift >= -0.05
+            # Overlapping distributions — the Fig. 10 headroom argument.
+            assert dist.overlapping

@@ -1,0 +1,34 @@
+"""Bench Fig. 13a/c/d — BE performance-model accuracy.
+
+Paper numbers: R² 0.942 average with oracle future state (0.945 local /
+0.939 remote); per-benchmark MAEs around 10% of the median runtime with
+the practical configuration.
+"""
+
+from benchmarks.conftest import run_once
+from repro.experiments import fig13_be_accuracy
+
+
+def test_fig13_be_accuracy(benchmark, report, scale, strict):
+    result = run_once(benchmark, fig13_be_accuracy.run, scale=scale)
+    report(result.format())
+
+    # Part (a): oracle-future accuracy.
+    floor = 0.80 if strict else 0.45
+    assert result.oracle_metrics["r2"] >= floor
+    if strict:
+        # Both modes individually predictable.
+        assert result.oracle_metrics.get("r2_local", 0) >= 0.7
+        assert result.oracle_metrics.get("r2_remote", 0) >= 0.6
+
+    # Part (c): relative MAE per benchmark stays bounded.  The paper
+    # reports ~10% of median; the simulated corpus carries heavier
+    # congestion tails (runtime inflation up to ~10x in {5,20}
+    # scenarios), which widens the achievable band — see EXPERIMENTS.md.
+    rel_maes = [result.relative_mae(name) for name in result.mae_per_benchmark]
+    assert sum(rel_maes) / len(rel_maes) <= (0.50 if strict else 0.8)
+
+    # Part (d): residuals correlate with the truth.
+    from repro.nn.metrics import pearson
+
+    assert pearson(result.actual, result.predicted) > (0.85 if strict else 0.6)

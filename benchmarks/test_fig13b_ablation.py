@@ -1,0 +1,36 @@
+"""Bench Fig. 13b — stacked-model ablation.
+
+Paper shape: {exec,exec} and {120,120} (oracle futures) give the best
+accuracy; the practical propagated-prediction configurations sit a few
+percent below the oracle; {none,none} (no future input) is worst —
+i.e. predictive monitoring buys real accuracy.
+"""
+
+from benchmarks.conftest import run_once
+from repro.experiments import fig13_be_accuracy
+
+
+def test_fig13b_ablation(benchmark, report, scale, strict):
+    result = run_once(benchmark, fig13_be_accuracy.run, scale=scale)
+    report(result.format(), name="fig13b_ablation")
+
+    r2 = {
+        (e.train_variant, e.test_variant): e.r2 for e in result.ablation
+    }
+    oracle_best = max(r2[("exec", "exec")], r2[("120", "120")])
+    practical = max(r2[("120", "pred")], r2[("pred", "pred")])
+    baseline = r2[("none", "none")]
+
+    # Oracle futures upper-bound the practical stacked pipeline.
+    assert oracle_best >= practical - 0.02
+    if strict:
+        # The stacked pipeline at least matches no-future-information
+        # (paper: +2%; measured: a smaller but non-negative edge — the
+        # simulated counters are less informative about the future than
+        # the real testbed's, see EXPERIMENTS.md).
+        assert practical >= baseline - 0.02
+        # And sits within a few points of the oracle (paper: ~3%).
+        assert oracle_best - practical <= 0.12
+    # All variants produce usable models.
+    floor = 0.35 if not strict else 0.6
+    assert all(v >= floor for v in r2.values())

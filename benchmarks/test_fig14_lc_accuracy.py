@@ -1,0 +1,32 @@
+"""Bench Fig. 14 — LC performance-model accuracy.
+
+Paper numbers: R² 0.874 for the LC model; per-benchmark MAEs a modest
+fraction of the median p99.
+"""
+
+import numpy as np
+
+from benchmarks.conftest import run_once
+from repro.experiments import fig14_lc_accuracy
+
+
+def test_fig14_lc_accuracy(benchmark, report, scale, strict):
+    result = run_once(benchmark, fig14_lc_accuracy.run, scale=scale)
+    report(result.format())
+
+    assert result.metrics["mae"] > 0
+    assert np.all(np.isfinite(result.predicted))
+    assert np.all(result.predicted > 0)
+    if strict:
+        # Paper: R2 0.874.  The simulated LC corpus is harder: servers
+        # run 270-320 s while Ŝ only covers a 120 s horizon, and the
+        # closed-loop tail amplification makes targets heavy-tailed.
+        # The oracle {exec,exec} model reaches ~0.77 here (see
+        # EXPERIMENTS.md), bounding what any horizon-limited input can
+        # achieve; the practical configuration must clear a 0.40 floor
+        # and track the target ordering.
+        assert result.metrics["r2"] >= 0.40
+
+        from repro.nn.metrics import pearson
+
+        assert pearson(result.actual, result.predicted) > 0.65

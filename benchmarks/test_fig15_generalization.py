@@ -1,0 +1,41 @@
+"""Bench Fig. 15 — generalization on unseen applications.
+
+Paper shape: leave-one-out accuracy varies widely by benchmark (gbt
+0.72 vs lr 0.30), and including even a handful of samples of the unseen
+application in training recovers most of the accuracy (Fig. 15b).
+"""
+
+import numpy as np
+
+from benchmarks.conftest import run_once
+from repro.experiments import fig15_generalization
+
+
+def test_fig15_generalization(benchmark, report, scale, strict):
+    result = run_once(benchmark, fig15_generalization.run, scale=scale)
+    report(result.format())
+
+    scores = {k: v for k, v in result.loo_r2.items() if not np.isnan(v)}
+    assert len(scores) >= 4
+
+    values = list(scores.values())
+    # Every held-out score is below a same-distribution fit: LOO never
+    # reaches the in-distribution ceiling.
+    assert all(v <= 1.0 for v in values)
+    if strict:
+        # Wide spread across benchmarks: generalization is
+        # app-dependent — some benchmark generalizes adequately, some
+        # fails (paper: gbt ~0.7, lr ~0.3).  At quick scale the tiny
+        # corpus makes per-benchmark LOO scores too noisy to band.
+        assert max(values) - min(values) > 0.15
+        assert max(values) >= 0.5
+        assert min(values) <= 0.6
+
+    # Fig. 15b — few-shot samples help (allowing noise).  The held-out
+    # test set at quick scale is a handful of samples, so the curve is
+    # only asserted from default scale upwards.
+    counts = sorted(result.sample_scaling)
+    r2s = [result.sample_scaling[c] for c in counts]
+    assert all(np.isfinite(r2s))
+    if strict:
+        assert r2s[-1] >= r2s[0] - 0.05

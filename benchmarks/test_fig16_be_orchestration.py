@@ -1,0 +1,47 @@
+"""Bench Fig. 16 — BE orchestration vs baselines.
+
+Paper shape: Random/Round-Robin give the worst distributions (>2x worse
+than Adrias in places); β = 1 behaves like All-Local; lowering β
+monotonically offloads more at increasing performance cost, with an
+intermediate β offloading ~1/3 of applications at <15% median cost; a
+low β over-offloads and collapses.  The exact β at each offload level
+shifts slightly with the simulated slowdown distribution (see
+EXPERIMENTS.md).
+"""
+
+from benchmarks.conftest import run_once
+from repro.experiments import fig16_be_orchestration
+
+
+def test_fig16_be_orchestration(benchmark, report, scale, strict):
+    result = run_once(benchmark, fig16_be_orchestration.run, scale=scale)
+    report(result.format())
+
+    # Naive baselines offload ~half of everything.
+    assert 0.3 <= result.offload("random") <= 0.7
+    assert 0.3 <= result.offload("round-robin") <= 0.7
+
+    # beta = 1 is (near) All-Local — prediction noise at the decision
+    # boundary leaks a few marginal apps to remote, more so for the
+    # deliberately under-trained quick-scale model.
+    assert result.offload("adrias-1") <= (0.10 if strict else 0.25)
+    assert abs(result.median_drop("adrias-1")) <= (0.08 if strict else 0.12)
+
+    # Offload grows monotonically as beta falls.
+    offloads = [result.offload(f"adrias-{b:g}") for b in (1.0, 0.9, 0.8, 0.7, 0.6)]
+    assert all(b >= a - 0.03 for a, b in zip(offloads, offloads[1:]))
+    assert offloads[-1] > 0.5  # beta=0.6 offloads the majority
+
+    if strict:
+        # Naive schedulers cost more than a moderate Adrias at similar
+        # or larger offload fractions.
+        assert result.median_drop("random") > result.median_drop("adrias-0.9")
+        assert result.median_drop("round-robin") > result.median_drop("adrias-0.9")
+        # An intermediate beta offloads a meaningful fraction cheaply.
+        sweet = [
+            b for b in (0.9, 0.8, 0.75, 0.7)
+            if f"adrias-{b:g}" in result.results
+            and result.offload(f"adrias-{b:g}") >= 0.15
+            and result.median_drop(f"adrias-{b:g}") <= 0.20
+        ]
+        assert sweet, "no beta offloads >=15% of BE apps at <=20% median cost"

@@ -1,0 +1,56 @@
+"""Bench Fig. 17 — LC QoS violations and offloads at five QoS levels.
+
+Paper shape: Adrias eliminates most violations at loose QoS levels
+(0-2) while offloading roughly a third of LC deployments; at strict
+levels it converges to All-Local with a small violation excess;
+Random/Round-Robin violate far more throughout.
+"""
+
+import numpy as np
+
+from benchmarks.conftest import run_once
+from repro.experiments import fig17_lc_orchestration
+
+
+def _totals(level_summary, policy):
+    violations = offloads = total = 0
+    for counts in level_summary[policy].values():
+        violations += counts["violations"]
+        offloads += counts["offloads"]
+        total += counts["total"]
+    return violations, offloads, total
+
+
+def test_fig17_lc_orchestration(benchmark, report, scale, strict):
+    result = run_once(benchmark, fig17_lc_orchestration.run, scale=scale)
+    report(result.format())
+
+    levels = sorted(result.by_level)
+    assert len(levels) == 5
+
+    # QoS levels are ordered loose -> strict per app.
+    for app, thresholds in result.qos_levels.items():
+        assert all(b <= a + 1e-9 for a, b in zip(thresholds, thresholds[1:]))
+
+    loosest, strictest = levels[0], levels[-1]
+
+    # At the loosest level Adrias violates (almost) nothing and offloads.
+    adrias_v, adrias_off, adrias_total = _totals(result.by_level[loosest], "adrias")
+    assert adrias_v <= 0.15 * adrias_total
+    assert adrias_off > 0
+
+    # Violations never decrease as QoS tightens (for every policy).
+    for policy in ("adrias", "all-local", "random"):
+        counts = [_totals(result.by_level[lv], policy)[0] for lv in levels]
+        assert all(b >= a for a, b in zip(counts, counts[1:]))
+
+    if strict:
+        # Naive schedulers violate more than Adrias at loose QoS.
+        random_v, _, _ = _totals(result.by_level[loosest], "random")
+        assert adrias_v <= random_v
+        # Adrias offloads a meaningful share (~1/3 in the paper).
+        assert adrias_off >= 0.15 * adrias_total
+        # At the strictest level Adrias tracks All-Local within a margin.
+        local_v, _, total = _totals(result.by_level[strictest], "all-local")
+        strict_v, _, _ = _totals(result.by_level[strictest], "adrias")
+        assert strict_v <= local_v + 0.35 * total

@@ -1,0 +1,31 @@
+"""Bench Table I / Fig. 12 — system-state model accuracy.
+
+Paper numbers: per-event R² between 0.964 and 0.999, average 0.993, on
+a 60/40 train/test split.  The simulated counterpart reaches the same
+qualitative regime at default scale and above; at quick scale only a
+looser floor is asserted.
+"""
+
+from benchmarks.conftest import run_once
+from repro.experiments import table1_system_state
+from repro.hardware import METRIC_NAMES
+
+
+def test_table1_system_state(benchmark, report, scale, strict):
+    result = run_once(benchmark, table1_system_state.run, scale=scale)
+    report(result.format())
+
+    assert set(result.r2_per_metric) == set(METRIC_NAMES)
+    floor_avg = 0.90 if strict else 0.55
+    floor_each = 0.75 if strict else 0.30
+    assert result.average_r2 >= floor_avg
+    for name, r2 in result.r2_per_metric.items():
+        assert r2 >= floor_each, f"{name}: R2 {r2:.3f} below floor"
+        assert r2 <= 1.0
+
+    # Fig. 12 — the bulk of predictions sits near the 45-degree line.
+    # (The simulated metrics fluctuate more tick-to-tick than the
+    # paper's — memoryless arrivals — so "near" is ±25% here; the R2
+    # floors above are the primary Table-I assertion.)
+    within = result.residual_fraction_within(tolerance=0.25)
+    assert within >= (0.55 if strict else 0.4)

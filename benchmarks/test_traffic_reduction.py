@@ -1,0 +1,29 @@
+"""Bench §VI-B — Adrias' impact on FPGA interconnect data traffic.
+
+Paper shape: Adrias transmits substantially less data than Random
+(paper: -45% at β=0.8) and Round-Robin (-23% at β=0.7), and at matched
+offload counts generates less traffic per offloaded application because
+it favors less memory-intensive applications for remote placement.
+"""
+
+from benchmarks.conftest import run_once
+from repro.experiments import traffic_reduction
+
+
+def test_traffic_reduction(benchmark, report, scale, strict):
+    result = run_once(benchmark, traffic_reduction.run, scale=scale)
+    report(result.format())
+
+    entries = result.entries
+    assert entries["random"].traffic_gb > 0
+    assert entries["round-robin"].traffic_gb > 0
+
+    # The conservative beta moves less data than the aggressive one.
+    assert entries["adrias-0.8"].traffic_gb <= entries["adrias-0.7"].traffic_gb * 1.1
+
+    if strict:
+        # Traffic reduction vs the naive schedulers at the paper's betas.
+        assert result.reduction_vs("adrias-0.8", "random") > 0.15
+        assert result.reduction_vs("adrias-0.8", "round-robin") > 0.0
+        # Selectivity: less traffic per offloaded unit than random.
+        assert result.intensity_reduction_vs("adrias-0.8", "random") > 0.0

@@ -1,0 +1,78 @@
+"""What-if capacity planning for a disaggregated memory pool.
+
+Uses the testbed model to answer two operator questions that fall out
+of the paper's characterization:
+
+1. *How much interference can the channel absorb?* — sweep co-located
+   memBw trashers at several hypothetical link capacities and find the
+   saturation knee of each (the Fig. 2 experiment, generalized).
+2. *Which applications are safe to offload?* — rank the Spark suite by
+   isolated remote degradation and by their slowdown under a congested
+   channel, the two quantities that drive Adrias' β decision.
+
+Usage:  python examples/capacity_planning.py
+"""
+
+from repro.analysis import (
+    format_table,
+    interference_slowdown,
+    isolation_comparison,
+    link_saturation_sweep,
+)
+from repro.experiments.ablations import link_capacity_whatif
+from repro.hardware import LinkConfig, TestbedConfig
+from repro.workloads import MemoryMode, SPARK_BENCHMARKS, spark_profile
+
+
+def main() -> None:
+    # 1. Saturation knee per hypothetical link capacity.
+    rows = []
+    for capacity in (2.5, 10.0, 40.0):
+        config = TestbedConfig(link=LinkConfig(capacity_gbps=capacity))
+        points = link_saturation_sweep(counts=(1, 2, 4, 8, 16, 32, 64), config=config)
+        knee = next(
+            (p.n_microbenchmarks for p in points if p.backpressure > 1.01),
+            None,
+        )
+        rows.append(
+            (
+                f"{capacity:g} Gbps",
+                f"{max(p.delivered_gbps for p in points):.2f}",
+                knee if knee is not None else ">64",
+                f"{points[-1].latency_cycles:.0f}",
+            )
+        )
+    print(format_table(
+        ["link capacity", "max delivered Gbps", "saturation knee (#memBw)",
+         "latency at x64 (cyc)"],
+        rows,
+        title="1. Channel headroom vs link capacity",
+    ))
+
+    whatif = link_capacity_whatif()
+    print("\nnweight remote/local ratio under 8 memBw trashers:")
+    for capacity, ratio in whatif.items():
+        print(f"  {capacity:5.1f} Gbps -> {ratio:.2f}x")
+
+    # 2. Offload safety ranking.
+    isolation = isolation_comparison(list(SPARK_BENCHMARKS.values()))
+    rows = []
+    for name in SPARK_BENCHMARKS:
+        congested = interference_slowdown(
+            spark_profile(name), "memBw", 8, MemoryMode.REMOTE
+        ) / interference_slowdown(
+            spark_profile(name), "memBw", 8, MemoryMode.LOCAL
+        )
+        rows.append((name, f"{isolation[name]['ratio']:.2f}x", f"{congested:.2f}x"))
+    rows.sort(key=lambda r: float(r[1][:-1]))
+    print("\n" + format_table(
+        ["benchmark", "isolated remote/local", "congested remote/local"],
+        rows,
+        title="2. Offload safety ranking (lower = safer to offload)",
+    ))
+    safe = [r[0] for r in rows[:5]]
+    print(f"\n=> safest offload candidates: {', '.join(safe)}")
+
+
+if __name__ == "__main__":
+    main()

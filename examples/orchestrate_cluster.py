@@ -1,0 +1,96 @@
+"""End-to-end orchestration: train Adrias, then beat the naive schedulers.
+
+Reproduces the §VI-B workflow at a reduced scale (a couple of minutes):
+
+1. offline phase — simulate randomized trace-collection scenarios,
+   capture application signatures and train the stacked LSTM models;
+2. online phase — replay held-out arrival sequences under Random,
+   Round-Robin, All-Local and Adrias (two β settings);
+3. report offload fractions, median-performance changes and link
+   traffic per policy (Fig. 16 / §VI-B).
+
+Usage:  python examples/orchestrate_cluster.py [--scenarios N]
+"""
+
+import argparse
+
+import numpy as np
+
+from repro.analysis import format_table
+from repro.cluster import ScenarioConfig
+from repro.orchestrator import (
+    AdriasPolicy,
+    AllLocalPolicy,
+    RandomPolicy,
+    RoundRobinPolicy,
+    TrainingBudget,
+    compare_policies,
+    train_predictor,
+)
+from repro.workloads import WorkloadKind
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--scenarios", type=int, default=8,
+                        help="training scenarios to simulate")
+    parser.add_argument("--duration", type=float, default=1500.0,
+                        help="training scenario duration in seconds")
+    args = parser.parse_args()
+
+    print("== offline phase: trace collection + model training ==")
+    budget = TrainingBudget(
+        n_scenarios=args.scenarios,
+        scenario_duration_s=args.duration,
+        epochs_system=40,
+        epochs_performance=50,
+    )
+    predictor = train_predictor(budget)
+    print(f"trained on {args.scenarios} scenarios "
+          f"({len(predictor.signatures)} signatures captured)\n")
+
+    print("== online phase: policy replay on held-out scenarios ==")
+    policies = {
+        "random": RandomPolicy(seed=1),
+        "round-robin": RoundRobinPolicy(),
+        "all-local": AllLocalPolicy(),
+        "adrias-0.9": AdriasPolicy(predictor, beta=0.9, default_qos_ms=6.0),
+        "adrias-0.75": AdriasPolicy(predictor, beta=0.75, default_qos_ms=6.0),
+    }
+    configs = [
+        ScenarioConfig(duration_s=1200.0, spawn_interval=(5, 40), seed=900 + i)
+        for i in range(3)
+    ]
+    results = compare_policies(policies, configs)
+
+    base = results["all-local"]
+    base_medians = {
+        name: base.median_performance(name)
+        for name in base.benchmark_names(WorkloadKind.BEST_EFFORT)
+    }
+    rows = []
+    for name, result in results.items():
+        drops = [
+            result.median_performance(b) / m - 1.0
+            for b, m in base_medians.items()
+            if m > 0 and not np.isnan(result.median_performance(b))
+        ]
+        rows.append(
+            (
+                name,
+                f"{result.offload_fraction(WorkloadKind.BEST_EFFORT) * 100:.1f}%",
+                f"{np.mean(drops) * 100:+.1f}%",
+                f"{result.total_link_traffic_gb():.1f}",
+            )
+        )
+    print(format_table(
+        ["policy", "BE offload", "median change vs all-local", "link GB"],
+        rows,
+        title="Scheduling comparison (cf. Fig. 16)",
+    ))
+    print("\nExpected shape: naive schedulers degrade medians the most; "
+          "Adrias offloads a tunable fraction at a far smaller cost.")
+
+
+if __name__ == "__main__":
+    main()

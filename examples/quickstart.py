@@ -1,0 +1,60 @@
+"""Quickstart: explore the simulated ThymesisFlow testbed.
+
+Runs in a few seconds:
+
+1. sweep memory-bandwidth trashers against the remote link (Fig. 2) and
+   watch the ~2.5 Gbps throughput cap and the 350 -> 900 cycle latency
+   step;
+2. compare isolated local vs remote runtimes for the Spark suite
+   (Fig. 3);
+3. deploy a small co-location mix on the cluster engine and inspect the
+   counters the Watcher would see.
+
+Usage:  python examples/quickstart.py
+"""
+
+from repro.analysis import format_table
+from repro.cluster import ClusterEngine
+from repro.experiments import fig02_link_saturation, fig03_spark_isolation
+from repro.workloads import MemoryMode, ibench_profile, spark_profile
+
+
+def main() -> None:
+    # 1. Link saturation sweep (Fig. 2).
+    fig2 = fig02_link_saturation.run()
+    print(fig2.format())
+    print(
+        f"\n=> throughput cap {fig2.throughput_cap_gbps:.2f} Gbps, "
+        f"latency {fig2.base_latency_cycles:.0f} -> "
+        f"{fig2.saturated_latency_cycles:.0f} cycles\n"
+    )
+
+    # 2. Isolated local vs remote (Fig. 3).
+    fig3 = fig03_spark_isolation.run()
+    print(fig3.format())
+    print(f"\n=> mean remote degradation {fig3.mean_degradation * 100:.1f}%\n")
+
+    # 3. A small co-location: nweight on remote next to LLC trashers.
+    engine = ClusterEngine()
+    for _ in range(8):
+        engine.deploy(ibench_profile("l3"), MemoryMode.LOCAL, duration_s=1e6)
+    nweight = engine.deploy(spark_profile("nweight"), MemoryMode.REMOTE)
+    while nweight.running:
+        engine.tick()
+    record = engine.trace.records[-1]
+    print(
+        format_table(
+            ["deployment", "mode", "runtime s", "mean slowdown"],
+            [(record.name, record.mode.value, f"{record.runtime_s:.1f}",
+              f"{record.mean_slowdown:.2f}")],
+            title="Co-located deployment outcome",
+        )
+    )
+    last = engine.trace.metrics[-1]
+    print("\nWatcher counters at finish "
+          "(LLC ld/mis, MEM ld/st, RMT tx/rx, link lat):")
+    print("  " + "  ".join(f"{v:.3e}" for v in last))
+
+
+if __name__ == "__main__":
+    main()

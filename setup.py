@@ -1,0 +1,18 @@
+"""Legacy setup shim.
+
+The offline environment ships a setuptools too old for PEP 660 editable
+installs; this file enables ``pip install -e . --no-build-isolation``
+via the classic ``setup.py develop`` path. All metadata lives in
+``pyproject.toml``.
+"""
+
+from setuptools import find_packages, setup
+
+setup(
+    name="repro",
+    version="1.0.0",
+    package_dir={"": "src"},
+    packages=find_packages(where="src"),
+    python_requires=">=3.10",
+    install_requires=["numpy>=1.24", "scipy>=1.10"],
+)

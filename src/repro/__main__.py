@@ -1,0 +1,185 @@
+"""Command-line interface: regenerate paper experiments from the shell.
+
+Usage::
+
+    python -m repro list                       # available experiments
+    python -m repro run fig02                  # one experiment
+    python -m repro run table1 --scale default
+    python -m repro run all --scale quick      # everything (slow)
+
+Each experiment prints the same rows/series the paper reports.  The
+training-based experiments honour ``--scale`` (quick | default | paper).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Callable
+
+from repro.experiments import (
+    ablations,
+    fig02_link_saturation,
+    fig03_spark_isolation,
+    fig04_lc_isolation,
+    fig05_interference_heatmap,
+    fig06_correlation,
+    fig08_scenarios,
+    fig09_10_distributions,
+    fig13_be_accuracy,
+    fig14_lc_accuracy,
+    fig15_generalization,
+    fig16_be_orchestration,
+    fig17_lc_orchestration,
+    table1_system_state,
+    traffic_reduction,
+)
+from repro.experiments.common import ExperimentScale, scale_from_env
+from repro.workloads import WorkloadKind
+
+
+def _formatless(run: Callable, *args, **kwargs) -> Callable[[ExperimentScale], str]:
+    def runner(scale: ExperimentScale) -> str:
+        result = run(*args, **kwargs)
+        return result.format()
+
+    return runner
+
+
+def _scaled(run: Callable, *args, **kwargs) -> Callable[[ExperimentScale], str]:
+    def runner(scale: ExperimentScale) -> str:
+        result = run(*args, scale=scale, **kwargs)
+        return result.format()
+
+    return runner
+
+
+def _ablation(run: Callable, headers, title) -> Callable[[ExperimentScale], str]:
+    from repro.analysis import format_table
+
+    def runner(scale: ExperimentScale) -> str:
+        results = run(scale=scale)
+        if isinstance(results, dict):
+            rows = [(k, f"{v:.3f}") for k, v in sorted(results.items())]
+        else:  # beta sweep returns dataclasses
+            rows = [
+                (f"{p.beta:g}", f"{p.offload_fraction * 100:.1f}%",
+                 f"{p.median_drop * 100:+.1f}%")
+                for p in results
+            ]
+        return format_table(headers, rows, title=title)
+
+    return runner
+
+
+def _recurrent_cell(scale: ExperimentScale) -> str:
+    from repro.analysis import format_table
+
+    results = ablations.recurrent_cell_ablation(scale=scale)
+    return format_table(
+        ["cell", "avg R2", "parameters"],
+        [
+            (cell, f"{r['r2']:.3f}", f"{int(r['parameters']):,}")
+            for cell, r in results.items()
+        ],
+        title="Recurrent backbone of the system-state model",
+    )
+
+
+EXPERIMENTS: dict[str, tuple[str, Callable[[ExperimentScale], str]]] = {
+    "fig02": ("Link saturation sweep (R1-R3)",
+              _formatless(fig02_link_saturation.run)),
+    "fig03": ("Spark isolation, local vs remote (R4)",
+              _formatless(fig03_spark_isolation.run)),
+    "fig04": ("LC tail latency vs clients (R4)",
+              _formatless(fig04_lc_isolation.run)),
+    "fig05": ("Interference heatmap (R5-R7)",
+              _formatless(fig05_interference_heatmap.run)),
+    "fig06": ("Metric/performance correlation (R8)",
+              _scaled(fig06_correlation.run)),
+    "fig08": ("Scenario congestion phases",
+              _formatless(fig08_scenarios.run)),
+    "fig09": ("Spark performance distributions",
+              _scaled(fig09_10_distributions.run, WorkloadKind.BEST_EFFORT)),
+    "fig10": ("LC performance distributions",
+              _scaled(fig09_10_distributions.run, WorkloadKind.LATENCY_CRITICAL)),
+    "table1": ("System-state model R2 (Table I)",
+               _scaled(table1_system_state.run)),
+    "fig13": ("BE model accuracy + stacking ablation",
+              _scaled(fig13_be_accuracy.run)),
+    "fig14": ("LC model accuracy",
+              _scaled(fig14_lc_accuracy.run)),
+    "fig15": ("Generalization on unseen applications",
+              _scaled(fig15_generalization.run)),
+    "fig16": ("BE orchestration vs baselines",
+              _scaled(fig16_be_orchestration.run)),
+    "fig17": ("LC QoS violations and offloads",
+              _scaled(fig17_lc_orchestration.run)),
+    "traffic": ("Link data-traffic accounting (§VI-B)",
+                _scaled(traffic_reduction.run)),
+    "ablation-window": (
+        "History-window ablation",
+        _ablation(ablations.window_ablation, ["history s", "avg R2"],
+                  "System-state R2 vs history window"),
+    ),
+    "ablation-capacity": (
+        "Model-capacity ablation",
+        _ablation(ablations.capacity_ablation, ["hidden", "avg R2"],
+                  "System-state R2 vs LSTM hidden width"),
+    ),
+    "ablation-beta": (
+        "Fine-grained beta sweep",
+        _ablation(ablations.beta_sweep, ["beta", "offload", "median drop"],
+                  "Offload/performance trade-off vs beta"),
+    ),
+    "ablation-cell": (
+        "LSTM vs GRU backbone",
+        _recurrent_cell,
+    ),
+}
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro",
+        description="Regenerate experiments from the Adrias paper.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+    sub.add_parser("list", help="list available experiments")
+    run = sub.add_parser("run", help="run one experiment (or 'all')")
+    run.add_argument("experiment", help="experiment id or 'all'")
+    run.add_argument(
+        "--scale", choices=("quick", "default", "paper"), default=None,
+        help="effort preset for training-based experiments "
+             "(default: $ADRIAS_SCALE or quick)",
+    )
+    args = parser.parse_args(argv)
+
+    if args.command == "list":
+        width = max(len(k) for k in EXPERIMENTS)
+        for key, (description, _) in EXPERIMENTS.items():
+            print(f"{key.ljust(width)}  {description}")
+        return 0
+
+    if args.scale is not None:
+        import os
+
+        os.environ["ADRIAS_SCALE"] = args.scale
+    scale = scale_from_env()
+
+    targets = list(EXPERIMENTS) if args.experiment == "all" else [args.experiment]
+    unknown = [t for t in targets if t not in EXPERIMENTS]
+    if unknown:
+        print(f"unknown experiment(s): {unknown}; try 'python -m repro list'",
+              file=sys.stderr)
+        return 2
+    for target in targets:
+        description, runner = EXPERIMENTS[target]
+        print(f"== {target}: {description} (scale={scale.name}) ==")
+        print(runner(scale))
+        print()
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,41 @@
+"""repro.analysis — characterization and correlation analyses (§IV).
+
+Drivers for the link-saturation sweep (Fig. 2), isolated local/remote
+comparison (Figs. 3-4), interference heatmap (Fig. 5) and the
+system/workload metric affinity study (Fig. 6), plus distribution and
+table-formatting helpers shared by the benchmark harness.
+"""
+
+from repro.analysis.characterization import (
+    SaturationPoint,
+    interference_heatmap,
+    interference_slowdown,
+    isolation_comparison,
+    lc_client_sweep,
+    link_saturation_sweep,
+)
+from repro.analysis.correlation import (
+    CorrelationResult,
+    metric_performance_correlation,
+)
+from repro.analysis.plotting import ascii_scatter, ascii_timeseries
+from repro.analysis.reporting import format_kv, format_table
+from repro.analysis.stats import DistributionSummary, relative_change, summarize
+
+__all__ = [
+    "CorrelationResult",
+    "DistributionSummary",
+    "SaturationPoint",
+    "ascii_scatter",
+    "ascii_timeseries",
+    "format_kv",
+    "format_table",
+    "interference_heatmap",
+    "interference_slowdown",
+    "isolation_comparison",
+    "lc_client_sweep",
+    "link_saturation_sweep",
+    "metric_performance_correlation",
+    "relative_change",
+    "summarize",
+]

@@ -1,0 +1,94 @@
+"""Affinity of system and workload metrics (§IV-D, Fig. 6).
+
+Evaluates the Pearson correlation between the average system metrics
+120 s *prior* to application scheduling (the paper's τ) as well as
+*during* execution (ℓ) and the application's measured performance, over
+randomly co-located deployment scenarios.  The paper's remark R8 —
+runtime metrics correlate more strongly than historical ones — is the
+quantitative basis for feeding the predicted future state Ŝ into the
+performance model.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.cluster.trace import Trace
+from repro.hardware.counters import METRIC_NAMES
+from repro.nn.metrics import pearson
+from repro.workloads.base import WorkloadKind
+
+__all__ = ["CorrelationResult", "metric_performance_correlation"]
+
+
+@dataclass(frozen=True)
+class CorrelationResult:
+    """Correlation of each metric with performance, prior and during."""
+
+    kind: WorkloadKind
+    n_samples: int
+    prior: dict[str, float]    # metric -> Pearson r (window before arrival)
+    during: dict[str, float]   # metric -> Pearson r (window over execution)
+
+    def mean_abs_prior(self) -> float:
+        return float(np.mean([abs(v) for v in self.prior.values()]))
+
+    def mean_abs_during(self) -> float:
+        return float(np.mean([abs(v) for v in self.during.values()]))
+
+
+def metric_performance_correlation(
+    traces: list[Trace],
+    kind: WorkloadKind = WorkloadKind.BEST_EFFORT,
+    prior_window_s: float = 120.0,
+    remote_only: bool = True,
+) -> CorrelationResult:
+    """Compute the Fig. 6 correlation table from scenario traces.
+
+    For every completed deployment of the given class, gather (a) the
+    mean of each metric over ``prior_window_s`` before arrival and (b)
+    the mean over the execution interval, then correlate each with the
+    measured performance across deployments.  ``remote_only`` restricts
+    to remote-mode deployments, the configuration §IV-D analyses.
+    """
+    if prior_window_s <= 0:
+        raise ValueError("prior_window_s must be positive")
+    priors: list[np.ndarray] = []
+    durings: list[np.ndarray] = []
+    perfs: list[float] = []
+    for trace in traces:
+        if len(trace) == 0:
+            continue
+        duration = trace.times[-1]
+        for record in trace.records_of_kind(kind):
+            if remote_only and record.mode.value != "remote":
+                continue
+            if record.finish_time > duration:
+                continue
+            prior = trace.window(record.arrival_time, prior_window_s).mean(axis=0)
+            exec_len = max(trace.dt, record.finish_time - record.arrival_time)
+            during = trace.horizon_mean(record.arrival_time, exec_len)
+            priors.append(prior)
+            durings.append(during)
+            perfs.append(record.performance)
+    if len(perfs) < 3:
+        raise ValueError(
+            f"need at least 3 {kind.value} deployments, got {len(perfs)}"
+        )
+    prior_matrix = np.vstack(priors)
+    during_matrix = np.vstack(durings)
+    perf = np.asarray(perfs)
+    return CorrelationResult(
+        kind=kind,
+        n_samples=len(perfs),
+        prior={
+            name: pearson(prior_matrix[:, i], perf)
+            for i, name in enumerate(METRIC_NAMES)
+        },
+        during={
+            name: pearson(during_matrix[:, i], perf)
+            for i, name in enumerate(METRIC_NAMES)
+        },
+    )

@@ -1,0 +1,122 @@
+"""ASCII chart rendering.
+
+No plotting library ships in the offline environment, so the figure
+drivers render time series and scatter plots as terminal text: good
+enough to eyeball the Fig. 8 congestion phases or the Fig. 12 residual
+cloud straight from the benchmark output.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["ascii_timeseries", "ascii_scatter"]
+
+_DOT = "*"
+_EMPTY = " "
+
+
+def _scale(values: np.ndarray, cells: int) -> np.ndarray:
+    """Map values to integer cell indices in [0, cells)."""
+    lo = float(values.min())
+    hi = float(values.max())
+    if hi - lo < 1e-12:
+        return np.full(values.shape, cells // 2, dtype=int)
+    scaled = (values - lo) / (hi - lo) * (cells - 1)
+    return np.clip(np.round(scaled).astype(int), 0, cells - 1)
+
+
+def ascii_timeseries(
+    values: np.ndarray,
+    width: int = 72,
+    height: int = 12,
+    title: str | None = None,
+    y_label: str = "",
+) -> str:
+    """Render a 1-D series as an ASCII line chart.
+
+    The series is bucket-averaged down to ``width`` columns; the y-axis
+    shows min/max labels.
+    """
+    values = np.asarray(values, dtype=np.float64).ravel()
+    if values.size == 0:
+        raise ValueError("cannot plot an empty series")
+    if width < 8 or height < 3:
+        raise ValueError("width must be >= 8 and height >= 3")
+    # Downsample to the plot width by bucket means.
+    if values.size > width:
+        edges = np.linspace(0, values.size, width + 1).astype(int)
+        series = np.array([
+            values[a:b].mean() for a, b in zip(edges[:-1], edges[1:])
+        ])
+    else:
+        series = values
+    rows = _scale(series, height)
+    grid = [[_EMPTY] * len(series) for _ in range(height)]
+    for col, row in enumerate(rows):
+        grid[height - 1 - row][col] = _DOT
+
+    lo, hi = float(values.min()), float(values.max())
+    lines = []
+    if title:
+        lines.append(title)
+    label_width = max(len(f"{hi:.3g}"), len(f"{lo:.3g}"))
+    for i, row_cells in enumerate(grid):
+        if i == 0:
+            label = f"{hi:.3g}".rjust(label_width)
+        elif i == height - 1:
+            label = f"{lo:.3g}".rjust(label_width)
+        else:
+            label = " " * label_width
+        lines.append(f"{label} |{''.join(row_cells)}")
+    lines.append(" " * label_width + " +" + "-" * len(series))
+    if y_label:
+        lines.append(" " * label_width + f"  {y_label}")
+    return "\n".join(lines)
+
+
+def ascii_scatter(
+    x: np.ndarray,
+    y: np.ndarray,
+    width: int = 48,
+    height: int = 16,
+    title: str | None = None,
+    diagonal: bool = False,
+) -> str:
+    """Render an (x, y) cloud; ``diagonal=True`` overlays the 45° line.
+
+    Used for Fig. 12-style actual-vs-predicted residual plots, where
+    points hugging the diagonal mean accurate predictions.
+    """
+    x = np.asarray(x, dtype=np.float64).ravel()
+    y = np.asarray(y, dtype=np.float64).ravel()
+    if x.size == 0 or x.shape != y.shape:
+        raise ValueError("x and y must be equal-length non-empty arrays")
+    if width < 8 or height < 3:
+        raise ValueError("width must be >= 8 and height >= 3")
+    if diagonal:
+        # Shared range so the 45-degree line is meaningful.
+        lo = min(x.min(), y.min())
+        hi = max(x.max(), y.max())
+        pool = np.array([lo, hi])
+        cols = _scale(np.concatenate([x, pool]), width)[:-2]
+        rows = _scale(np.concatenate([y, pool]), height)[:-2]
+    else:
+        cols = _scale(x, width)
+        rows = _scale(y, height)
+
+    grid = [[_EMPTY] * width for _ in range(height)]
+    if diagonal:
+        for col in range(width):
+            row = int(round(col / (width - 1) * (height - 1)))
+            grid[height - 1 - row][col] = "."
+    for col, row in zip(cols, rows):
+        grid[height - 1 - row][col] = _DOT
+
+    lines = []
+    if title:
+        lines.append(title)
+    for row_cells in grid:
+        lines.append("|" + "".join(row_cells))
+    lines.append("+" + "-" * width)
+    return "\n".join(lines)

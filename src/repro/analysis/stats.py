@@ -1,0 +1,50 @@
+"""Distribution summaries used across the evaluation figures."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["DistributionSummary", "summarize", "relative_change"]
+
+
+@dataclass(frozen=True)
+class DistributionSummary:
+    """Five-number-style summary of a performance sample."""
+
+    count: int
+    mean: float
+    median: float
+    p25: float
+    p75: float
+    p99: float
+    minimum: float
+    maximum: float
+
+    def iqr(self) -> float:
+        return self.p75 - self.p25
+
+
+def summarize(values: np.ndarray) -> DistributionSummary:
+    values = np.asarray(values, dtype=np.float64)
+    values = values[~np.isnan(values)]
+    if values.size == 0:
+        raise ValueError("cannot summarize an empty sample")
+    return DistributionSummary(
+        count=int(values.size),
+        mean=float(np.mean(values)),
+        median=float(np.median(values)),
+        p25=float(np.percentile(values, 25)),
+        p75=float(np.percentile(values, 75)),
+        p99=float(np.percentile(values, 99)),
+        minimum=float(np.min(values)),
+        maximum=float(np.max(values)),
+    )
+
+
+def relative_change(baseline: float, value: float) -> float:
+    """(value - baseline) / baseline; raises on zero baseline."""
+    if baseline == 0:
+        raise ValueError("baseline must be non-zero")
+    return (value - baseline) / baseline

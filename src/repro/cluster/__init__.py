@@ -1,0 +1,38 @@
+"""repro.cluster — discrete-time cluster simulation.
+
+Ties workload demand models to the hardware testbed: the
+:class:`ClusterEngine` resolves contention each tick and advances
+deployments; :mod:`repro.cluster.scenario` generates the randomized
+one-hour deployment scenarios of §V-B1; :class:`Trace` records the
+metric time series and per-deployment outcomes consumed by the Fig. 6
+correlation analysis, the Predictor datasets and the §VI-B evaluation.
+"""
+
+from repro.cluster.deployment import Deployment, DeploymentRecord, DeploymentState
+from repro.cluster.engine import CapacityError, ClusterEngine
+from repro.cluster.fleet import ClusterFleet, FleetDecision, LeastLoadedPlacement
+from repro.cluster.scenario import (
+    Arrival,
+    ScenarioConfig,
+    default_pool,
+    generate_arrivals,
+    run_scenario,
+)
+from repro.cluster.trace import Trace
+
+__all__ = [
+    "Arrival",
+    "CapacityError",
+    "ClusterEngine",
+    "ClusterFleet",
+    "Deployment",
+    "FleetDecision",
+    "LeastLoadedPlacement",
+    "DeploymentRecord",
+    "DeploymentState",
+    "ScenarioConfig",
+    "Trace",
+    "default_pool",
+    "generate_arrivals",
+    "run_scenario",
+]

@@ -1,0 +1,157 @@
+"""Discrete-time cluster engine.
+
+Advances the testbed in fixed ticks (1 s by default, matching the
+Watcher's sampling period).  Each tick:
+
+1. aggregate the demand of all running deployments,
+2. resolve shared-resource contention on the testbed,
+3. advance every deployment under the resolved pressure,
+4. sample the perf counters into the trace.
+
+Contention is resolved from the demands at the *start* of the tick —
+the standard explicit-update scheme for analytic interference models.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.cluster.deployment import Deployment
+from repro.cluster.trace import Trace
+from repro.hardware.testbed import SystemPressure, Testbed
+from repro.workloads.base import MemoryMode, WorkloadProfile
+
+__all__ = ["ClusterEngine", "CapacityError"]
+
+
+class CapacityError(RuntimeError):
+    """A deployment does not fit in the requested memory pool."""
+
+
+class ClusterEngine:
+    """Single-node disaggregated cluster simulator."""
+
+    def __init__(
+        self,
+        testbed: Testbed | None = None,
+        dt: float = 1.0,
+    ) -> None:
+        if dt <= 0:
+            raise ValueError("dt must be positive")
+        self.testbed = testbed if testbed is not None else Testbed()
+        self.dt = dt
+        self.now = 0.0
+        self.deployments: list[Deployment] = []
+        self.trace = Trace(dt=dt)
+        self._next_app_id = 0
+        #: Hook invoked with each finished deployment's record.
+        self.on_finish: Callable | None = None
+
+    # -- deployment -------------------------------------------------------
+    @property
+    def running(self) -> list[Deployment]:
+        return [d for d in self.deployments if d.running]
+
+    def used_capacity_gb(self, mode: MemoryMode) -> float:
+        """Memory currently committed in the given pool."""
+        if mode is MemoryMode.LOCAL:
+            return sum(d.profile.footprint_gb for d in self.running
+                       if d.mode is MemoryMode.LOCAL)
+        return sum(d.profile.footprint_gb for d in self.running
+                   if d.mode is MemoryMode.REMOTE)
+
+    def fits(self, profile: WorkloadProfile, mode: MemoryMode) -> bool:
+        node = self.testbed.config.node
+        capacity = node.dram_gb if mode is MemoryMode.LOCAL else node.remote_gb
+        return self.used_capacity_gb(mode) + profile.footprint_gb <= capacity
+
+    def deploy(
+        self,
+        profile: WorkloadProfile,
+        mode: MemoryMode,
+        duration_s: float | None = None,
+    ) -> Deployment:
+        """Place a workload; raises :class:`CapacityError` if it cannot fit."""
+        if not self.fits(profile, mode):
+            raise CapacityError(
+                f"{profile.name} ({profile.footprint_gb} GB) does not fit in "
+                f"{mode.value} memory"
+            )
+        deployment = Deployment(
+            app_id=self._next_app_id,
+            profile=profile,
+            mode=mode,
+            arrival_time=self.now,
+            duration_s=duration_s,
+        )
+        self._next_app_id += 1
+        self.deployments.append(deployment)
+        return deployment
+
+    # -- simulation ---------------------------------------------------------
+    def current_pressure(self) -> SystemPressure:
+        """Pressure the testbed is under right now."""
+        demands = [d.demand() for d in self.running]
+        return self.testbed.resolve(demands)
+
+    def pressure_with(
+        self, profile: WorkloadProfile, mode: MemoryMode
+    ) -> SystemPressure:
+        """Hypothetical pressure if ``profile`` were added in ``mode``.
+
+        Used by the Orchestrator and by the isolated-performance
+        estimators of the characterization drivers.
+        """
+        demands = [d.demand() for d in self.running]
+        demands.append(profile.demand(mode))
+        return self.testbed.resolve(demands)
+
+    def tick(self) -> SystemPressure:
+        """Advance the simulation by one step."""
+        pressure = self.current_pressure()
+        self.now += self.dt
+        for deployment in self.running:
+            deployment.advance(self.now, self.dt, pressure)
+            if not deployment.running:
+                record = deployment.record()
+                self.trace.add_record(record)
+                if self.on_finish is not None:
+                    self.on_finish(record)
+        self.trace.append(
+            self.now, self.testbed.sample_counters(pressure), len(self.running)
+        )
+        return pressure
+
+    def run_for(self, seconds: float) -> None:
+        """Run the clock forward by ``seconds``."""
+        if seconds < 0:
+            raise ValueError("cannot run backwards")
+        end = self.now + seconds
+        while self.now < end - 1e-9:
+            self.tick()
+
+    def run_until_idle(self, max_seconds: float = 86400.0) -> None:
+        """Run until every deployment has finished (drain phase)."""
+        waited = 0.0
+        while self.running and waited < max_seconds:
+            self.tick()
+            waited += self.dt
+        if self.running:
+            raise RuntimeError(
+                f"{len(self.running)} deployments still running after "
+                f"{max_seconds} s drain"
+            )
+
+    # -- measurement helpers -------------------------------------------------
+    def measure_isolated(
+        self, profile: WorkloadProfile, mode: MemoryMode
+    ) -> float:
+        """Run ``profile`` alone on a fresh engine; return its performance.
+
+        Best-effort profiles return runtime in seconds, latency-critical
+        ones their p99 in ms (the paper's two performance metrics).
+        """
+        engine = ClusterEngine(testbed=Testbed(self.testbed.config), dt=self.dt)
+        engine.deploy(profile, mode)
+        engine.run_until_idle()
+        return engine.trace.records[-1].performance

@@ -1,0 +1,172 @@
+"""Multi-node fleet: the paper's §VII scalability sketch, implemented.
+
+The ThymesisFlow prototype limits the paper's evaluation to a single
+borrower node, but §VII argues that Adrias scales out: Watchers and
+Predictors run per node while the orchestration logic is centralized
+and "adjusted in a straightforward manner to account for cluster-level
+efficiency in case of iso-QoS predictions between different nodes".
+
+:class:`ClusterFleet` realizes that design: N independent
+borrower/lender node pairs, each simulated by its own
+:class:`ClusterEngine`, advanced in lockstep.  A fleet-level scheduler
+picks *(node, mode)* per arrival; :class:`LeastLoadedPlacement`
+implements the iso-QoS tie-break the paper suggests (route to the node
+whose predicted/observed pressure is lowest).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+import numpy as np
+
+from repro.cluster.deployment import Deployment, DeploymentRecord
+from repro.cluster.engine import CapacityError, ClusterEngine
+from repro.hardware.config import TestbedConfig
+from repro.hardware.testbed import Testbed
+from repro.workloads.base import MemoryMode, WorkloadProfile
+
+__all__ = ["ClusterFleet", "LeastLoadedPlacement", "FleetDecision"]
+
+
+@dataclass(frozen=True)
+class FleetDecision:
+    """A fleet-level placement: which node, which memory pool."""
+
+    node_index: int
+    mode: MemoryMode
+
+
+#: A fleet scheduler maps (profile, fleet) -> FleetDecision.
+FleetScheduler = Callable[[WorkloadProfile, "ClusterFleet"], FleetDecision]
+
+
+class ClusterFleet:
+    """N disaggregated nodes advanced in lockstep."""
+
+    def __init__(
+        self,
+        n_nodes: int = 2,
+        testbed_config: TestbedConfig | None = None,
+        dt: float = 1.0,
+    ) -> None:
+        if n_nodes <= 0:
+            raise ValueError("n_nodes must be positive")
+        config = testbed_config if testbed_config is not None else TestbedConfig()
+        self.engines = [
+            ClusterEngine(testbed=Testbed(config), dt=dt) for _ in range(n_nodes)
+        ]
+        self.dt = dt
+
+    @property
+    def n_nodes(self) -> int:
+        return len(self.engines)
+
+    @property
+    def now(self) -> float:
+        return self.engines[0].now
+
+    # -- placement ---------------------------------------------------------
+    def deploy(
+        self,
+        profile: WorkloadProfile,
+        decision: FleetDecision,
+        duration_s: float | None = None,
+    ) -> Deployment:
+        if not 0 <= decision.node_index < self.n_nodes:
+            raise ValueError(
+                f"node index {decision.node_index} out of range "
+                f"[0, {self.n_nodes})"
+            )
+        return self.engines[decision.node_index].deploy(
+            profile, decision.mode, duration_s=duration_s
+        )
+
+    def deploy_anywhere(
+        self,
+        profile: WorkloadProfile,
+        mode: MemoryMode,
+        duration_s: float | None = None,
+    ) -> Deployment:
+        """Place on the first node with capacity; raise if none fits."""
+        for engine in self.engines:
+            if engine.fits(profile, mode):
+                return engine.deploy(profile, mode, duration_s=duration_s)
+        raise CapacityError(
+            f"{profile.name} does not fit in {mode.value} memory on any node"
+        )
+
+    # -- simulation ----------------------------------------------------------
+    def tick(self) -> None:
+        for engine in self.engines:
+            engine.tick()
+
+    def run_for(self, seconds: float) -> None:
+        if seconds < 0:
+            raise ValueError("cannot run backwards")
+        end = self.now + seconds
+        while self.now < end - 1e-9:
+            self.tick()
+
+    def run_until_idle(self, max_seconds: float = 86400.0) -> None:
+        waited = 0.0
+        while any(engine.running for engine in self.engines):
+            if waited >= max_seconds:
+                raise RuntimeError("fleet did not drain in time")
+            self.tick()
+            waited += self.dt
+
+    # -- queries -----------------------------------------------------------
+    def records(self) -> list[DeploymentRecord]:
+        out: list[DeploymentRecord] = []
+        for engine in self.engines:
+            out.extend(engine.trace.records)
+        return out
+
+    def node_load(self, node_index: int) -> float:
+        """Scalar load estimate for the iso-QoS tie-break.
+
+        Combines CPU utilization, LLC occupancy and link utilization —
+        the three pressure axes the characterization identified as
+        performance-relevant.
+        """
+        pressure = self.engines[node_index].current_pressure()
+        return (
+            pressure.cpu_utilization
+            + pressure.llc.occupancy
+            + pressure.link.utilization
+        )
+
+    def least_loaded_node(self) -> int:
+        loads = [self.node_load(i) for i in range(self.n_nodes)]
+        return int(np.argmin(loads))
+
+
+class LeastLoadedPlacement:
+    """Fleet scheduler: per-node mode policy + least-loaded node choice.
+
+    ``mode_policy`` is any single-node policy (e.g.
+    :class:`repro.orchestrator.AdriasPolicy`); the fleet layer selects
+    the target node first (cluster-level efficiency), then asks the
+    policy to pick the memory mode against that node's state.
+    """
+
+    def __init__(self, mode_policy) -> None:
+        self.mode_policy = mode_policy
+
+    def __call__(
+        self, profile: WorkloadProfile, fleet: ClusterFleet
+    ) -> FleetDecision:
+        node = fleet.least_loaded_node()
+        mode = self.mode_policy.decide(profile, fleet.engines[node])
+        if not fleet.engines[node].fits(profile, mode):
+            # Fall back across nodes, then across pools.
+            for index in range(fleet.n_nodes):
+                if fleet.engines[index].fits(profile, mode):
+                    return FleetDecision(index, mode)
+            for index in range(fleet.n_nodes):
+                if fleet.engines[index].fits(profile, mode.other):
+                    return FleetDecision(index, mode.other)
+            raise CapacityError(f"{profile.name} fits nowhere in the fleet")
+        return FleetDecision(node, mode)

@@ -1,0 +1,161 @@
+"""Random deployment scenarios (§V-B1).
+
+The trace-collection procedure of the paper: within each random
+inter-arrival interval, pick a random benchmark from the examined
+applications or the iBench pool and deploy it randomly on local or
+remote memory.  Spawn-interval sets range from {5, 20} (congested) to
+{5, 60} (relaxed); 72 diverse one-hour scenarios form the training
+corpus.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Sequence
+
+import numpy as np
+
+from repro.cluster.engine import CapacityError, ClusterEngine
+from repro.cluster.trace import Trace
+from repro.hardware.config import TestbedConfig
+from repro.hardware.testbed import Testbed
+from repro.workloads.base import MemoryMode, WorkloadProfile
+from repro.workloads.ibench import IBENCH
+from repro.workloads.memcached import MEMCACHED
+from repro.workloads.redis import REDIS
+from repro.workloads.spark import SPARK_BENCHMARKS
+
+__all__ = ["ScenarioConfig", "Arrival", "generate_arrivals", "run_scenario", "default_pool"]
+
+#: A scheduler maps (profile, engine) -> memory mode at arrival time.
+Scheduler = Callable[[WorkloadProfile, ClusterEngine], MemoryMode]
+
+
+def default_pool() -> list[WorkloadProfile]:
+    """The paper's deployment pool: Spark + Redis + Memcached + iBench.
+
+    iBench kinds appear once each; the scenario generator draws
+    uniformly, which gives interference microbenchmarks the same
+    per-draw probability as any one application — replicating the
+    "supplementary interference scenarios" role they play in §V-B1.
+    """
+    pool: list[WorkloadProfile] = list(SPARK_BENCHMARKS.values())
+    pool.append(REDIS)
+    pool.append(MEMCACHED)
+    pool.extend(IBENCH.values())
+    return pool
+
+
+@dataclass(frozen=True)
+class ScenarioConfig:
+    """One randomized deployment scenario."""
+
+    #: Total scenario duration in seconds (1 hour in the paper).
+    duration_s: float = 3600.0
+    #: Inter-arrival interval bounds in seconds, e.g. (5, 40) means each
+    #: new application arrives after a Uniform(5, 40) delay.
+    spawn_interval: tuple[float, float] = (5.0, 40.0)
+    seed: int = 0
+    #: Wall-clock duration bounds for iBench trashers.  Long-lived
+    #: trashers create the sustained interference phases visible in the
+    #: paper's Fig. 8 traces.
+    interference_duration: tuple[float, float] = (120.0, 600.0)
+    #: Drain the cluster after the last arrival so every record is
+    #: complete (adds simulated time but no new arrivals).
+    drain: bool = True
+
+    def __post_init__(self) -> None:
+        if self.duration_s <= 0:
+            raise ValueError("duration_s must be positive")
+        low, high = self.spawn_interval
+        if not 0 < low <= high:
+            raise ValueError("spawn_interval must satisfy 0 < low <= high")
+        ilow, ihigh = self.interference_duration
+        if not 0 < ilow <= ihigh:
+            raise ValueError("interference_duration must satisfy 0 < low <= high")
+
+
+@dataclass(frozen=True)
+class Arrival:
+    """One scheduled arrival of the scenario."""
+
+    time: float
+    profile: WorkloadProfile
+    #: Mode chosen by the generator; ``None`` defers to the scheduler.
+    mode: MemoryMode | None = None
+    duration_s: float | None = None
+
+
+def generate_arrivals(
+    config: ScenarioConfig,
+    pool: Sequence[WorkloadProfile] | None = None,
+    random_modes: bool = True,
+) -> list[Arrival]:
+    """Draw the arrival sequence for one scenario."""
+    pool = list(pool) if pool is not None else default_pool()
+    if not pool:
+        raise ValueError("workload pool is empty")
+    rng = np.random.default_rng(config.seed)
+    low, high = config.spawn_interval
+    arrivals: list[Arrival] = []
+    t = float(rng.uniform(low, high))
+    while t < config.duration_s:
+        profile = pool[int(rng.integers(len(pool)))]
+        mode = (
+            MemoryMode.REMOTE if rng.random() < 0.5 else MemoryMode.LOCAL
+        ) if random_modes else None
+        duration = None
+        if profile.kind.value == "ibench":
+            ilow, ihigh = config.interference_duration
+            duration = float(rng.uniform(ilow, ihigh))
+        arrivals.append(Arrival(time=t, profile=profile, mode=mode, duration_s=duration))
+        t += float(rng.uniform(low, high))
+    return arrivals
+
+
+def run_scenario(
+    config: ScenarioConfig,
+    scheduler: Scheduler | None = None,
+    pool: Sequence[WorkloadProfile] | None = None,
+    testbed_config: TestbedConfig | None = None,
+    engine: ClusterEngine | None = None,
+) -> Trace:
+    """Simulate one scenario end to end and return its trace.
+
+    When ``scheduler`` is given it overrides the generator's random mode
+    choice — this is how the orchestration evaluation replays identical
+    arrival sequences under different scheduling policies (§VI-B).
+    Deployments that do not fit the chosen pool fall back to the other
+    pool; if neither fits the arrival is dropped (real orchestrators
+    would queue, but the paper's scenarios never exhaust 1.2 TB).
+    """
+    if engine is None:
+        testbed = Testbed(testbed_config) if testbed_config else Testbed(
+            TestbedConfig(seed=config.seed)
+        )
+        engine = ClusterEngine(testbed=testbed)
+    arrivals = generate_arrivals(config, pool=pool, random_modes=scheduler is None)
+
+    for arrival in arrivals:
+        # Advance the clock to the arrival instant.
+        gap = arrival.time - engine.now
+        if gap > 0:
+            engine.run_for(gap)
+        if scheduler is not None:
+            mode = scheduler(arrival.profile, engine)
+        else:
+            mode = arrival.mode if arrival.mode is not None else MemoryMode.LOCAL
+        try:
+            engine.deploy(arrival.profile, mode, duration_s=arrival.duration_s)
+        except CapacityError:
+            try:
+                engine.deploy(arrival.profile, mode.other, duration_s=arrival.duration_s)
+            except CapacityError:
+                continue  # drop: both pools exhausted
+
+    remaining = config.duration_s - engine.now
+    if remaining > 0:
+        engine.run_for(remaining)
+    if config.drain:
+        engine.run_until_idle()
+    return engine.trace

@@ -1,0 +1,72 @@
+"""repro.experiments — one driver per paper table/figure.
+
+Every module exposes ``run(...)`` returning a structured result object
+with a ``format()`` method that prints the same rows/series the paper
+reports.  See DESIGN.md §3 for the experiment-to-module index.
+
+Modules
+-------
+- ``fig02_link_saturation`` — Fig. 2 (R1-R3)
+- ``fig03_spark_isolation`` — Fig. 3 (R4, BE)
+- ``fig04_lc_isolation`` — Fig. 4 (R4, LC)
+- ``fig05_interference_heatmap`` — Fig. 5 (R5-R7)
+- ``fig06_correlation`` — Fig. 6 (R8)
+- ``fig08_scenarios`` — Fig. 8 (scenario phases)
+- ``fig09_10_distributions`` — Figs. 9-10 (distributions)
+- ``table1_system_state`` — Table I + Fig. 12
+- ``fig13_be_accuracy`` — Fig. 13a-d (BE accuracy + stacking ablation)
+- ``fig14_lc_accuracy`` — Fig. 14 (LC accuracy)
+- ``fig15_generalization`` — Fig. 15a/b (leave-one-out, sample scaling)
+- ``fig16_be_orchestration`` — Fig. 16 (β comparison vs baselines)
+- ``fig17_lc_orchestration`` — Fig. 17 (QoS violations/offloads)
+- ``traffic_reduction`` — §VI-B traffic accounting
+- ``ablations`` — DESIGN.md §5 extra ablations
+"""
+
+from repro.experiments import (
+    ablations,
+    fig02_link_saturation,
+    fig03_spark_isolation,
+    fig04_lc_isolation,
+    fig05_interference_heatmap,
+    fig06_correlation,
+    fig08_scenarios,
+    fig09_10_distributions,
+    fig13_be_accuracy,
+    fig14_lc_accuracy,
+    fig15_generalization,
+    fig16_be_orchestration,
+    fig17_lc_orchestration,
+    table1_system_state,
+    traffic_reduction,
+)
+from repro.experiments.common import (
+    DEFAULT,
+    PAPER,
+    QUICK,
+    ExperimentScale,
+    scale_from_env,
+)
+
+__all__ = [
+    "DEFAULT",
+    "ExperimentScale",
+    "PAPER",
+    "QUICK",
+    "ablations",
+    "fig02_link_saturation",
+    "fig03_spark_isolation",
+    "fig04_lc_isolation",
+    "fig05_interference_heatmap",
+    "fig06_correlation",
+    "fig08_scenarios",
+    "fig09_10_distributions",
+    "fig13_be_accuracy",
+    "fig14_lc_accuracy",
+    "fig15_generalization",
+    "fig16_be_orchestration",
+    "fig17_lc_orchestration",
+    "scale_from_env",
+    "table1_system_state",
+    "traffic_reduction",
+]

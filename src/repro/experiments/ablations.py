@@ -1,0 +1,209 @@
+"""Ablation studies beyond the paper's own figures.
+
+DESIGN.md §5 lists the design decisions worth ablating:
+
+* history/horizon window length (the paper fixes r = z = 120 s);
+* model capacity (LSTM hidden width);
+* β granularity (fine-grained offload/performance trade-off curve);
+* link capacity (what-if the ThymesisFlow channel were faster).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.experiments.common import (
+    ExperimentScale,
+    eval_scenario_configs,
+    get_predictor,
+    get_traces,
+    scale_from_env,
+)
+from repro.hardware.config import LinkConfig, TestbedConfig
+from repro.models.dataset import build_system_state_dataset
+from repro.models.features import FeatureConfig
+from repro.models.system_state import SystemStatePredictor
+from repro.orchestrator.evaluation import compare_policies
+from repro.orchestrator.policies import AdriasPolicy, AllLocalPolicy
+from repro.workloads.base import MemoryMode, WorkloadKind
+from repro.workloads.spark import spark_profile
+
+__all__ = [
+    "window_ablation",
+    "capacity_ablation",
+    "recurrent_cell_ablation",
+    "beta_sweep",
+    "link_capacity_whatif",
+]
+
+
+def _system_state_r2(
+    traces, config: FeatureConfig, epochs: int, seed: int = 3
+) -> float:
+    dataset = build_system_state_dataset(list(traces), config, stride_s=20.0)
+    n = len(dataset)
+    rng = np.random.default_rng(seed)
+    order = rng.permutation(n)
+    split = int(0.6 * n)
+    predictor = SystemStatePredictor(feature_config=config, seed=seed)
+    predictor.fit(
+        dataset.windows[order[:split]], dataset.targets[order[:split]], epochs=epochs
+    )
+    scores = predictor.evaluate(
+        dataset.windows[order[split:]], dataset.targets[order[split:]]
+    )
+    return scores["average"]
+
+
+def window_ablation(
+    scale: ExperimentScale | None = None,
+    windows_s: tuple[float, ...] = (30.0, 60.0, 120.0, 240.0),
+) -> dict[float, float]:
+    """System-state accuracy vs history window length r.
+
+    The horizon z stays fixed at the paper's 120 s so every variant
+    solves the *same* forecasting task; only the amount of context
+    changes.  (Varying z too would conflate task difficulty with
+    context value — shorter horizons are intrinsically easier.)
+    """
+    scale = scale if scale is not None else scale_from_env()
+    traces = get_traces(scale)
+    results = {}
+    for window in windows_s:
+        config = FeatureConfig(history_s=window, horizon_s=120.0)
+        results[window] = _system_state_r2(traces, config, scale.epochs_system)
+    return results
+
+
+def capacity_ablation(
+    scale: ExperimentScale | None = None,
+    hidden_sizes: tuple[int, ...] = (8, 16, 32, 64),
+) -> dict[int, float]:
+    """System-state accuracy vs LSTM hidden width."""
+    scale = scale if scale is not None else scale_from_env()
+    traces = get_traces(scale)
+    config = FeatureConfig()
+    dataset = build_system_state_dataset(list(traces), config, stride_s=20.0)
+    n = len(dataset)
+    order = np.random.default_rng(3).permutation(n)
+    split = int(0.6 * n)
+    results = {}
+    for hidden in hidden_sizes:
+        predictor = SystemStatePredictor(
+            feature_config=config, lstm_hidden=hidden, seed=3
+        )
+        predictor.fit(
+            dataset.windows[order[:split]],
+            dataset.targets[order[:split]],
+            epochs=scale.epochs_system,
+        )
+        scores = predictor.evaluate(
+            dataset.windows[order[split:]], dataset.targets[order[split:]]
+        )
+        results[hidden] = scores["average"]
+    return results
+
+
+def recurrent_cell_ablation(
+    scale: ExperimentScale | None = None,
+    cells: tuple[str, ...] = ("lstm", "gru"),
+) -> dict[str, dict[str, float]]:
+    """LSTM vs GRU backbone for the system-state model.
+
+    Returns per-cell ``{"r2": ..., "parameters": ...}`` — accuracy next
+    to model size, the trade the architecture choice actually makes.
+    """
+    scale = scale if scale is not None else scale_from_env()
+    traces = get_traces(scale)
+    config = FeatureConfig()
+    dataset = build_system_state_dataset(list(traces), config, stride_s=20.0)
+    n = len(dataset)
+    order = np.random.default_rng(3).permutation(n)
+    split = int(0.6 * n)
+    results: dict[str, dict[str, float]] = {}
+    for cell in cells:
+        predictor = SystemStatePredictor(feature_config=config, cell=cell, seed=3)
+        predictor.fit(
+            dataset.windows[order[:split]],
+            dataset.targets[order[:split]],
+            epochs=scale.epochs_system,
+        )
+        scores = predictor.evaluate(
+            dataset.windows[order[split:]], dataset.targets[order[split:]]
+        )
+        results[cell] = {
+            "r2": scores["average"],
+            "parameters": float(predictor.model.num_parameters()),
+        }
+    return results
+
+
+@dataclass(frozen=True)
+class BetaPoint:
+    beta: float
+    offload_fraction: float
+    median_drop: float
+
+
+def beta_sweep(
+    scale: ExperimentScale | None = None,
+    betas: tuple[float, ...] = (1.0, 0.95, 0.9, 0.85, 0.8, 0.75, 0.7, 0.65),
+) -> list[BetaPoint]:
+    """Fine-grained offload/performance trade-off curve."""
+    scale = scale if scale is not None else scale_from_env()
+    predictor = get_predictor(scale)
+    policies = {"all-local": AllLocalPolicy()}
+    for beta in betas:
+        policies[f"adrias-{beta:g}"] = AdriasPolicy(
+            predictor, beta=beta, default_qos_ms=6.0
+        )
+    results = compare_policies(policies, eval_scenario_configs(scale))
+    base = results["all-local"]
+    base_medians = {
+        name: base.median_performance(name)
+        for name in base.benchmark_names(WorkloadKind.BEST_EFFORT)
+    }
+    points = []
+    for beta in betas:
+        result = results[f"adrias-{beta:g}"]
+        drops = []
+        for name, base_median in base_medians.items():
+            median = result.median_performance(name)
+            if not np.isnan(median) and base_median > 0:
+                drops.append(median / base_median - 1.0)
+        points.append(
+            BetaPoint(
+                beta=beta,
+                offload_fraction=result.offload_fraction(WorkloadKind.BEST_EFFORT),
+                median_drop=float(np.mean(drops)) if drops else float("nan"),
+            )
+        )
+    return points
+
+
+def link_capacity_whatif(
+    capacities_gbps: tuple[float, ...] = (2.5, 10.0, 40.0),
+    benchmark: str = "nweight",
+    n_trashers: int = 8,
+) -> dict[float, float]:
+    """Isolated+interfered remote slowdown vs hypothetical link capacity.
+
+    Shows how much of the remote-memory penalty is the 2.5 Gbps cap:
+    with a faster channel the same interference hurts far less.
+    """
+    from repro.analysis.characterization import interference_slowdown
+
+    profile = spark_profile(benchmark)
+    results = {}
+    for capacity in capacities_gbps:
+        config = TestbedConfig(link=LinkConfig(capacity_gbps=capacity))
+        remote = interference_slowdown(
+            profile, "memBw", n_trashers, MemoryMode.REMOTE, config
+        )
+        local = interference_slowdown(
+            profile, "memBw", n_trashers, MemoryMode.LOCAL, config
+        )
+        results[capacity] = remote / local
+    return results

@@ -1,0 +1,176 @@
+"""Shared infrastructure for the per-figure experiment drivers.
+
+Experiments run at one of three scales:
+
+* ``quick`` — CI-sized: a handful of short scenarios, few epochs.
+* ``default`` — workstation-sized: matches the tuning used throughout
+  development; all headline shapes hold at this scale.
+* ``paper`` — the paper's own scale (72 one-hour scenarios); hours of
+  simulated time, for final EXPERIMENTS.md numbers.
+
+Expensive artifacts (traces, signatures, trained predictors, datasets)
+are cached per scale within the process so a full benchmark run trains
+each model once.  Select the scale for benchmark runs with the
+``ADRIAS_SCALE`` environment variable.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass
+from functools import lru_cache
+
+from repro.cluster.scenario import ScenarioConfig
+from repro.cluster.trace import Trace
+from repro.models.dataset import (
+    PerformanceDataset,
+    SystemStateDataset,
+    build_performance_dataset,
+    build_system_state_dataset,
+)
+from repro.models.features import FeatureConfig
+from repro.models.predictor import Predictor
+from repro.models.signatures import SignatureLibrary
+from repro.orchestrator.orchestrator import TrainingBudget, train_predictor
+from repro.workloads.base import WorkloadKind
+from repro.workloads.registry import be_profiles, lc_profiles
+
+__all__ = [
+    "ExperimentScale",
+    "QUICK",
+    "DEFAULT",
+    "PAPER",
+    "scale_from_env",
+    "get_traces",
+    "get_signatures",
+    "get_predictor",
+    "get_be_dataset",
+    "get_lc_dataset",
+    "get_system_state_dataset",
+    "eval_scenario_configs",
+]
+
+
+@dataclass(frozen=True)
+class ExperimentScale:
+    """Effort preset shared by all experiments."""
+
+    name: str
+    n_scenarios: int
+    scenario_duration_s: float
+    epochs_system: int
+    epochs_performance: int
+    n_eval_scenarios: int
+    eval_duration_s: float
+    seed: int = 0
+
+    def budget(self) -> TrainingBudget:
+        return TrainingBudget(
+            n_scenarios=self.n_scenarios,
+            scenario_duration_s=self.scenario_duration_s,
+            epochs_system=self.epochs_system,
+            epochs_performance=self.epochs_performance,
+            seed=self.seed,
+        )
+
+
+QUICK = ExperimentScale(
+    name="quick",
+    n_scenarios=6,
+    scenario_duration_s=1200.0,
+    epochs_system=25,
+    epochs_performance=30,
+    n_eval_scenarios=2,
+    eval_duration_s=900.0,
+)
+
+DEFAULT = ExperimentScale(
+    name="default",
+    n_scenarios=14,
+    scenario_duration_s=1800.0,
+    epochs_system=45,
+    epochs_performance=60,
+    n_eval_scenarios=4,
+    eval_duration_s=1500.0,
+)
+
+PAPER = ExperimentScale(
+    name="paper",
+    n_scenarios=72,
+    scenario_duration_s=3600.0,
+    epochs_system=60,
+    epochs_performance=80,
+    n_eval_scenarios=10,
+    eval_duration_s=3600.0,
+)
+
+_SCALES = {s.name: s for s in (QUICK, DEFAULT, PAPER)}
+
+
+def scale_from_env(default: str = "quick") -> ExperimentScale:
+    """Resolve the experiment scale from ``ADRIAS_SCALE``."""
+    name = os.environ.get("ADRIAS_SCALE", default).lower()
+    try:
+        return _SCALES[name]
+    except KeyError:
+        raise ValueError(
+            f"ADRIAS_SCALE={name!r} unknown; choose from {sorted(_SCALES)}"
+        ) from None
+
+
+# -- cached artifacts ---------------------------------------------------------
+
+@lru_cache(maxsize=4)
+def get_traces(scale: ExperimentScale) -> tuple[Trace, ...]:
+    """Offline-phase traces for the scale (cached; treat as read-only)."""
+    from repro.orchestrator.orchestrator import collect_traces
+
+    return tuple(collect_traces(scale.budget()))
+
+
+@lru_cache(maxsize=2)
+def get_signatures(config: FeatureConfig | None = None) -> SignatureLibrary:
+    library = SignatureLibrary(feature_config=config)
+    library.capture_all(list(be_profiles().values()))
+    library.capture_all(list(lc_profiles().values()))
+    return library
+
+
+@lru_cache(maxsize=4)
+def get_predictor(scale: ExperimentScale) -> Predictor:
+    return train_predictor(
+        budget=scale.budget(),
+        traces=list(get_traces(scale)),
+        signatures=get_signatures(),
+    )
+
+
+@lru_cache(maxsize=4)
+def get_be_dataset(scale: ExperimentScale) -> PerformanceDataset:
+    return build_performance_dataset(
+        list(get_traces(scale)), get_signatures(), WorkloadKind.BEST_EFFORT
+    )
+
+
+@lru_cache(maxsize=4)
+def get_lc_dataset(scale: ExperimentScale) -> PerformanceDataset:
+    return build_performance_dataset(
+        list(get_traces(scale)), get_signatures(), WorkloadKind.LATENCY_CRITICAL
+    )
+
+
+@lru_cache(maxsize=4)
+def get_system_state_dataset(scale: ExperimentScale) -> SystemStateDataset:
+    return build_system_state_dataset(list(get_traces(scale)), stride_s=15.0)
+
+
+def eval_scenario_configs(scale: ExperimentScale) -> list[ScenarioConfig]:
+    """Held-out scenarios for orchestration replay (never used in training)."""
+    return [
+        ScenarioConfig(
+            duration_s=scale.eval_duration_s,
+            spawn_interval=(5.0, 40.0),
+            seed=10_000 + scale.seed + i,
+        )
+        for i in range(scale.n_eval_scenarios)
+    ]

@@ -1,0 +1,60 @@
+"""Experiment Fig. 2 — limits of HW memory disaggregation.
+
+Spawns 1-32 memory-bandwidth trashers against remote memory and reports
+link throughput, channel latency and local-hierarchy counters.  Expected
+shape (remarks R1-R3): delivered throughput caps at ~2.5 Gbps; latency
+holds ~350 cycles through 4 trashers and plateaus near 900 cycles from 8
+onwards; local memory counters rise with remote traffic.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.analysis.characterization import SaturationPoint, link_saturation_sweep
+from repro.analysis.reporting import format_table
+
+__all__ = ["Fig2Result", "run"]
+
+COUNTS: tuple[int, ...] = (1, 2, 4, 8, 16, 32)
+
+
+@dataclass(frozen=True)
+class Fig2Result:
+    points: list[SaturationPoint]
+
+    @property
+    def throughput_cap_gbps(self) -> float:
+        return max(p.delivered_gbps for p in self.points)
+
+    @property
+    def base_latency_cycles(self) -> float:
+        return self.points[0].latency_cycles
+
+    @property
+    def saturated_latency_cycles(self) -> float:
+        return self.points[-1].latency_cycles
+
+    def format(self) -> str:
+        rows = [
+            (
+                p.n_microbenchmarks,
+                f"{p.offered_gbps:.2f}",
+                f"{p.delivered_gbps:.2f}",
+                f"{p.latency_cycles:.0f}",
+                f"{p.backpressure:.2f}",
+                f"{p.counters.mem_loads:.3e}",
+                f"{p.counters.rmt_tx_flits:.3e}",
+            )
+            for p in self.points
+        ]
+        return format_table(
+            ["#memBw", "offered Gbps", "delivered Gbps", "latency cyc",
+             "backpressure", "MEM_ld/s", "RMT_tx flits/s"],
+            rows,
+            title="Fig. 2 — ThymesisFlow link saturation sweep",
+        )
+
+
+def run(counts: tuple[int, ...] = COUNTS) -> Fig2Result:
+    return Fig2Result(points=link_saturation_sweep(counts))

@@ -1,0 +1,52 @@
+"""Experiment Fig. 3 — Spark local vs remote runtime in isolation.
+
+Expected shape (remark R4): ~20-25% average remote degradation, highly
+non-uniform — nweight/lr suffer ~2x while gmm/pca lose <10%.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.analysis.characterization import isolation_comparison
+from repro.analysis.reporting import format_table
+from repro.workloads.spark import SPARK_BENCHMARKS
+
+__all__ = ["Fig3Result", "run"]
+
+
+@dataclass(frozen=True)
+class Fig3Result:
+    results: dict[str, dict[str, float]]
+
+    @property
+    def mean_degradation(self) -> float:
+        return float(np.mean([r["ratio"] for r in self.results.values()])) - 1.0
+
+    def ratio(self, name: str) -> float:
+        return self.results[name]["ratio"]
+
+    def format(self) -> str:
+        rows = [
+            (
+                name,
+                f"{r['local']:.1f}",
+                f"{r['remote']:.1f}",
+                f"{r['ratio']:.2f}x",
+            )
+            for name, r in sorted(
+                self.results.items(), key=lambda kv: -kv[1]["ratio"]
+            )
+        ]
+        rows.append(("MEAN", "", "", f"{self.mean_degradation * 100:.1f}%"))
+        return format_table(
+            ["benchmark", "local s", "remote s", "remote/local"],
+            rows,
+            title="Fig. 3 — Spark isolated runtime, local vs remote memory",
+        )
+
+
+def run() -> Fig3Result:
+    return Fig3Result(results=isolation_comparison(list(SPARK_BENCHMARKS.values())))

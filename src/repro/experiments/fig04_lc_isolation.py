@@ -1,0 +1,71 @@
+"""Experiment Fig. 4 — Redis/Memcached tail latency in isolation.
+
+Expected shape (remark R4): local and remote memory produce almost
+identical tail-latency curves at every client count, because in-memory
+caches issue many small accesses with minimal bandwidth pressure.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.analysis.characterization import lc_client_sweep
+from repro.analysis.reporting import format_table
+from repro.workloads.loadgen import LatencySample
+from repro.workloads.memcached import MEMCACHED
+from repro.workloads.redis import REDIS, LCProfile
+
+__all__ = ["Fig4Result", "run"]
+
+CLIENT_COUNTS: tuple[int, ...] = (100, 200, 400, 800, 1200)
+
+
+@dataclass(frozen=True)
+class Fig4Result:
+    sweeps: dict[str, dict[str, list[LatencySample]]]  # app -> mode -> samples
+    client_counts: tuple[int, ...]
+
+    def max_mode_gap(self, app: str) -> float:
+        """Largest relative p99 gap between local and remote curves."""
+        local = self.sweeps[app]["local"]
+        remote = self.sweeps[app]["remote"]
+        return max(
+            abs(r.p99_ms - l.p99_ms) / l.p99_ms
+            for l, r in zip(local, remote)
+        )
+
+    def format(self) -> str:
+        rows = []
+        for app, modes in self.sweeps.items():
+            for clients, local, remote in zip(
+                self.client_counts, modes["local"], modes["remote"]
+            ):
+                rows.append(
+                    (
+                        app,
+                        clients,
+                        f"{local.p99_ms:.2f}",
+                        f"{remote.p99_ms:.2f}",
+                        f"{local.p999_ms:.2f}",
+                        f"{remote.p999_ms:.2f}",
+                    )
+                )
+        return format_table(
+            ["app", "clients", "p99 local ms", "p99 remote ms",
+             "p99.9 local ms", "p99.9 remote ms"],
+            rows,
+            title="Fig. 4 — LC tail latency vs clients, local vs remote",
+        )
+
+
+def run(
+    profiles: tuple[LCProfile, ...] = (REDIS, MEMCACHED),
+    client_counts: tuple[int, ...] = CLIENT_COUNTS,
+) -> Fig4Result:
+    return Fig4Result(
+        sweeps={
+            profile.name: lc_client_sweep(profile, client_counts)
+            for profile in profiles
+        },
+        client_counts=client_counts,
+    )

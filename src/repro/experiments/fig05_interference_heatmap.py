@@ -1,0 +1,74 @@
+"""Experiment Fig. 5 — relative impact of interference, local vs remote.
+
+For each application and each interference kind (cpu, l2, l3, memBw),
+deploy the application with 1-16 co-located trashers in both memory
+modes and report the remote/local slowdown ratio.  Expected shape
+(remarks R5-R7): ratios near 1 at low interference; past the channel's
+saturation point (l3 >= 16, memBw >= 8) the remote deployment suffers up
+to ~4x additional slowdown; stacking benchmarks (nweight, sort, kmeans)
+show elevated ratios even under cpu/l2 trashing.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.analysis.characterization import interference_heatmap
+from repro.analysis.reporting import format_table
+from repro.workloads.base import WorkloadProfile
+from repro.workloads.memcached import MEMCACHED
+from repro.workloads.redis import REDIS
+from repro.workloads.spark import spark_profile
+
+__all__ = ["Fig5Result", "run", "DEFAULT_APPS"]
+
+COUNTS: tuple[int, ...] = (1, 2, 4, 8, 16)
+
+#: Representative subset: the two stacking extremes, two mild apps and
+#: both LC applications (running all 19 apps x 4 kinds x 5 counts x 2
+#: modes is available via ``run(apps=...)``).
+DEFAULT_APPS: tuple[str, ...] = ("nweight", "sort", "gmm", "lr", "redis", "memcached")
+
+
+@dataclass(frozen=True)
+class Fig5Result:
+    #: app -> kind -> count -> remote/local slowdown ratio
+    heatmaps: dict[str, dict[str, dict[int, float]]]
+
+    def ratio(self, app: str, kind: str, count: int) -> float:
+        return self.heatmaps[app][kind][count]
+
+    def format(self) -> str:
+        rows = []
+        for app, heatmap in self.heatmaps.items():
+            for kind, row in heatmap.items():
+                rows.append(
+                    (app, kind)
+                    + tuple(f"{row[c]:.2f}" for c in sorted(row))
+                )
+        counts = sorted(next(iter(next(iter(self.heatmaps.values())).values())))
+        return format_table(
+            ["app", "interference"] + [f"x{c}" for c in counts],
+            rows,
+            title="Fig. 5 — remote/local slowdown ratio under interference",
+        )
+
+
+def _resolve(name: str) -> WorkloadProfile:
+    if name == "redis":
+        return REDIS
+    if name == "memcached":
+        return MEMCACHED
+    return spark_profile(name)
+
+
+def run(
+    apps: tuple[str, ...] = DEFAULT_APPS,
+    counts: tuple[int, ...] = COUNTS,
+) -> Fig5Result:
+    return Fig5Result(
+        heatmaps={
+            name: interference_heatmap(_resolve(name), counts)
+            for name in apps
+        }
+    )

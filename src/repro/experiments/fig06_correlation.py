@@ -1,0 +1,60 @@
+"""Experiment Fig. 6 — affinity of system and workload metrics.
+
+Correlates the mean system metrics 120 s prior to scheduling (τ) and
+during execution (ℓ) with the measured application performance over the
+random co-location scenarios.  Expected shape (remark R8): a clear
+correlation exists, and the during-execution correlations are stronger
+than the historical ones — the basis of predictive monitoring.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.analysis.correlation import CorrelationResult, metric_performance_correlation
+from repro.analysis.reporting import format_table
+from repro.experiments.common import ExperimentScale, get_traces, scale_from_env
+from repro.workloads.base import WorkloadKind
+
+__all__ = ["Fig6Result", "run"]
+
+
+@dataclass(frozen=True)
+class Fig6Result:
+    be: CorrelationResult
+    lc: CorrelationResult
+
+    def format(self) -> str:
+        rows = []
+        for label, result in (("BE", self.be), ("LC", self.lc)):
+            for metric in result.prior:
+                rows.append(
+                    (
+                        label,
+                        metric,
+                        f"{result.prior[metric]:+.3f}",
+                        f"{result.during[metric]:+.3f}",
+                    )
+                )
+            rows.append(
+                (
+                    label,
+                    "MEAN |r|",
+                    f"{result.mean_abs_prior():.3f}",
+                    f"{result.mean_abs_during():.3f}",
+                )
+            )
+        return format_table(
+            ["class", "metric", "r (120 s prior)", "r (during exec)"],
+            rows,
+            title="Fig. 6 — Pearson correlation of metrics with performance",
+        )
+
+
+def run(scale: ExperimentScale | None = None) -> Fig6Result:
+    scale = scale if scale is not None else scale_from_env()
+    traces = list(get_traces(scale))
+    return Fig6Result(
+        be=metric_performance_correlation(traces, WorkloadKind.BEST_EFFORT),
+        lc=metric_performance_correlation(traces, WorkloadKind.LATENCY_CRITICAL),
+    )

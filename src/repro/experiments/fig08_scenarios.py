@@ -1,0 +1,104 @@
+"""Experiment Fig. 8 — scenario congestion phases.
+
+Simulates three representative scenarios — heavy {5,20}, moderate
+{5,40} and relaxed {5,60} — and summarizes the number of concurrent
+applications and the spread of the monitored metrics over time.
+Expected shape: heavier spawn intervals sustain more concurrent
+applications and higher/wider metric ranges, and each scenario exposes
+multiple distinct congestion phases.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.analysis.reporting import format_table
+from repro.cluster.scenario import ScenarioConfig, run_scenario
+from repro.cluster.trace import Trace
+
+__all__ = ["ScenarioSummary", "Fig8Result", "run"]
+
+SPAWN_SETS: tuple[tuple[float, float], ...] = ((5, 20), (5, 40), (5, 60))
+
+
+@dataclass(frozen=True)
+class ScenarioSummary:
+    spawn_interval: tuple[float, float]
+    max_concurrent: int
+    mean_concurrent: float
+    mem_loads_mean: float
+    mem_loads_std: float
+    link_latency_mean: float
+
+    @classmethod
+    def from_trace(
+        cls, trace: Trace, spawn_interval: tuple[float, float]
+    ) -> "ScenarioSummary":
+        mem_loads = trace.metric("mem_loads")
+        return cls(
+            spawn_interval=spawn_interval,
+            max_concurrent=max(trace.concurrency),
+            mean_concurrent=float(np.mean(trace.concurrency)),
+            mem_loads_mean=float(mem_loads.mean()),
+            mem_loads_std=float(mem_loads.std()),
+            link_latency_mean=float(trace.metric("link_latency").mean()),
+        )
+
+
+@dataclass(frozen=True)
+class Fig8Result:
+    summaries: list[ScenarioSummary]
+    traces: list[Trace]
+
+    def format(self) -> str:
+        rows = [
+            (
+                f"{{{s.spawn_interval[0]:.0f},{s.spawn_interval[1]:.0f}}}",
+                s.max_concurrent,
+                f"{s.mean_concurrent:.1f}",
+                f"{s.mem_loads_mean:.3e}",
+                f"{s.mem_loads_std:.3e}",
+                f"{s.link_latency_mean:.0f}",
+            )
+            for s in self.summaries
+        ]
+        return format_table(
+            ["spawn set", "max conc.", "mean conc.", "MEM_ld mean",
+             "MEM_ld std", "link lat cyc"],
+            rows,
+            title="Fig. 8 — concurrency and metric phases per scenario",
+        )
+
+    def plot(self) -> str:
+        """ASCII rendering of the concurrency time series (Fig. 8 top)."""
+        from repro.analysis.plotting import ascii_timeseries
+
+        panels = []
+        for summary, trace in zip(self.summaries, self.traces):
+            low, high = summary.spawn_interval
+            panels.append(ascii_timeseries(
+                np.asarray(trace.concurrency, dtype=float),
+                title=f"concurrent applications — spawn {{{low:.0f},{high:.0f}}}",
+                y_label="time ->",
+            ))
+        return "\n\n".join(panels)
+
+
+def run(
+    duration_s: float = 3600.0,
+    spawn_sets: tuple[tuple[float, float], ...] = SPAWN_SETS,
+    seed: int = 42,
+) -> Fig8Result:
+    summaries = []
+    traces = []
+    for i, spawn in enumerate(spawn_sets):
+        trace = run_scenario(
+            ScenarioConfig(
+                duration_s=duration_s, spawn_interval=spawn, seed=seed + i
+            )
+        )
+        traces.append(trace)
+        summaries.append(ScenarioSummary.from_trace(trace, spawn))
+    return Fig8Result(summaries=summaries, traces=traces)

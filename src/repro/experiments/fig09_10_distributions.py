@@ -1,0 +1,108 @@
+"""Experiments Fig. 9 / Fig. 10 — performance distributions over scenarios.
+
+Aggregates per-benchmark performance distributions, split by memory
+mode, over the randomized trace-collection scenarios.  Expected shapes:
+
+* Fig. 9 (Spark): remote distributions shifted towards higher runtimes;
+  some benchmarks (gmm) overlap between modes, others (nweight) are
+  clearly separated.
+* Fig. 10 (Redis/Memcached): remote yields higher response times but
+  with overlapping distributions, so relaxed QoS targets leave room for
+  offloading.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.analysis.reporting import format_table
+from repro.analysis.stats import DistributionSummary, summarize
+from repro.cluster.trace import Trace
+from repro.experiments.common import ExperimentScale, get_traces, scale_from_env
+from repro.workloads.base import MemoryMode, WorkloadKind
+
+__all__ = ["ModeDistributions", "DistributionResult", "run"]
+
+
+@dataclass(frozen=True)
+class ModeDistributions:
+    """Local/remote performance summaries for one benchmark."""
+
+    name: str
+    local: DistributionSummary
+    remote: DistributionSummary
+
+    @property
+    def median_shift(self) -> float:
+        """Relative shift of the remote median over the local one."""
+        return self.remote.median / self.local.median - 1.0
+
+    @property
+    def overlapping(self) -> bool:
+        """Do the interquartile ranges of the two modes overlap?"""
+        return self.remote.p25 <= self.local.p75 and self.local.p25 <= self.remote.p75
+
+
+@dataclass(frozen=True)
+class DistributionResult:
+    kind: WorkloadKind
+    distributions: dict[str, ModeDistributions]
+
+    def format(self) -> str:
+        unit = "ms (p99)" if self.kind is WorkloadKind.LATENCY_CRITICAL else "s"
+        rows = [
+            (
+                d.name,
+                f"{d.local.median:.1f}",
+                f"{d.remote.median:.1f}",
+                f"{d.median_shift * 100:+.1f}%",
+                "yes" if d.overlapping else "no",
+            )
+            for d in sorted(
+                self.distributions.values(), key=lambda d: -d.median_shift
+            )
+        ]
+        fig = "Fig. 10" if self.kind is WorkloadKind.LATENCY_CRITICAL else "Fig. 9"
+        return format_table(
+            ["benchmark", f"local median {unit}", f"remote median {unit}",
+             "median shift", "IQR overlap"],
+            rows,
+            title=f"{fig} — performance distributions across scenarios",
+        )
+
+
+def _collect(
+    traces: list[Trace], kind: WorkloadKind
+) -> dict[str, ModeDistributions]:
+    by_key: dict[tuple[str, MemoryMode], list[float]] = {}
+    for trace in traces:
+        for record in trace.records_of_kind(kind):
+            by_key.setdefault((record.name, record.mode), []).append(
+                record.performance
+            )
+    names = sorted({name for name, _ in by_key})
+    out = {}
+    for name in names:
+        local = by_key.get((name, MemoryMode.LOCAL), [])
+        remote = by_key.get((name, MemoryMode.REMOTE), [])
+        if len(local) < 2 or len(remote) < 2:
+            continue
+        out[name] = ModeDistributions(
+            name=name,
+            local=summarize(np.asarray(local)),
+            remote=summarize(np.asarray(remote)),
+        )
+    return out
+
+
+def run(
+    kind: WorkloadKind = WorkloadKind.BEST_EFFORT,
+    scale: ExperimentScale | None = None,
+) -> DistributionResult:
+    scale = scale if scale is not None else scale_from_env()
+    return DistributionResult(
+        kind=kind,
+        distributions=_collect(list(get_traces(scale)), kind),
+    )

@@ -1,0 +1,205 @@
+"""Experiment Fig. 13 — BE performance-model accuracy.
+
+Part (a): train/test with the oracle future state (actual metrics over
+the 120 s horizon) and report overall/per-mode R² — paper: 0.942
+average, 0.945 local / 0.939 remote.
+
+Part (b): the stacked-model ablation.  Each {train, test} pair names the
+Ŝ source used in the respective phase: ``none`` (no future input),
+``120`` (actual metrics over the 120 s horizon), ``exec`` (actual
+metrics over the full execution) or ``pred`` (propagated from the
+trained system-state model).  Expected ordering: {exec,exec} best,
+{120,120} close, the practical {120,pred}/{pred,pred} a few percent
+below, {none,none} worst — demonstrating the value of predictive
+monitoring.
+
+Parts (c)/(d): per-benchmark MAE and residuals with the practical
+configuration.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.analysis.reporting import format_table
+from repro.experiments.common import (
+    ExperimentScale,
+    get_be_dataset,
+    get_predictor,
+    scale_from_env,
+)
+from repro.models.dataset import PerformanceDataset
+from repro.models.performance import PerformancePredictor
+from repro.nn.metrics import mae
+
+__all__ = ["Fig13Result", "AblationEntry", "run", "run_ablation", "FUTURE_VARIANTS"]
+
+FUTURE_VARIANTS: tuple[str, ...] = ("none", "120", "exec", "pred")
+
+
+def _future_of(
+    variant: str,
+    dataset: PerformanceDataset,
+    predicted: np.ndarray | None,
+) -> np.ndarray | None:
+    if variant == "none":
+        return None
+    if variant == "120":
+        return dataset.future_120
+    if variant == "exec":
+        return dataset.future_exec
+    if variant == "pred":
+        if predicted is None:
+            raise ValueError("predicted futures required for the 'pred' variant")
+        return predicted
+    raise ValueError(f"unknown future variant {variant!r}")
+
+
+@dataclass(frozen=True)
+class AblationEntry:
+    train_variant: str
+    test_variant: str
+    r2: float
+
+
+@dataclass(frozen=True)
+class Fig13Result:
+    oracle_metrics: dict[str, float]             # part (a)
+    ablation: list[AblationEntry]                # part (b)
+    mae_per_benchmark: dict[str, float]          # part (c)
+    median_per_benchmark: dict[str, float]
+    actual: np.ndarray                           # part (d) residuals
+    predicted: np.ndarray
+
+    def ablation_r2(self, train: str, test: str) -> float:
+        for entry in self.ablation:
+            if entry.train_variant == train and entry.test_variant == test:
+                return entry.r2
+        raise KeyError(f"no ablation entry {{{train},{test}}}")
+
+    def relative_mae(self, name: str) -> float:
+        """MAE as a fraction of the benchmark's median performance."""
+        return self.mae_per_benchmark[name] / self.median_per_benchmark[name]
+
+    def format(self) -> str:
+        parts = [
+            format_table(
+                ["metric", "value"],
+                [(k, f"{v:.3f}") for k, v in self.oracle_metrics.items()],
+                title="Fig. 13a — BE model accuracy with oracle future state",
+            ),
+            format_table(
+                ["{train,test}", "R2"],
+                [
+                    (f"{{{e.train_variant},{e.test_variant}}}", f"{e.r2:.3f}")
+                    for e in self.ablation
+                ],
+                title="Fig. 13b — stacked-model ablation",
+            ),
+            format_table(
+                ["benchmark", "MAE s", "median s", "MAE/median"],
+                [
+                    (
+                        name,
+                        f"{self.mae_per_benchmark[name]:.1f}",
+                        f"{self.median_per_benchmark[name]:.1f}",
+                        f"{self.relative_mae(name) * 100:.1f}%",
+                    )
+                    for name in sorted(self.mae_per_benchmark)
+                ],
+                title="Fig. 13c — per-benchmark MAE ({120,pred} configuration)",
+            ),
+        ]
+        return "\n\n".join(parts)
+
+
+def _train_eval(
+    train: PerformanceDataset,
+    test: PerformanceDataset,
+    train_future: np.ndarray | None,
+    test_future: np.ndarray | None,
+    epochs: int,
+    seed: int,
+) -> tuple[PerformancePredictor, dict[str, float], np.ndarray]:
+    predictor = PerformancePredictor(use_future=train_future is not None, seed=seed)
+    predictor.fit(
+        train.state, train.signature, train.mode, train_future, train.targets,
+        epochs=epochs,
+    )
+    metrics = predictor.evaluate(
+        test.state, test.signature, test.mode, test_future, test.targets
+    )
+    predictions = predictor.predict(
+        test.state, test.signature, test.mode, test_future
+    )
+    return predictor, metrics, predictions
+
+
+def run(scale: ExperimentScale | None = None, seed: int = 11) -> Fig13Result:
+    scale = scale if scale is not None else scale_from_env()
+    dataset = get_be_dataset(scale)
+    train, test = dataset.split(test_fraction=0.4, seed=seed)
+
+    # Part (a): oracle future ({120,120}).
+    _, oracle_metrics, _ = _train_eval(
+        train, test, train.future_120, test.future_120,
+        scale.epochs_performance, seed,
+    )
+
+    # Propagated system-state predictions for the 'pred' variants.
+    system_state = get_predictor(scale).system_state
+    train_pred = system_state.predict(train.state)
+    test_pred = system_state.predict(test.state)
+
+    ablation_pairs = [
+        ("none", "none"),
+        ("120", "120"),
+        ("exec", "exec"),
+        ("120", "pred"),
+        ("pred", "pred"),
+    ]
+    ablation: list[AblationEntry] = []
+    practical: tuple[np.ndarray, np.ndarray] | None = None
+    for train_variant, test_variant in ablation_pairs:
+        if (train_variant, test_variant) == ("120", "120"):
+            r2 = oracle_metrics["r2"]  # already computed
+            ablation.append(AblationEntry(train_variant, test_variant, r2))
+            continue
+        train_future = _future_of(train_variant, train, train_pred)
+        test_future = _future_of(test_variant, test, test_pred)
+        _, metrics, predictions = _train_eval(
+            train, test, train_future, test_future,
+            scale.epochs_performance, seed,
+        )
+        ablation.append(
+            AblationEntry(train_variant, test_variant, metrics["r2"])
+        )
+        if (train_variant, test_variant) == ("120", "pred"):
+            practical = (test.targets, predictions)
+
+    assert practical is not None
+    actual, predicted = practical
+    mae_per, median_per = {}, {}
+    names = np.asarray(test.names)
+    for name in sorted(set(test.names)):
+        mask = names == name
+        if mask.sum() < 2:
+            continue
+        mae_per[name] = mae(actual[mask], predicted[mask])
+        median_per[name] = float(np.median(actual[mask]))
+
+    return Fig13Result(
+        oracle_metrics=oracle_metrics,
+        ablation=ablation,
+        mae_per_benchmark=mae_per,
+        median_per_benchmark=median_per,
+        actual=actual,
+        predicted=predicted,
+    )
+
+
+def run_ablation(scale: ExperimentScale | None = None) -> list[AblationEntry]:
+    """Convenience wrapper returning only the Fig. 13b entries."""
+    return run(scale).ablation

@@ -1,0 +1,103 @@
+"""Experiment Fig. 16 — orchestration impact on BE applications.
+
+Replays held-out arrival sequences under Random, Round-Robin, All-Local
+and Adrias with β ∈ {1.0, 0.9, 0.8, 0.7, 0.6}, reporting per-benchmark
+runtime distributions and local/remote placement counts.
+
+Expected shape (§VI-B): naive schedulers yield the worst distributions;
+high β is indistinguishable from All-Local; intermediate β offloads a
+meaningful fraction (paper: ~10% at β=0.8, ~35% at β=0.7) with a small
+median degradation (0.5% / 15%); low β over-offloads and collapses.
+The exact β at which each offload level is reached shifts slightly with
+the simulated testbed's remote-slowdown distribution.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.analysis.reporting import format_table
+from repro.experiments.common import (
+    ExperimentScale,
+    eval_scenario_configs,
+    get_predictor,
+    scale_from_env,
+)
+from repro.orchestrator.evaluation import PolicyResult, compare_policies
+from repro.orchestrator.policies import (
+    AdriasPolicy,
+    AllLocalPolicy,
+    RandomPolicy,
+    RoundRobinPolicy,
+)
+from repro.workloads.base import WorkloadKind
+
+__all__ = ["Fig16Result", "run", "BETAS"]
+
+BETAS: tuple[float, ...] = (1.0, 0.9, 0.8, 0.7, 0.6)
+
+#: Generous default QoS so that LC placement does not confound the BE
+#: comparison in this experiment.
+_LC_QOS_MS = 6.0
+
+
+@dataclass(frozen=True)
+class Fig16Result:
+    results: dict[str, PolicyResult]
+    baseline_name: str = "all-local"
+
+    def offload(self, policy: str) -> float:
+        return self.results[policy].offload_fraction(WorkloadKind.BEST_EFFORT)
+
+    def median_drop(self, policy: str) -> float:
+        """Mean relative change of per-benchmark medians vs All-Local."""
+        base = self.results[self.baseline_name]
+        target = self.results[policy]
+        drops = []
+        for name in base.benchmark_names(WorkloadKind.BEST_EFFORT):
+            base_median = base.median_performance(name)
+            target_median = target.median_performance(name)
+            if np.isnan(base_median) or np.isnan(target_median) or base_median == 0:
+                continue
+            drops.append(target_median / base_median - 1.0)
+        return float(np.mean(drops)) if drops else float("nan")
+
+    def placement_counts(self, policy: str, name: str) -> tuple[int, int]:
+        return self.results[policy].placement_counts(name)
+
+    def format(self) -> str:
+        rows = [
+            (
+                policy,
+                f"{self.offload(policy) * 100:.1f}%",
+                f"{self.median_drop(policy) * 100:+.1f}%",
+                f"{self.results[policy].total_link_traffic_gb():.1f}",
+            )
+            for policy in self.results
+        ]
+        return format_table(
+            ["policy", "BE offload", "median drop vs all-local", "link GB"],
+            rows,
+            title="Fig. 16 — BE orchestration comparison",
+        )
+
+
+def run(
+    scale: ExperimentScale | None = None,
+    betas: tuple[float, ...] = BETAS,
+) -> Fig16Result:
+    scale = scale if scale is not None else scale_from_env()
+    predictor = get_predictor(scale)
+    policies = {
+        "random": RandomPolicy(seed=scale.seed + 1),
+        "round-robin": RoundRobinPolicy(),
+        "all-local": AllLocalPolicy(),
+    }
+    for beta in betas:
+        policies[f"adrias-{beta:g}"] = AdriasPolicy(
+            predictor, beta=beta, default_qos_ms=_LC_QOS_MS
+        )
+    results = compare_policies(policies, eval_scenario_configs(scale))
+    return Fig16Result(results=results)

@@ -1,0 +1,129 @@
+"""Experiment Fig. 17 — QoS-aware orchestration of LC applications.
+
+Defines five QoS levels per LC application (from loose to strict,
+derived from the Fig. 10 p99 distributions) and counts QoS violations
+and offloads for Adrias vs the baselines.
+
+Expected shape (§VI-B): Adrias introduces almost no violations at loose
+QoS levels while offloading roughly a third of LC deployments; at
+strict levels it converges to All-Local with a small violation excess;
+Random/Round-Robin violate far more at every level.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.analysis.reporting import format_table
+from repro.experiments.common import (
+    ExperimentScale,
+    eval_scenario_configs,
+    get_predictor,
+    get_traces,
+    scale_from_env,
+)
+from repro.orchestrator.evaluation import compare_policies, qos_violations
+from repro.orchestrator.policies import (
+    AdriasPolicy,
+    AllLocalPolicy,
+    RandomPolicy,
+    RoundRobinPolicy,
+)
+from repro.workloads.base import WorkloadKind
+from repro.workloads.registry import lc_profiles
+
+__all__ = ["Fig17Result", "run", "derive_qos_levels"]
+
+N_LEVELS = 5
+
+
+def derive_qos_levels(
+    scale: ExperimentScale, n_levels: int = N_LEVELS
+) -> dict[str, list[float]]:
+    """Five QoS levels per LC app from the observed p99 distribution.
+
+    Level 0 (loosest) is the ~95th percentile of observed p99s, the
+    strictest sits near the median — mirroring how the paper derives its
+    QoS levels from Fig. 10.
+    """
+    samples: dict[str, list[float]] = {name: [] for name in lc_profiles()}
+    for trace in get_traces(scale):
+        for record in trace.records_of_kind(WorkloadKind.LATENCY_CRITICAL):
+            samples[record.name].append(record.p99_ms)
+    levels: dict[str, list[float]] = {}
+    quantiles = np.linspace(95, 55, n_levels)
+    for name, values in samples.items():
+        if len(values) < 5:
+            raise ValueError(f"too few {name} samples to derive QoS levels")
+        levels[name] = [float(np.percentile(values, q)) for q in quantiles]
+    return levels
+
+
+@dataclass(frozen=True)
+class Fig17Result:
+    #: level index -> policy -> per-app {violations, offloads, total}
+    by_level: dict[int, dict[str, dict[str, dict[str, int]]]]
+    qos_levels: dict[str, list[float]]
+
+    def violations(self, level: int, policy: str, app: str) -> int:
+        return self.by_level[level][policy][app]["violations"]
+
+    def offloads(self, level: int, policy: str, app: str) -> int:
+        return self.by_level[level][policy][app]["offloads"]
+
+    def total(self, level: int, policy: str, app: str) -> int:
+        return self.by_level[level][policy][app]["total"]
+
+    def format(self) -> str:
+        rows = []
+        for level, policies in self.by_level.items():
+            for policy, apps in policies.items():
+                for app, counts in apps.items():
+                    rows.append(
+                        (
+                            level,
+                            policy,
+                            app,
+                            f"{self.qos_levels[app][level]:.2f}",
+                            counts["violations"],
+                            counts["offloads"],
+                            counts["total"],
+                        )
+                    )
+        return format_table(
+            ["QoS level", "policy", "app", "QoS p99 ms",
+             "violations", "offloads", "total"],
+            rows,
+            title="Fig. 17 — LC QoS violations and offloads",
+        )
+
+
+def run(
+    scale: ExperimentScale | None = None,
+    levels: tuple[int, ...] = tuple(range(N_LEVELS)),
+) -> Fig17Result:
+    scale = scale if scale is not None else scale_from_env()
+    predictor = get_predictor(scale)
+    qos_levels = derive_qos_levels(scale)
+    configs = eval_scenario_configs(scale)
+
+    # Baselines are QoS-independent: replay them once.
+    baseline_policies = {
+        "random": RandomPolicy(seed=scale.seed + 2),
+        "round-robin": RoundRobinPolicy(),
+        "all-local": AllLocalPolicy(),
+    }
+    baseline_results = compare_policies(baseline_policies, configs)
+
+    by_level: dict[int, dict[str, dict[str, dict[str, int]]]] = {}
+    for level in levels:
+        qos = {name: values[level] for name, values in qos_levels.items()}
+        adrias = AdriasPolicy(predictor, beta=0.9, qos_p99_ms=qos)
+        adrias_result = compare_policies({"adrias": adrias}, configs)["adrias"]
+        level_summary: dict[str, dict[str, dict[str, int]]] = {}
+        for policy_name, result in {**baseline_results, "adrias": adrias_result}.items():
+            level_summary[policy_name] = qos_violations(result, qos)
+        by_level[level] = level_summary
+    return Fig17Result(by_level=by_level, qos_levels=qos_levels)

@@ -1,0 +1,102 @@
+"""Experiment §VI-B (last paragraph) — Adrias' impact on data traffic.
+
+Quantifies the data transmitted over the FPGA interconnection under
+each policy.  Expected shape: at comparable offload counts, Adrias
+generates substantially less channel traffic than Random/Round-Robin
+(paper: 45% less than Random at β=0.8, 23% less than Round-Robin at
+β=0.7, up to 55% less at matched offload counts), because it favors
+less memory-intensive applications for remote placement.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.analysis.reporting import format_table
+from repro.experiments.common import (
+    ExperimentScale,
+    eval_scenario_configs,
+    get_predictor,
+    scale_from_env,
+)
+from repro.orchestrator.evaluation import compare_policies
+from repro.orchestrator.policies import AdriasPolicy, RandomPolicy, RoundRobinPolicy
+from repro.workloads.base import WorkloadKind
+
+__all__ = ["TrafficResult", "run"]
+
+
+@dataclass(frozen=True)
+class TrafficEntry:
+    policy: str
+    offload_fraction: float
+    traffic_gb: float
+
+    def traffic_per_offload(self) -> float:
+        """Link traffic normalized by offload fraction (memory intensity
+        of what the policy chose to offload)."""
+        if self.offload_fraction == 0:
+            return 0.0
+        return self.traffic_gb / self.offload_fraction
+
+
+@dataclass(frozen=True)
+class TrafficResult:
+    entries: dict[str, TrafficEntry]
+
+    def reduction_vs(self, adrias: str, baseline: str) -> float:
+        """Relative traffic reduction of Adrias vs a baseline policy."""
+        base = self.entries[baseline].traffic_gb
+        if base == 0:
+            raise ValueError(f"baseline {baseline!r} generated no traffic")
+        return 1.0 - self.entries[adrias].traffic_gb / base
+
+    def intensity_reduction_vs(self, adrias: str, baseline: str) -> float:
+        """Traffic-per-offload reduction (the 'favors less memory-
+        intensive applications' effect)."""
+        base = self.entries[baseline].traffic_per_offload()
+        if base == 0:
+            raise ValueError(f"baseline {baseline!r} offloaded nothing")
+        return 1.0 - self.entries[adrias].traffic_per_offload() / base
+
+    def format(self) -> str:
+        rows = [
+            (
+                e.policy,
+                f"{e.offload_fraction * 100:.1f}%",
+                f"{e.traffic_gb:.1f}",
+                f"{e.traffic_per_offload():.1f}",
+            )
+            for e in self.entries.values()
+        ]
+        return format_table(
+            ["policy", "offload", "link traffic GB", "GB per offload unit"],
+            rows,
+            title="§VI-B — data traffic over the FPGA interconnection",
+        )
+
+
+def run(
+    scale: ExperimentScale | None = None,
+    betas: tuple[float, ...] = (0.8, 0.7),
+) -> TrafficResult:
+    scale = scale if scale is not None else scale_from_env()
+    predictor = get_predictor(scale)
+    policies = {
+        "random": RandomPolicy(seed=scale.seed + 3),
+        "round-robin": RoundRobinPolicy(),
+    }
+    for beta in betas:
+        policies[f"adrias-{beta:g}"] = AdriasPolicy(
+            predictor, beta=beta, default_qos_ms=6.0
+        )
+    results = compare_policies(policies, eval_scenario_configs(scale))
+    entries = {
+        name: TrafficEntry(
+            policy=name,
+            offload_fraction=result.offload_fraction(),
+            traffic_gb=result.total_link_traffic_gb(),
+        )
+        for name, result in results.items()
+    }
+    return TrafficResult(entries=entries)

@@ -1,0 +1,33 @@
+"""repro.hardware — analytic ThymesisFlow disaggregated-memory testbed.
+
+Simulates the two-node IBM POWER9 + OpenCAPI FPGA prototype of §III:
+shared cores, L2/LLC capacity contention, local DRAM bus queueing and a
+remote-memory link with bounded throughput (~2.5 Gbps, R1), two-regime
+latency (350 → 900 cycles, R2) and back-pressure.  Perf-counter samples
+for the Watcher's seven events are synthesized from the resolved state.
+"""
+
+from repro.hardware.cache import CacheState, SharedCache
+from repro.hardware.config import LinkConfig, NodeConfig, TestbedConfig
+from repro.hardware.counters import METRIC_NAMES, CounterSynthesizer, PerfCounters
+from repro.hardware.link import LinkState, ThymesisFlowLink
+from repro.hardware.memory import LocalMemory, MemoryState
+from repro.hardware.testbed import ResourceDemand, SystemPressure, Testbed
+
+__all__ = [
+    "CacheState",
+    "CounterSynthesizer",
+    "LinkConfig",
+    "LinkState",
+    "LocalMemory",
+    "METRIC_NAMES",
+    "MemoryState",
+    "NodeConfig",
+    "PerfCounters",
+    "ResourceDemand",
+    "SharedCache",
+    "SystemPressure",
+    "Testbed",
+    "TestbedConfig",
+    "ThymesisFlowLink",
+]

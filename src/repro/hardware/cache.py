@@ -1,0 +1,81 @@
+"""Last-level cache and L2 contention models.
+
+The characterization (remark R6) found LLC contention to be the single
+most damaging interference source for most Spark applications: trashed
+LLC lines become consecutive misses, which become memory-bandwidth
+pressure.  We model the LLC as a shared capacity whose over-subscription
+inflates every tenant's miss rate in proportion to how much of its
+working set no longer fits.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["CacheState", "SharedCache"]
+
+
+@dataclass(frozen=True)
+class CacheState:
+    """Resolved cache pressure for one tick."""
+
+    demanded_mb: float
+    capacity_mb: float
+    occupancy: float        # demanded / capacity, can exceed 1
+    miss_inflation: float   # >= 0, extra miss-rate multiplier component
+
+    @property
+    def oversubscribed(self) -> bool:
+        return self.occupancy > 1.0
+
+
+class SharedCache:
+    """Capacity-contention model for a shared cache level.
+
+    ``miss_inflation`` grows linearly with over-subscription: when the
+    aggregate working set is twice the capacity, a fully cache-sensitive
+    tenant sees its miss rate roughly double.  Below capacity there is a
+    mild ramp starting at ``pressure_floor`` occupancy, because way
+    conflicts start before full occupancy.
+    """
+
+    def __init__(
+        self,
+        capacity_mb: float,
+        pressure_floor: float = 0.7,
+        inflation_slope: float = 1.0,
+        max_inflation: float = 2.5,
+    ) -> None:
+        if capacity_mb <= 0:
+            raise ValueError("capacity must be positive")
+        if not 0 <= pressure_floor < 1:
+            raise ValueError("pressure_floor must be in [0, 1)")
+        if inflation_slope <= 0:
+            raise ValueError("inflation_slope must be positive")
+        if max_inflation <= 0:
+            raise ValueError("max_inflation must be positive")
+        self.capacity_mb = capacity_mb
+        self.pressure_floor = pressure_floor
+        self.inflation_slope = inflation_slope
+        #: Physical ceiling: a miss rate cannot exceed 100%, so the
+        #: inflation a tenant can suffer saturates no matter how many
+        #: trashers pile on.
+        self.max_inflation = max_inflation
+
+    def resolve(self, demanded_mb: float) -> CacheState:
+        if demanded_mb < 0:
+            raise ValueError("demanded working set cannot be negative")
+        occupancy = demanded_mb / self.capacity_mb
+        if occupancy <= self.pressure_floor:
+            inflation = 0.0
+        else:
+            inflation = min(
+                self.max_inflation,
+                self.inflation_slope * (occupancy - self.pressure_floor),
+            )
+        return CacheState(
+            demanded_mb=demanded_mb,
+            capacity_mb=self.capacity_mb,
+            occupancy=occupancy,
+            miss_inflation=inflation,
+        )

@@ -1,0 +1,96 @@
+"""Testbed configuration.
+
+Default values replicate the ThymesisFlow prototype of §III: two IBM
+AC922 POWER9 servers (2 sockets, 64 logical cores, 10 MB LLC per socket,
+1.2 TB DDR4-2666) connected back-to-back through Alpha Data 9V3 FPGAs
+over OpenCAPI, with a 100 Gbps cable whose *application-visible*
+throughput caps at ~2.5 Gbps (remark R1 of §IV-B).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = ["LinkConfig", "NodeConfig", "TestbedConfig"]
+
+
+@dataclass(frozen=True)
+class LinkConfig:
+    """ThymesisFlow FPGA-to-FPGA channel parameters (remarks R1/R2)."""
+
+    #: Application-visible throughput cap in Gbps.  The paper measures
+    #: ~2.5 Gbps regardless of offered load — three orders of magnitude
+    #: below conventional DDR4 (R1).
+    capacity_gbps: float = 2.5
+    #: Channel latency below saturation, in cycles (R2: ~350).
+    base_latency_cycles: float = 350.0
+    #: Latency plateau once the back-pressure mechanism engages (R2: ~900).
+    saturated_latency_cycles: float = 900.0
+    #: Offered-load / capacity ratio at which latency starts climbing.
+    #: The paper sees the knee between 4 and 8 memBw trashers.
+    saturation_knee: float = 0.95
+    #: Steepness of the latency transition (logistic in utilization).
+    saturation_sharpness: float = 12.0
+    #: Flit size of the OpenCAPI transport in bytes (§IV-B: 32 B flits).
+    flit_bytes: int = 32
+
+    def __post_init__(self) -> None:
+        if self.capacity_gbps <= 0:
+            raise ValueError("link capacity must be positive")
+        if self.base_latency_cycles <= 0:
+            raise ValueError("base latency must be positive")
+        if self.saturated_latency_cycles < self.base_latency_cycles:
+            raise ValueError("saturated latency must be >= base latency")
+        if not 0 < self.saturation_knee < 2:
+            raise ValueError("saturation knee must be in (0, 2)")
+        if self.flit_bytes <= 0:
+            raise ValueError("flit size must be positive")
+
+
+@dataclass(frozen=True)
+class NodeConfig:
+    """Borrower-node compute and memory-hierarchy parameters."""
+
+    #: Logical cores per server (2 sockets x 32 SMT threads on AC922).
+    logical_cores: int = 64
+    #: Aggregate last-level cache in MB (10 MB per socket x 2).
+    llc_mb: float = 20.0
+    #: Aggregate private L2 in MB.
+    l2_mb: float = 8.0
+    #: Local DRAM capacity in GB (1.2 TB on the prototype).
+    dram_gb: float = 1200.0
+    #: Sustained local DRAM bandwidth in Gbps (§IV-B cites ~120 Gbps
+    #: theoretical sustained for DDR4 systems).
+    dram_bw_gbps: float = 120.0
+    #: Local DRAM load latency in ns (§V-B1: ~80 ns local).
+    dram_latency_ns: float = 80.0
+    #: Remote (disaggregated) memory latency in ns (§V-B1: ~900 ns).
+    remote_latency_ns: float = 900.0
+    #: Remote memory capacity lent by the remote node, in GB.
+    remote_gb: float = 512.0
+
+    def __post_init__(self) -> None:
+        if self.logical_cores <= 0:
+            raise ValueError("logical_cores must be positive")
+        for name in ("llc_mb", "l2_mb", "dram_gb", "dram_bw_gbps", "remote_gb"):
+            if getattr(self, name) <= 0:
+                raise ValueError(f"{name} must be positive")
+        if self.remote_latency_ns < self.dram_latency_ns:
+            raise ValueError("remote latency must be >= local latency")
+
+
+@dataclass(frozen=True)
+class TestbedConfig:
+    """Full two-node disaggregated testbed (borrower + lender + link)."""
+
+    node: NodeConfig = field(default_factory=NodeConfig)
+    link: LinkConfig = field(default_factory=LinkConfig)
+    #: Relative amplitude of multiplicative measurement noise applied to
+    #: performance counters (real perf counters are never exact).
+    counter_noise: float = 0.02
+    #: Random seed for counter noise.
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if not 0 <= self.counter_noise < 1:
+            raise ValueError("counter_noise must be in [0, 1)")

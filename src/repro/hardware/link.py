@@ -1,0 +1,102 @@
+"""ThymesisFlow interconnect model.
+
+Encodes the three regimes measured in §IV-B on the real prototype:
+
+* **R1 — bounded throughput.** Delivered bandwidth saturates at
+  ``capacity_gbps`` (~2.5 Gbps) no matter the offered load.
+* **R2 — two-level latency.** Channel latency sits at ~350 cycles until
+  the channel saturates, then the FPGA back-pressure mechanism delays
+  transactions and latency plateaus at ~900 cycles.  The transition is a
+  logistic in offered-load/capacity.
+* **Back-pressure stretch.** Once offered load exceeds capacity, every
+  remote access is delayed proportionally (offered/delivered), which the
+  cluster engine turns into per-application slowdown.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.hardware.config import LinkConfig
+
+__all__ = ["LinkState", "ThymesisFlowLink"]
+
+
+@dataclass(frozen=True)
+class LinkState:
+    """Resolved channel state for one simulation tick."""
+
+    offered_gbps: float
+    delivered_gbps: float
+    utilization: float          # offered / capacity (can exceed 1)
+    latency_cycles: float
+    backpressure: float         # >= 1; offered / delivered stretch factor
+    base_latency_cycles: float = 350.0
+
+    @property
+    def saturated(self) -> bool:
+        return self.utilization >= 1.0
+
+    @property
+    def latency_ratio(self) -> float:
+        """Fractional latency increase over the unloaded channel (>= 0)."""
+        return max(0.0, self.latency_cycles / self.base_latency_cycles - 1.0)
+
+
+class ThymesisFlowLink:
+    """Analytic model of the FPGA-to-FPGA OpenCAPI channel."""
+
+    def __init__(self, config: LinkConfig | None = None) -> None:
+        self.config = config if config is not None else LinkConfig()
+
+    def resolve(self, offered_gbps: float) -> LinkState:
+        """Compute delivered throughput, latency and back-pressure.
+
+        Parameters
+        ----------
+        offered_gbps:
+            Aggregate remote-memory bandwidth demanded by all
+            applications currently in remote mode.
+        """
+        if offered_gbps < 0:
+            raise ValueError("offered bandwidth cannot be negative")
+        cfg = self.config
+        delivered = min(offered_gbps, cfg.capacity_gbps)
+        utilization = offered_gbps / cfg.capacity_gbps
+        latency = self.latency_at(utilization)
+        backpressure = 1.0 if delivered == 0 else max(1.0, offered_gbps / delivered)
+        return LinkState(
+            offered_gbps=offered_gbps,
+            delivered_gbps=delivered,
+            utilization=utilization,
+            latency_cycles=latency,
+            backpressure=backpressure,
+            base_latency_cycles=cfg.base_latency_cycles,
+        )
+
+    def latency_at(self, utilization: float) -> float:
+        """Two-regime latency: logistic ramp from base to saturated.
+
+        Below the knee the channel keeps up and latency is flat (R2);
+        past it the back-pressure FIFO delays transactions and latency
+        steps up to the plateau.
+        """
+        cfg = self.config
+        span = cfg.saturated_latency_cycles - cfg.base_latency_cycles
+        x = cfg.saturation_sharpness * (utilization - cfg.saturation_knee)
+        # Stable logistic.
+        if x >= 0:
+            ramp = 1.0 / (1.0 + np.exp(-x))
+        else:
+            ex = np.exp(x)
+            ramp = ex / (1.0 + ex)
+        return float(cfg.base_latency_cycles + span * ramp)
+
+    def flits(self, delivered_gbps: float, dt_s: float = 1.0) -> int:
+        """Number of 32-byte flits moved in ``dt_s`` seconds (one way)."""
+        if delivered_gbps < 0 or dt_s < 0:
+            raise ValueError("arguments must be non-negative")
+        bytes_moved = delivered_gbps * 1e9 / 8.0 * dt_s
+        return int(bytes_moved / self.config.flit_bytes)

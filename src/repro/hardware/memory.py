@@ -1,0 +1,79 @@
+"""Local DRAM bandwidth and capacity model.
+
+Local DDR4 sustains ~120 Gbps (§IV-B), so with realistic co-location it
+degrades gently — unlike the 2.5 Gbps remote channel which saturates
+almost immediately (remark R5: "remote memory gets saturated much more
+easily than local DRAM").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["MemoryState", "LocalMemory"]
+
+
+@dataclass(frozen=True)
+class MemoryState:
+    """Resolved local-DRAM state for one tick."""
+
+    demanded_gbps: float
+    delivered_gbps: float
+    utilization: float      # demanded / bandwidth
+    queuing_factor: float   # >= 1, access-time stretch from bus contention
+    used_gb: float
+    capacity_gb: float
+
+
+class LocalMemory:
+    """Bandwidth-contention model for the borrower node's DRAM.
+
+    Below ``contention_floor`` utilization accesses are unaffected; above
+    it, queueing stretches access time linearly up to full utilization
+    and proportionally to over-subscription beyond that.
+    """
+
+    def __init__(
+        self,
+        bandwidth_gbps: float,
+        capacity_gb: float,
+        contention_floor: float = 0.6,
+        queuing_slope: float = 1.5,
+        max_queuing: float = 4.0,
+    ) -> None:
+        if bandwidth_gbps <= 0 or capacity_gb <= 0:
+            raise ValueError("bandwidth and capacity must be positive")
+        if not 0 <= contention_floor < 1:
+            raise ValueError("contention_floor must be in [0, 1)")
+        if queuing_slope <= 0:
+            raise ValueError("queuing_slope must be positive")
+        if max_queuing < 1:
+            raise ValueError("max_queuing must be >= 1")
+        self.bandwidth_gbps = bandwidth_gbps
+        self.capacity_gb = capacity_gb
+        self.contention_floor = contention_floor
+        self.queuing_slope = queuing_slope
+        #: Access-time stretch ceiling: tenants throttle once the bus is
+        #: fully queued, so the stretch saturates in practice.
+        self.max_queuing = max_queuing
+
+    def resolve(self, demanded_gbps: float, used_gb: float = 0.0) -> MemoryState:
+        if demanded_gbps < 0 or used_gb < 0:
+            raise ValueError("demands cannot be negative")
+        utilization = demanded_gbps / self.bandwidth_gbps
+        delivered = min(demanded_gbps, self.bandwidth_gbps)
+        if utilization <= self.contention_floor:
+            queuing = 1.0
+        else:
+            queuing = min(
+                self.max_queuing,
+                1.0 + self.queuing_slope * (utilization - self.contention_floor),
+            )
+        return MemoryState(
+            demanded_gbps=demanded_gbps,
+            delivered_gbps=delivered,
+            utilization=utilization,
+            queuing_factor=queuing,
+            used_gb=used_gb,
+            capacity_gb=self.capacity_gb,
+        )

@@ -1,0 +1,38 @@
+"""repro.models — the Predictor component of Adrias (§V-B).
+
+Feature pipelines (history/horizon windows, application signatures),
+dataset builders from scenario traces, and the two stacked-LSTM models:
+the system-state forecaster and the universal BE/LC performance models.
+"""
+
+from repro.models.dataset import (
+    PerformanceDataset,
+    SystemStateDataset,
+    build_performance_dataset,
+    build_system_state_dataset,
+)
+from repro.models.features import FeatureConfig, encode_mode, subsample
+from repro.models.performance import PerformanceModel, PerformancePredictor
+from repro.models.predictor import Predictor
+from repro.models.retraining import evaluate_onboarding, onboard_application, retrain
+from repro.models.signatures import SignatureLibrary
+from repro.models.system_state import SystemStateModel, SystemStatePredictor
+
+__all__ = [
+    "FeatureConfig",
+    "PerformanceDataset",
+    "PerformanceModel",
+    "PerformancePredictor",
+    "Predictor",
+    "SignatureLibrary",
+    "SystemStateDataset",
+    "SystemStateModel",
+    "SystemStatePredictor",
+    "build_performance_dataset",
+    "build_system_state_dataset",
+    "encode_mode",
+    "evaluate_onboarding",
+    "onboard_application",
+    "retrain",
+    "subsample",
+]

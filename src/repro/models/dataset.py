@@ -1,0 +1,179 @@
+"""Dataset generation from scenario traces (§V-B1 step 3).
+
+Turns recorded traces into the training matrices of the two Predictor
+models:
+
+* the **system-state dataset** pairs history windows S with the mean
+  metric vector over the following horizon window;
+* the **performance dataset** pairs, for every completed BE or LC
+  deployment, the pre-arrival window S, the application signature k,
+  the deployment mode and (two variants of) the future system state Ŝ
+  with the measured performance.  The two Ŝ variants — mean over the
+  120 s horizon vs. mean over the full execution — feed the Fig. 13b
+  ablation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.cluster.trace import Trace
+from repro.models.features import FeatureConfig, encode_mode, subsample
+from repro.models.signatures import SignatureLibrary
+from repro.workloads.base import WorkloadKind
+
+__all__ = [
+    "SystemStateDataset",
+    "PerformanceDataset",
+    "build_system_state_dataset",
+    "build_performance_dataset",
+]
+
+
+@dataclass(frozen=True)
+class SystemStateDataset:
+    """Aligned (windows, targets) pair for the system-state model."""
+
+    windows: np.ndarray  # (N, T, M)
+    targets: np.ndarray  # (N, M)
+
+    def __post_init__(self) -> None:
+        if self.windows.shape[0] != self.targets.shape[0]:
+            raise ValueError("windows and targets must align")
+
+    def __len__(self) -> int:
+        return self.windows.shape[0]
+
+
+@dataclass(frozen=True)
+class PerformanceDataset:
+    """Per-deployment training samples for a performance model."""
+
+    state: np.ndarray        # (N, T_s, M)
+    signature: np.ndarray    # (N, T_k, M)
+    mode: np.ndarray         # (N,)
+    future_120: np.ndarray   # (N, M) mean metrics over the 120 s horizon
+    future_exec: np.ndarray  # (N, M) mean metrics over the full execution
+    targets: np.ndarray      # (N,) runtime [s] (BE) or p99 [ms] (LC)
+    names: tuple[str, ...]   # benchmark name per sample
+
+    def __post_init__(self) -> None:
+        n = self.state.shape[0]
+        for field_name in ("signature", "mode", "future_120", "future_exec", "targets"):
+            if getattr(self, field_name).shape[0] != n:
+                raise ValueError(f"{field_name} misaligned with state")
+        if len(self.names) != n:
+            raise ValueError("names misaligned with state")
+
+    def __len__(self) -> int:
+        return self.state.shape[0]
+
+    def subset(self, indices: np.ndarray) -> "PerformanceDataset":
+        indices = np.asarray(indices)
+        return PerformanceDataset(
+            state=self.state[indices],
+            signature=self.signature[indices],
+            mode=self.mode[indices],
+            future_120=self.future_120[indices],
+            future_exec=self.future_exec[indices],
+            targets=self.targets[indices],
+            names=tuple(np.asarray(self.names)[indices]),
+        )
+
+    def split(
+        self, test_fraction: float = 0.4, seed: int = 0
+    ) -> tuple["PerformanceDataset", "PerformanceDataset"]:
+        """Random train/test split (paper: 60/40, §VI-A)."""
+        if not 0 < test_fraction < 1:
+            raise ValueError("test_fraction must be in (0, 1)")
+        rng = np.random.default_rng(seed)
+        n = len(self)
+        order = rng.permutation(n)
+        n_test = max(1, min(n - 1, int(round(n * test_fraction))))
+        return self.subset(order[n_test:]), self.subset(order[:n_test])
+
+    def exclude_benchmark(self, name: str) -> "PerformanceDataset":
+        """Drop all samples of one benchmark (leave-one-out, Fig. 15)."""
+        keep = np.array([n != name for n in self.names])
+        return self.subset(np.where(keep)[0])
+
+    def only_benchmark(self, name: str) -> "PerformanceDataset":
+        keep = np.array([n == name for n in self.names])
+        return self.subset(np.where(keep)[0])
+
+
+def build_system_state_dataset(
+    traces: list[Trace],
+    config: FeatureConfig | None = None,
+    stride_s: float = 30.0,
+) -> SystemStateDataset:
+    """Slide (history -> horizon) windows over every trace."""
+    config = config if config is not None else FeatureConfig()
+    if stride_s <= 0:
+        raise ValueError("stride must be positive")
+    windows: list[np.ndarray] = []
+    targets: list[np.ndarray] = []
+    for trace in traces:
+        if len(trace) == 0:
+            continue
+        duration = trace.times[-1]
+        t = config.history_s
+        while t + config.horizon_s <= duration:
+            raw = trace.window(t, config.history_s)
+            windows.append(subsample(raw, config.sample_period_s, config.dt))
+            targets.append(trace.horizon_mean(t, config.horizon_s))
+            t += stride_s
+    if not windows:
+        raise ValueError("no windows could be extracted from the traces")
+    return SystemStateDataset(
+        windows=np.stack(windows), targets=np.stack(targets)
+    )
+
+
+def build_performance_dataset(
+    traces: list[Trace],
+    signatures: SignatureLibrary,
+    kind: WorkloadKind,
+    config: FeatureConfig | None = None,
+) -> PerformanceDataset:
+    """One sample per completed deployment of the given workload class."""
+    if kind is WorkloadKind.INTERFERENCE:
+        raise ValueError("interference workloads have no performance metric")
+    config = config if config is not None else FeatureConfig()
+    state, sig, mode, f120, fexec, targets, names = [], [], [], [], [], [], []
+    for trace in traces:
+        if len(trace) == 0:
+            continue
+        duration = trace.times[-1]
+        for record in trace.records_of_kind(kind):
+            if record.name not in signatures:
+                continue
+            horizon_end = record.arrival_time + config.horizon_s
+            if horizon_end > duration or record.finish_time > duration:
+                continue  # incomplete future information
+            raw = trace.window(record.arrival_time, config.history_s)
+            state.append(subsample(raw, config.sample_period_s, config.dt))
+            sig.append(signatures.get(record.name))
+            mode.append(encode_mode(record.mode))
+            f120.append(trace.horizon_mean(record.arrival_time, config.horizon_s))
+            fexec.append(
+                trace.horizon_mean(
+                    record.arrival_time,
+                    max(config.dt, record.finish_time - record.arrival_time),
+                )
+            )
+            targets.append(record.performance)
+            names.append(record.name)
+    if not state:
+        raise ValueError(f"no {kind.value} samples found in the traces")
+    return PerformanceDataset(
+        state=np.stack(state),
+        signature=np.stack(sig),
+        mode=np.array(mode),
+        future_120=np.stack(f120),
+        future_exec=np.stack(fexec),
+        targets=np.array(targets),
+        names=tuple(names),
+    )

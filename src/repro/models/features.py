@@ -1,0 +1,90 @@
+"""Feature construction for the Predictor (§V-B2).
+
+Defines the window geometry shared by both models:
+
+* **S** — the system state: metric time series over a trailing history
+  window of r seconds (120 s in the paper);
+* **Ŝ** — the predicted (or oracle) mean metric vector over the horizon
+  window of z seconds (also 120 s);
+* **k** — the application signature: metric sequences captured during
+  the application's isolated execution on remote memory;
+* **mode** — the deployment mode flag (local = 0, remote = 1).
+
+Windows are sub-sampled to ``sample_period_s`` before entering the
+LSTMs: the 1 Hz stream carries little information between adjacent
+seconds and shorter sequences make pure-numpy BPTT tractable.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.hardware.counters import METRIC_NAMES
+from repro.workloads.base import MemoryMode
+
+__all__ = ["FeatureConfig", "subsample", "encode_mode"]
+
+
+@dataclass(frozen=True)
+class FeatureConfig:
+    """Window geometry of the Predictor's feature vectors."""
+
+    #: History window r in seconds (paper: 120).
+    history_s: float = 120.0
+    #: Horizon window z in seconds (paper: 120).
+    horizon_s: float = 120.0
+    #: Sub-sampling period applied to time-series inputs.
+    sample_period_s: float = 5.0
+    #: Signature length in seconds (leading slice of the isolated run).
+    signature_s: float = 60.0
+    #: Watcher sampling period.
+    dt: float = 1.0
+
+    def __post_init__(self) -> None:
+        for name in ("history_s", "horizon_s", "sample_period_s", "signature_s", "dt"):
+            if getattr(self, name) <= 0:
+                raise ValueError(f"{name} must be positive")
+        if self.sample_period_s < self.dt:
+            raise ValueError("sample period cannot be finer than dt")
+
+    @property
+    def n_metrics(self) -> int:
+        return len(METRIC_NAMES)
+
+    @property
+    def history_steps(self) -> int:
+        """LSTM sequence length of the history window after sub-sampling."""
+        return int(round(self.history_s / self.sample_period_s))
+
+    @property
+    def signature_steps(self) -> int:
+        return int(round(self.signature_s / self.sample_period_s))
+
+    @property
+    def history_raw_steps(self) -> int:
+        """Raw 1 Hz samples spanned by the history window."""
+        return int(round(self.history_s / self.dt))
+
+
+def subsample(rows: np.ndarray, period_s: float, dt: float = 1.0) -> np.ndarray:
+    """Average ``rows`` (T, M) into buckets of ``period_s`` seconds.
+
+    Bucket-averaging (rather than striding) keeps the bandwidth-style
+    metrics unbiased.  ``T`` must be a multiple of the bucket size.
+    """
+    if rows.ndim != 2:
+        raise ValueError("expected a (T, M) matrix")
+    stride = int(round(period_s / dt))
+    if stride <= 0:
+        raise ValueError("period must be positive")
+    t, m = rows.shape
+    if t % stride != 0:
+        raise ValueError(f"window length {t} not divisible by stride {stride}")
+    return rows.reshape(t // stride, stride, m).mean(axis=1)
+
+
+def encode_mode(mode: MemoryMode) -> float:
+    """Deployment-mode input feature: local = 0, remote = 1."""
+    return 1.0 if mode is MemoryMode.REMOTE else 0.0

@@ -1,0 +1,102 @@
+"""The Predictor component (§V-B): online inference service.
+
+Combines the system-state model and the two performance models (BE and
+LC) behind the API the Orchestrator consumes:
+
+* :meth:`Predictor.predict_system_state` — Ŝ from the Watcher's
+  trailing window;
+* :meth:`Predictor.predict_performance` — estimated execution time (BE)
+  or p99 (LC) for a candidate deployment in a given memory mode, using
+  the stacked-model pipeline: the system-state prediction Ŝ is
+  propagated into the performance model (the {120, Ŝ} configuration
+  that Fig. 13b identifies as the best practical approach).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.models.features import FeatureConfig, encode_mode, subsample
+from repro.models.performance import PerformancePredictor
+from repro.models.signatures import SignatureLibrary
+from repro.models.system_state import SystemStatePredictor
+from repro.workloads.base import MemoryMode, WorkloadKind, WorkloadProfile
+
+__all__ = ["Predictor"]
+
+
+class Predictor:
+    """Stacked-LSTM prediction service."""
+
+    def __init__(
+        self,
+        system_state: SystemStatePredictor,
+        be_performance: PerformancePredictor | None = None,
+        lc_performance: PerformancePredictor | None = None,
+        signatures: SignatureLibrary | None = None,
+        feature_config: FeatureConfig | None = None,
+    ) -> None:
+        self.config = feature_config if feature_config is not None else FeatureConfig()
+        self.system_state = system_state
+        self.be_performance = be_performance
+        self.lc_performance = lc_performance
+        self.signatures = signatures if signatures is not None else SignatureLibrary(
+            feature_config=self.config
+        )
+
+    # -- signature management ------------------------------------------------
+    def has_signature(self, profile: WorkloadProfile) -> bool:
+        return profile.name in self.signatures
+
+    def store_signature(self, name: str, rows: np.ndarray) -> None:
+        """Record the counters captured during a first remote run (§V-C)."""
+        self.signatures.add(name, rows)
+
+    # -- inference -------------------------------------------------------------
+    def predict_system_state(self, history_raw: np.ndarray) -> np.ndarray:
+        """Ŝ (mean metrics over the next horizon) from a raw 1 Hz window."""
+        window = subsample(history_raw, self.config.sample_period_s, self.config.dt)
+        return self.system_state.predict(window)
+
+    def predict_performance(
+        self,
+        profile: WorkloadProfile,
+        history_raw: np.ndarray,
+        mode: MemoryMode,
+    ) -> float:
+        """Predicted performance of deploying ``profile`` in ``mode`` now.
+
+        Raises :class:`KeyError` when no signature exists — the caller
+        (the Orchestrator) must then fall back to the capture-first
+        policy of §V-C.
+        """
+        model = self._model_for(profile.kind)
+        signature = self.signatures.get(profile.name)
+        window = subsample(history_raw, self.config.sample_period_s, self.config.dt)
+        future = self.predict_system_state(history_raw) if model.use_future else None
+        return model.predict(
+            state=window,
+            signature=signature,
+            mode=np.array([encode_mode(mode)]),
+            future=future,
+        )
+
+    def predict_both_modes(
+        self, profile: WorkloadProfile, history_raw: np.ndarray
+    ) -> dict[MemoryMode, float]:
+        """Performance estimates for local and remote deployment."""
+        return {
+            mode: self.predict_performance(profile, history_raw, mode)
+            for mode in (MemoryMode.LOCAL, MemoryMode.REMOTE)
+        }
+
+    def _model_for(self, kind: WorkloadKind) -> PerformancePredictor:
+        if kind is WorkloadKind.BEST_EFFORT:
+            model = self.be_performance
+        elif kind is WorkloadKind.LATENCY_CRITICAL:
+            model = self.lc_performance
+        else:
+            raise ValueError(f"no performance model for {kind}")
+        if model is None:
+            raise RuntimeError(f"no trained model for {kind.value} workloads")
+        return model

@@ -1,0 +1,92 @@
+"""Application signatures (§V-B2).
+
+The signature k is "a unique identifier per application, that contains
+the sequences of monitored metrics during application's execution in
+isolation on remote memory mode".  When an unknown application arrives,
+Adrias schedules it on remote memory once, captures its counters and
+stores them as the signature (§V-C).
+
+:class:`SignatureLibrary` implements exactly that: capture-by-running
+on a fresh engine, fixed-length storage, and lookup.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.cluster.engine import ClusterEngine
+from repro.hardware.config import TestbedConfig
+from repro.hardware.testbed import Testbed
+from repro.models.features import FeatureConfig, subsample
+from repro.workloads.base import MemoryMode, WorkloadProfile
+
+__all__ = ["SignatureLibrary"]
+
+
+class SignatureLibrary:
+    """Store of per-application metric signatures."""
+
+    def __init__(
+        self,
+        feature_config: FeatureConfig | None = None,
+        testbed_config: TestbedConfig | None = None,
+    ) -> None:
+        self.config = feature_config if feature_config is not None else FeatureConfig()
+        self.testbed_config = testbed_config
+        self._signatures: dict[str, np.ndarray] = {}
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._signatures
+
+    def __len__(self) -> int:
+        return len(self._signatures)
+
+    def names(self) -> list[str]:
+        return sorted(self._signatures)
+
+    def add(self, name: str, rows: np.ndarray) -> None:
+        """Store a raw 1 Hz counter sequence as the signature for ``name``.
+
+        The sequence is cropped/zero-padded to ``signature_s`` seconds
+        and sub-sampled to the feature period, giving every signature an
+        identical ``(signature_steps, n_metrics)`` shape.
+        """
+        rows = np.asarray(rows, dtype=np.float64)
+        if rows.ndim != 2 or rows.shape[1] != self.config.n_metrics:
+            raise ValueError(
+                f"signature must be (T, {self.config.n_metrics}), got {rows.shape}"
+            )
+        raw_steps = int(round(self.config.signature_s / self.config.dt))
+        if rows.shape[0] >= raw_steps:
+            rows = rows[:raw_steps]
+        else:
+            pad = np.zeros((raw_steps - rows.shape[0], rows.shape[1]))
+            rows = np.vstack([rows, pad])
+        self._signatures[name] = subsample(
+            rows, self.config.sample_period_s, self.config.dt
+        )
+
+    def get(self, name: str) -> np.ndarray:
+        try:
+            return self._signatures[name]
+        except KeyError:
+            raise KeyError(
+                f"no signature for {name!r}; captured: {self.names()}"
+            ) from None
+
+    def drop(self, name: str) -> None:
+        """Remove a signature (used by leave-one-out validation)."""
+        self._signatures.pop(name, None)
+
+    def capture(self, profile: WorkloadProfile) -> np.ndarray:
+        """Run ``profile`` alone on remote memory and record its signature."""
+        testbed = Testbed(self.testbed_config) if self.testbed_config else Testbed()
+        engine = ClusterEngine(testbed=testbed, dt=self.config.dt)
+        engine.deploy(profile, MemoryMode.REMOTE)
+        engine.run_until_idle()
+        self.add(profile.name, engine.trace.metrics)
+        return self.get(profile.name)
+
+    def capture_all(self, profiles: list[WorkloadProfile]) -> None:
+        for profile in profiles:
+            self.capture(profile)

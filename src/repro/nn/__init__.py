@@ -1,0 +1,89 @@
+"""repro.nn — minimal numpy deep-learning library.
+
+From-scratch replacement for the PyTorch subset the Adrias paper uses:
+LSTM encoders, dense blocks (Linear + ReLU + BatchNorm + Dropout), MSE
+training with Adam, LR scheduling, gradient clipping and early stopping.
+
+All layers implement an explicit ``forward``/``backward`` pair (see
+:class:`repro.nn.Module`); gradients are exact and covered by numerical
+gradient checks in the test suite.
+"""
+
+from repro.nn.activations import Identity, LeakyReLU, ReLU, Sigmoid, Tanh
+from repro.nn.clipping import clip_grad_norm, clip_grad_value
+from repro.nn.data import (
+    DataLoader,
+    MinMaxScaler,
+    StandardScaler,
+    TensorDataset,
+    train_test_split,
+)
+from repro.nn.gru import GRU, StackedGRU
+from repro.nn.linear import Linear
+from repro.nn.losses import HuberLoss, Loss, MAELoss, MSELoss
+from repro.nn.metrics import explained_variance, mae, mape, pearson, r2_score, rmse
+from repro.nn.module import Module, Sequential
+from repro.nn.normalization import BatchNorm1d, LayerNorm
+from repro.nn.optim import SGD, Adam, Optimizer, RMSprop
+from repro.nn.parameter import Parameter
+from repro.nn.recurrent import LSTM, StackedLSTM
+from repro.nn.regularization import Dropout
+from repro.nn.schedulers import (
+    CosineAnnealingLR,
+    ExponentialLR,
+    ReduceLROnPlateau,
+    Scheduler,
+    StepLR,
+)
+from repro.nn.serialization import load_model, save_model
+from repro.nn.training import EarlyStopping, History, Trainer
+
+__all__ = [
+    "Adam",
+    "BatchNorm1d",
+    "GRU",
+    "StackedGRU",
+    "CosineAnnealingLR",
+    "DataLoader",
+    "Dropout",
+    "EarlyStopping",
+    "ExponentialLR",
+    "History",
+    "HuberLoss",
+    "Identity",
+    "LSTM",
+    "LayerNorm",
+    "LeakyReLU",
+    "Linear",
+    "Loss",
+    "MAELoss",
+    "MSELoss",
+    "MinMaxScaler",
+    "Module",
+    "Optimizer",
+    "Parameter",
+    "RMSprop",
+    "ReLU",
+    "ReduceLROnPlateau",
+    "SGD",
+    "Scheduler",
+    "Sequential",
+    "Sigmoid",
+    "StackedLSTM",
+    "StandardScaler",
+    "StepLR",
+    "Tanh",
+    "TensorDataset",
+    "Trainer",
+    "clip_grad_norm",
+    "clip_grad_value",
+    "explained_variance",
+    "load_model",
+    "mae",
+    "mape",
+    "pearson",
+    "r2_score",
+    "rmse",
+    "save_model",
+    "train_test_split",
+]

@@ -1,0 +1,36 @@
+"""Gradient clipping utilities for stable BPTT over long windows."""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+import numpy as np
+
+from repro.nn.parameter import Parameter
+
+__all__ = ["clip_grad_norm", "clip_grad_value"]
+
+
+def clip_grad_norm(params: Iterable[Parameter], max_norm: float) -> float:
+    """Rescale all gradients so their global L2 norm is at most ``max_norm``.
+
+    Returns the pre-clip global norm (useful for divergence diagnostics).
+    """
+    if max_norm <= 0:
+        raise ValueError("max_norm must be positive")
+    params = list(params)
+    total_sq = sum(float(np.sum(p.grad**2)) for p in params)
+    total_norm = float(np.sqrt(total_sq))
+    if total_norm > max_norm and total_norm > 0:
+        scale = max_norm / total_norm
+        for param in params:
+            param.grad *= scale
+    return total_norm
+
+
+def clip_grad_value(params: Iterable[Parameter], clip_value: float) -> None:
+    """Clamp every gradient element into ``[-clip_value, clip_value]``."""
+    if clip_value <= 0:
+        raise ValueError("clip_value must be positive")
+    for param in params:
+        np.clip(param.grad, -clip_value, clip_value, out=param.grad)

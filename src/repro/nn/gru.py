@@ -1,0 +1,191 @@
+"""GRU layer with full backpropagation through time.
+
+The paper motivates LSTMs for interpreting monitor time series (§VII);
+the GRU is the natural architectural ablation — same recurrent family,
+3 gates instead of 4 and no separate cell state.  The capacity/accuracy
+trade-off between the two is measured by
+``benchmarks/test_ablation_recurrent_cell.py``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn import initializers
+from repro.nn.activations import sigmoid
+from repro.nn.module import Module, Sequential
+from repro.nn.parameter import Parameter
+
+__all__ = ["GRU", "StackedGRU"]
+
+
+class GRU(Module):
+    """Single GRU layer over ``(N, T, D)`` inputs.
+
+    Gate layout in the packed weights: reset ``r``, update ``z`` and
+    candidate ``n`` (the PyTorch convention, with the candidate's
+    recurrent term gated by ``r``):
+
+    .. math::
+
+        r_t &= \\sigma(W_r x_t + U_r h_{t-1} + b_r) \\\\
+        z_t &= \\sigma(W_z x_t + U_z h_{t-1} + b_z) \\\\
+        n_t &= \\tanh(W_n x_t + r_t \\odot (U_n h_{t-1} + c_n)) \\\\
+        h_t &= (1 - z_t) \\odot n_t + z_t \\odot h_{t-1}
+    """
+
+    def __init__(
+        self,
+        input_size: int,
+        hidden_size: int,
+        return_sequences: bool = True,
+        rng: np.random.Generator | None = None,
+    ) -> None:
+        super().__init__()
+        if input_size <= 0 or hidden_size <= 0:
+            raise ValueError("GRU sizes must be positive")
+        rng = rng if rng is not None else np.random.default_rng(0)
+        self.input_size = input_size
+        self.hidden_size = hidden_size
+        self.return_sequences = return_sequences
+
+        h = hidden_size
+        self.w_x = Parameter(
+            initializers.xavier_uniform((3 * h, input_size), rng), "w_x"
+        )
+        self.w_h = Parameter(
+            np.concatenate(
+                [initializers.orthogonal((h, h), rng) for _ in range(3)], axis=0
+            ),
+            "w_h",
+        )
+        self.bias_x = Parameter(np.zeros(3 * h), "bias_x")
+        self.bias_h = Parameter(np.zeros(3 * h), "bias_h")
+        self._cache: dict | None = None
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        x = np.asarray(x, dtype=np.float64)
+        if x.ndim != 3 or x.shape[2] != self.input_size:
+            raise ValueError(f"GRU expected (N, T, {self.input_size}), got {x.shape}")
+        n, t, _ = x.shape
+        h_dim = self.hidden_size
+        s_r, s_z, s_n = (
+            slice(0, h_dim),
+            slice(h_dim, 2 * h_dim),
+            slice(2 * h_dim, 3 * h_dim),
+        )
+
+        h_prev = np.zeros((n, h_dim))
+        r_g = np.empty((t, n, h_dim))
+        z_g = np.empty((t, n, h_dim))
+        n_g = np.empty((t, n, h_dim))
+        hh_n = np.empty((t, n, h_dim))  # U_n h_{t-1} + c_n (pre-reset)
+        h_prevs = np.empty((t, n, h_dim))
+        hiddens = np.empty((t, n, h_dim))
+
+        w_x_t = self.w_x.value.T
+        w_h_t = self.w_h.value.T
+        for step in range(t):
+            h_prevs[step] = h_prev
+            gx = x[:, step, :] @ w_x_t + self.bias_x.value
+            gh = h_prev @ w_h_t + self.bias_h.value
+            r = sigmoid(gx[:, s_r] + gh[:, s_r])
+            z = sigmoid(gx[:, s_z] + gh[:, s_z])
+            hn = gh[:, s_n]
+            cand = np.tanh(gx[:, s_n] + r * hn)
+            h_prev = (1.0 - z) * cand + z * h_prev
+            r_g[step], z_g[step], n_g[step] = r, z, cand
+            hh_n[step] = hn
+            hiddens[step] = h_prev
+
+        self._cache = {
+            "x": x, "r": r_g, "z": z_g, "n": n_g, "hh_n": hh_n,
+            "h_prev": h_prevs,
+        }
+        if self.return_sequences:
+            return hiddens.transpose(1, 0, 2)
+        return hiddens[-1]
+
+    def backward(self, grad: np.ndarray) -> np.ndarray:
+        if self._cache is None:
+            raise RuntimeError("backward called before forward")
+        cache = self._cache
+        x = cache["x"]
+        n, t, _ = x.shape
+        h_dim = self.hidden_size
+
+        if self.return_sequences:
+            grad_seq = np.asarray(grad, dtype=np.float64).transpose(1, 0, 2)
+        else:
+            grad_seq = np.zeros((t, n, h_dim))
+            grad_seq[-1] = grad
+
+        dw_x = np.zeros_like(self.w_x.value)
+        dw_h = np.zeros_like(self.w_h.value)
+        db_x = np.zeros_like(self.bias_x.value)
+        db_h = np.zeros_like(self.bias_h.value)
+        dx = np.zeros_like(x)
+        dh_next = np.zeros((n, h_dim))
+
+        for step in reversed(range(t)):
+            r = cache["r"][step]
+            z = cache["z"][step]
+            cand = cache["n"][step]
+            hn = cache["hh_n"][step]
+            h_prev = cache["h_prev"][step]
+
+            dh = grad_seq[step] + dh_next
+            dz = dh * (h_prev - cand) * z * (1.0 - z)
+            dcand = dh * (1.0 - z) * (1.0 - cand**2)
+            dr = dcand * hn * r * (1.0 - r)
+            dhn = dcand * r
+
+            # Gradient blocks w.r.t. the packed pre-activations.
+            dgx = np.concatenate([dr, dz, dcand], axis=1)
+            dgh = np.concatenate([dr, dz, dhn], axis=1)
+
+            dw_x += dgx.T @ x[:, step, :]
+            dw_h += dgh.T @ h_prev
+            db_x += dgx.sum(axis=0)
+            db_h += dgh.sum(axis=0)
+            dx[:, step, :] = dgx @ self.w_x.value
+            dh_next = dgh @ self.w_h.value + dh * z
+
+        self.w_x.accumulate(dw_x)
+        self.w_h.accumulate(dw_h)
+        self.bias_x.accumulate(db_x)
+        self.bias_h.accumulate(db_h)
+        return dx
+
+
+class StackedGRU(Sequential):
+    """Stack of GRU layers, mirroring :class:`repro.nn.StackedLSTM`."""
+
+    def __init__(
+        self,
+        input_size: int,
+        hidden_size: int,
+        num_layers: int = 2,
+        return_sequences: bool = False,
+        rng: np.random.Generator | None = None,
+    ) -> None:
+        if num_layers <= 0:
+            raise ValueError("num_layers must be positive")
+        rng = rng if rng is not None else np.random.default_rng(0)
+        layers = []
+        for index in range(num_layers):
+            layers.append(
+                GRU(
+                    input_size=input_size if index == 0 else hidden_size,
+                    hidden_size=hidden_size,
+                    return_sequences=(
+                        True if index < num_layers - 1 else return_sequences
+                    ),
+                    rng=rng,
+                )
+            )
+        super().__init__(*layers)
+        self.input_size = input_size
+        self.hidden_size = hidden_size
+        self.num_layers = num_layers
+        self.return_sequences = return_sequences

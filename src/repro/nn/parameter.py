@@ -1,0 +1,57 @@
+"""Trainable parameters for the numpy neural-network substrate.
+
+The :mod:`repro.nn` package is a from-scratch replacement for the small
+subset of PyTorch that the Adrias paper uses (LSTM + dense blocks trained
+with Adam).  A :class:`Parameter` bundles a value array with its
+accumulated gradient; optimizers consume ``(value, grad)`` pairs and
+update values in place so that modules keep aliases to the same arrays.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["Parameter"]
+
+
+class Parameter:
+    """A named, trainable tensor with an attached gradient buffer.
+
+    Parameters
+    ----------
+    value:
+        Initial value.  Stored as ``float64`` — pure-numpy training is
+        dominated by matmul cost either way and float64 keeps the
+        numerical gradient checks in the test suite tight.
+    name:
+        Human-readable identifier used in ``state_dict`` keys.
+    """
+
+    def __init__(self, value: np.ndarray, name: str = "param") -> None:
+        self.value = np.asarray(value, dtype=np.float64)
+        self.grad = np.zeros_like(self.value)
+        self.name = name
+
+    @property
+    def shape(self) -> tuple[int, ...]:
+        return self.value.shape
+
+    @property
+    def size(self) -> int:
+        return int(self.value.size)
+
+    def zero_grad(self) -> None:
+        """Reset the accumulated gradient to zero (in place)."""
+        self.grad[...] = 0.0
+
+    def accumulate(self, grad: np.ndarray) -> None:
+        """Add ``grad`` into the gradient buffer.
+
+        Accumulation (rather than assignment) lets a parameter that is
+        used several times in one forward pass — e.g. LSTM weights across
+        timesteps — collect contributions from every use site.
+        """
+        self.grad += grad
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"Parameter(name={self.name!r}, shape={self.value.shape})"

@@ -1,0 +1,39 @@
+"""Dropout regularization."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn.module import Module
+
+__all__ = ["Dropout"]
+
+
+class Dropout(Module):
+    """Inverted dropout: scale by ``1/(1-p)`` at train time, no-op at eval.
+
+    The mask generator is owned by the layer so two models built with
+    different seeds draw independent masks while each remains
+    reproducible.
+    """
+
+    def __init__(self, p: float = 0.5, rng: np.random.Generator | None = None) -> None:
+        super().__init__()
+        if not 0.0 <= p < 1.0:
+            raise ValueError("dropout probability must be in [0, 1)")
+        self.p = p
+        self.rng = rng if rng is not None else np.random.default_rng(0)
+        self._mask: np.ndarray | None = None
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        if not self.training or self.p == 0.0:
+            self._mask = None
+            return x
+        keep = 1.0 - self.p
+        self._mask = (self.rng.random(x.shape) < keep) / keep
+        return x * self._mask
+
+    def backward(self, grad: np.ndarray) -> np.ndarray:
+        if self._mask is None:
+            return grad
+        return grad * self._mask

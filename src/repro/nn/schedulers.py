@@ -1,0 +1,105 @@
+"""Learning-rate schedulers layered on top of :mod:`repro.nn.optim`."""
+
+from __future__ import annotations
+
+import math
+
+from repro.nn.optim import Optimizer
+
+__all__ = ["Scheduler", "StepLR", "ExponentialLR", "CosineAnnealingLR", "ReduceLROnPlateau"]
+
+
+class Scheduler:
+    def __init__(self, optimizer: Optimizer) -> None:
+        self.optimizer = optimizer
+        self.base_lr = optimizer.lr
+        self.epoch = 0
+
+    def step(self, metric: float | None = None) -> None:
+        self.epoch += 1
+        self.optimizer.lr = self._lr_at(self.epoch, metric)
+
+    def _lr_at(self, epoch: int, metric: float | None) -> float:
+        raise NotImplementedError
+
+
+class StepLR(Scheduler):
+    """Multiply the LR by ``gamma`` every ``step_size`` epochs."""
+
+    def __init__(self, optimizer: Optimizer, step_size: int, gamma: float = 0.1) -> None:
+        super().__init__(optimizer)
+        if step_size <= 0:
+            raise ValueError("step_size must be positive")
+        if not 0 < gamma <= 1:
+            raise ValueError("gamma must be in (0, 1]")
+        self.step_size = step_size
+        self.gamma = gamma
+
+    def _lr_at(self, epoch: int, metric: float | None) -> float:
+        return self.base_lr * self.gamma ** (epoch // self.step_size)
+
+
+class ExponentialLR(Scheduler):
+    def __init__(self, optimizer: Optimizer, gamma: float = 0.95) -> None:
+        super().__init__(optimizer)
+        if not 0 < gamma <= 1:
+            raise ValueError("gamma must be in (0, 1]")
+        self.gamma = gamma
+
+    def _lr_at(self, epoch: int, metric: float | None) -> float:
+        return self.base_lr * self.gamma**epoch
+
+
+class CosineAnnealingLR(Scheduler):
+    """Cosine decay from the base LR to ``eta_min`` over ``t_max`` epochs."""
+
+    def __init__(self, optimizer: Optimizer, t_max: int, eta_min: float = 0.0) -> None:
+        super().__init__(optimizer)
+        if t_max <= 0:
+            raise ValueError("t_max must be positive")
+        self.t_max = t_max
+        self.eta_min = eta_min
+
+    def _lr_at(self, epoch: int, metric: float | None) -> float:
+        frac = min(epoch, self.t_max) / self.t_max
+        return self.eta_min + 0.5 * (self.base_lr - self.eta_min) * (
+            1 + math.cos(math.pi * frac)
+        )
+
+
+class ReduceLROnPlateau(Scheduler):
+    """Halve (by ``factor``) the LR when the monitored metric stalls."""
+
+    def __init__(
+        self,
+        optimizer: Optimizer,
+        factor: float = 0.5,
+        patience: int = 5,
+        min_lr: float = 1e-6,
+    ) -> None:
+        super().__init__(optimizer)
+        if not 0 < factor < 1:
+            raise ValueError("factor must be in (0, 1)")
+        if patience < 0:
+            raise ValueError("patience must be non-negative")
+        self.factor = factor
+        self.patience = patience
+        self.min_lr = min_lr
+        self._best = math.inf
+        self._bad_epochs = 0
+
+    def step(self, metric: float | None = None) -> None:
+        if metric is None:
+            raise ValueError("ReduceLROnPlateau requires a metric")
+        self.epoch += 1
+        if metric < self._best - 1e-12:
+            self._best = metric
+            self._bad_epochs = 0
+        else:
+            self._bad_epochs += 1
+            if self._bad_epochs > self.patience:
+                self.optimizer.lr = max(self.optimizer.lr * self.factor, self.min_lr)
+                self._bad_epochs = 0
+
+    def _lr_at(self, epoch: int, metric: float | None) -> float:  # pragma: no cover
+        return self.optimizer.lr

@@ -1,0 +1,35 @@
+"""Model persistence via numpy ``.npz`` archives."""
+
+from __future__ import annotations
+
+import os
+
+import numpy as np
+
+from repro.nn.module import Module
+
+__all__ = ["save_model", "load_model"]
+
+
+def save_model(model: Module, path: str | os.PathLike) -> None:
+    """Write a module's ``state_dict`` (parameters + buffers) to ``path``.
+
+    Dots in parameter names are preserved; ``np.savez`` accepts arbitrary
+    string keys.
+    """
+    state = model.state_dict()
+    if not state:
+        raise ValueError("model has no parameters or buffers to save")
+    np.savez(os.fspath(path), **state)
+
+
+def load_model(model: Module, path: str | os.PathLike) -> Module:
+    """Load a state dict saved by :func:`save_model` into ``model``.
+
+    The model must have been constructed with identical hyper-parameters;
+    any shape or key mismatch raises rather than silently truncating.
+    """
+    with np.load(os.fspath(path)) as archive:
+        state = {key: archive[key] for key in archive.files}
+    model.load_state_dict(state)
+    return model

@@ -1,0 +1,162 @@
+"""Training loop utilities: Trainer, EarlyStopping and History."""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Callable
+
+import numpy as np
+
+from repro.nn.clipping import clip_grad_norm
+from repro.nn.data import DataLoader
+from repro.nn.losses import Loss
+from repro.nn.module import Module
+from repro.nn.optim import Optimizer
+from repro.nn.schedulers import Scheduler
+
+__all__ = ["History", "EarlyStopping", "Trainer"]
+
+
+@dataclass
+class History:
+    """Per-epoch loss curves collected during a fit."""
+
+    train_loss: list[float] = field(default_factory=list)
+    val_loss: list[float] = field(default_factory=list)
+
+    @property
+    def epochs(self) -> int:
+        return len(self.train_loss)
+
+    @property
+    def best_val_loss(self) -> float:
+        return min(self.val_loss) if self.val_loss else math.inf
+
+
+class EarlyStopping:
+    """Stop when validation loss fails to improve for ``patience`` epochs."""
+
+    def __init__(self, patience: int = 10, min_delta: float = 0.0) -> None:
+        if patience < 1:
+            raise ValueError("patience must be >= 1")
+        if min_delta < 0:
+            raise ValueError("min_delta must be non-negative")
+        self.patience = patience
+        self.min_delta = min_delta
+        self.best = math.inf
+        self.bad_epochs = 0
+        self.best_state: dict[str, np.ndarray] | None = None
+
+    def update(self, val_loss: float, model: Module) -> bool:
+        """Record the epoch result; return True when training should stop."""
+        if val_loss < self.best - self.min_delta:
+            self.best = val_loss
+            self.bad_epochs = 0
+            self.best_state = model.state_dict()
+            return False
+        self.bad_epochs += 1
+        return self.bad_epochs >= self.patience
+
+    def restore_best(self, model: Module) -> None:
+        if self.best_state is not None:
+            model.load_state_dict(self.best_state)
+
+
+class Trainer:
+    """Generic mini-batch trainer over the explicit forward/backward API.
+
+    ``forward_fn``/``backward_fn`` hooks let multi-input models (the
+    Adrias performance model takes S, k, mode and Ŝ) plug into the same
+    loop: by default the last array in each batch is the target and the
+    rest are inputs passed positionally.
+    """
+
+    def __init__(
+        self,
+        model: Module,
+        optimizer: Optimizer,
+        loss: Loss,
+        scheduler: Scheduler | None = None,
+        grad_clip: float | None = 5.0,
+        forward_fn: Callable | None = None,
+    ) -> None:
+        self.model = model
+        self.optimizer = optimizer
+        self.loss = loss
+        self.scheduler = scheduler
+        self.grad_clip = grad_clip
+        self.forward_fn = forward_fn
+
+    def _forward(self, inputs: tuple[np.ndarray, ...]) -> np.ndarray:
+        if self.forward_fn is not None:
+            return self.forward_fn(self.model, *inputs)
+        return self.model.forward(*inputs)
+
+    def train_epoch(self, loader: DataLoader) -> float:
+        self.model.train()
+        total = 0.0
+        batches = 0
+        for batch in loader:
+            *inputs, target = batch
+            self.optimizer.zero_grad()
+            pred = self._forward(tuple(inputs))
+            loss_value = self.loss.forward(pred, target)
+            if not math.isfinite(loss_value):
+                raise FloatingPointError(
+                    f"non-finite training loss: {loss_value}"
+                )
+            self.model.backward(self.loss.backward())
+            if self.grad_clip is not None:
+                clip_grad_norm(self.model.parameters(), self.grad_clip)
+            self.optimizer.step()
+            total += loss_value
+            batches += 1
+        if batches == 0:
+            raise ValueError("empty data loader")
+        return total / batches
+
+    def evaluate(self, loader: DataLoader) -> float:
+        self.model.eval()
+        total = 0.0
+        batches = 0
+        for batch in loader:
+            *inputs, target = batch
+            pred = self._forward(tuple(inputs))
+            total += self.loss.forward(pred, target)
+            batches += 1
+        if batches == 0:
+            raise ValueError("empty data loader")
+        return total / batches
+
+    def fit(
+        self,
+        train_loader: DataLoader,
+        val_loader: DataLoader | None = None,
+        epochs: int = 50,
+        early_stopping: EarlyStopping | None = None,
+        verbose: bool = False,
+    ) -> History:
+        if epochs < 1:
+            raise ValueError("epochs must be >= 1")
+        history = History()
+        for epoch in range(epochs):
+            train_loss = self.train_epoch(train_loader)
+            history.train_loss.append(train_loss)
+            val_loss = None
+            if val_loader is not None:
+                val_loss = self.evaluate(val_loader)
+                history.val_loss.append(val_loss)
+            if self.scheduler is not None:
+                self.scheduler.step(val_loss if val_loss is not None else train_loss)
+            if verbose:  # pragma: no cover - logging only
+                msg = f"epoch {epoch + 1}/{epochs} train={train_loss:.5f}"
+                if val_loss is not None:
+                    msg += f" val={val_loss:.5f}"
+                print(msg)
+            if early_stopping is not None and val_loss is not None:
+                if early_stopping.update(val_loss, self.model):
+                    break
+        if early_stopping is not None:
+            early_stopping.restore_best(self.model)
+        return history

@@ -1,0 +1,45 @@
+"""repro.orchestrator — the Orchestrator component of Adrias (§V-C).
+
+Scheduling policies (Adrias β-slack/QoS rules plus Random, Round-Robin,
+All-Local and All-Remote baselines), the end-to-end offline training
+pipeline, and the §VI-B evaluation harness that replays identical
+arrival sequences under competing policies.
+"""
+
+from repro.orchestrator.evaluation import (
+    PolicyResult,
+    compare_policies,
+    qos_violations,
+)
+from repro.orchestrator.orchestrator import (
+    Orchestrator,
+    TrainingBudget,
+    collect_traces,
+    train_predictor,
+)
+from repro.orchestrator.policies import (
+    AdriasPolicy,
+    AllLocalPolicy,
+    AllRemotePolicy,
+    Policy,
+    RandomPolicy,
+    RoundRobinPolicy,
+    StaticThresholdPolicy,
+)
+
+__all__ = [
+    "AdriasPolicy",
+    "AllLocalPolicy",
+    "AllRemotePolicy",
+    "Orchestrator",
+    "Policy",
+    "PolicyResult",
+    "RandomPolicy",
+    "RoundRobinPolicy",
+    "StaticThresholdPolicy",
+    "TrainingBudget",
+    "collect_traces",
+    "compare_policies",
+    "qos_violations",
+    "train_predictor",
+]

@@ -1,0 +1,137 @@
+"""Orchestration evaluation harness (§VI-B).
+
+Replays identical arrival sequences under different scheduling policies
+and aggregates the quantities the paper reports:
+
+* per-benchmark performance distributions and local/remote placement
+  counts (Fig. 16);
+* QoS violations and offload counts for LC applications (Fig. 17);
+* total data traffic over the FPGA interconnection (§VI-B last
+  paragraph).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.cluster.scenario import ScenarioConfig, Scheduler, run_scenario
+from repro.cluster.trace import Trace
+from repro.workloads.base import MemoryMode, WorkloadKind
+
+__all__ = ["PolicyResult", "compare_policies", "qos_violations"]
+
+
+@dataclass
+class PolicyResult:
+    """Aggregated outcome of one policy over a set of scenarios."""
+
+    policy_name: str
+    traces: list[Trace] = field(default_factory=list)
+
+    # -- per-benchmark views -------------------------------------------------
+    def performances(self, name: str) -> np.ndarray:
+        """Performance samples (runtime or p99) for one benchmark."""
+        values = [
+            r.performance
+            for trace in self.traces
+            for r in trace.records_for(name)
+        ]
+        return np.asarray(values)
+
+    def placement_counts(self, name: str) -> tuple[int, int]:
+        """(local, remote) deployment counts for one benchmark."""
+        local = remote = 0
+        for trace in self.traces:
+            for record in trace.records_for(name):
+                if record.mode is MemoryMode.REMOTE:
+                    remote += 1
+                else:
+                    local += 1
+        return local, remote
+
+    def median_performance(self, name: str) -> float:
+        values = self.performances(name)
+        if values.size == 0:
+            return float("nan")
+        return float(np.median(values))
+
+    # -- aggregates -------------------------------------------------------------
+    def offload_fraction(self, kind: WorkloadKind | None = None) -> float:
+        records = [
+            r
+            for trace in self.traces
+            for r in trace.records
+            if r.kind is not WorkloadKind.INTERFERENCE
+            and (kind is None or r.kind is kind)
+        ]
+        if not records:
+            return 0.0
+        remote = sum(1 for r in records if r.mode is MemoryMode.REMOTE)
+        return remote / len(records)
+
+    def total_link_traffic_gb(self) -> float:
+        return sum(trace.total_link_traffic_gb() for trace in self.traces)
+
+    def benchmark_names(self, kind: WorkloadKind) -> list[str]:
+        names = {
+            r.name
+            for trace in self.traces
+            for r in trace.records_of_kind(kind)
+        }
+        return sorted(names)
+
+
+def compare_policies(
+    policies: dict[str, Scheduler],
+    scenario_configs: list[ScenarioConfig],
+    pool=None,
+) -> dict[str, PolicyResult]:
+    """Replay every scenario under every policy.
+
+    Arrival sequences are regenerated from the scenario seed, so all
+    policies face the same workloads at the same instants — only the
+    memory-mode decisions differ (the §VI-B methodology).
+    """
+    if not policies:
+        raise ValueError("no policies given")
+    if not scenario_configs:
+        raise ValueError("no scenarios given")
+    results: dict[str, PolicyResult] = {}
+    for policy_name, scheduler in policies.items():
+        result = PolicyResult(policy_name=policy_name)
+        for config in scenario_configs:
+            result.traces.append(
+                run_scenario(config, scheduler=scheduler, pool=pool)
+            )
+        results[policy_name] = result
+    return results
+
+
+def qos_violations(
+    result: PolicyResult, qos_p99_ms: dict[str, float]
+) -> dict[str, dict[str, int]]:
+    """Count QoS violations and offloads per LC benchmark (Fig. 17).
+
+    A deployment violates its QoS when its measured p99 exceeds the
+    constraint, regardless of the memory mode it ran in.
+    """
+    summary: dict[str, dict[str, int]] = {}
+    for name, qos in qos_p99_ms.items():
+        if qos <= 0:
+            raise ValueError(f"QoS for {name!r} must be positive")
+        violations = offloads = total = 0
+        for trace in result.traces:
+            for record in trace.records_for(name):
+                total += 1
+                if record.p99_ms > qos:
+                    violations += 1
+                if record.mode is MemoryMode.REMOTE:
+                    offloads += 1
+        summary[name] = {
+            "violations": violations,
+            "offloads": offloads,
+            "total": total,
+        }
+    return summary

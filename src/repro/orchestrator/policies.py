@@ -1,0 +1,183 @@
+"""Scheduling policies (§V-C and the §VI-B baselines).
+
+The Adrias policy decides between local and remote memory from the
+Predictor's performance estimates:
+
+* best-effort: ``local if t̂_local < β · t̂_remote else remote`` where β
+  is the slack parameter (maximum performance loss margin);
+* latency-critical: ``remote if p̂99_remote <= QoS else local``.
+
+Baselines: Random, Round-Robin, All-Local and All-Remote.
+"""
+
+from __future__ import annotations
+
+from typing import Protocol
+
+import numpy as np
+
+from repro.cluster.engine import ClusterEngine
+from repro.models.predictor import Predictor
+from repro.workloads.base import MemoryMode, WorkloadKind, WorkloadProfile
+
+__all__ = [
+    "Policy",
+    "RandomPolicy",
+    "RoundRobinPolicy",
+    "AllLocalPolicy",
+    "AllRemotePolicy",
+    "StaticThresholdPolicy",
+    "AdriasPolicy",
+]
+
+
+class Policy(Protocol):
+    """A scheduling policy decides the memory mode of each arrival."""
+
+    name: str
+
+    def decide(self, profile: WorkloadProfile, engine: ClusterEngine) -> MemoryMode:
+        ...  # pragma: no cover - protocol signature
+
+    def __call__(self, profile: WorkloadProfile, engine: ClusterEngine) -> MemoryMode:
+        ...  # pragma: no cover - protocol signature
+
+
+class _BasePolicy:
+    name = "base"
+
+    def decide(self, profile: WorkloadProfile, engine: ClusterEngine) -> MemoryMode:
+        raise NotImplementedError
+
+    def __call__(self, profile: WorkloadProfile, engine: ClusterEngine) -> MemoryMode:
+        return self.decide(profile, engine)
+
+
+class RandomPolicy(_BasePolicy):
+    """Coin-flip placement."""
+
+    name = "random"
+
+    def __init__(self, seed: int = 0) -> None:
+        self._rng = np.random.default_rng(seed)
+
+    def decide(self, profile: WorkloadProfile, engine: ClusterEngine) -> MemoryMode:
+        return MemoryMode.REMOTE if self._rng.random() < 0.5 else MemoryMode.LOCAL
+
+
+class RoundRobinPolicy(_BasePolicy):
+    """Alternate strictly between the two pools."""
+
+    name = "round-robin"
+
+    def __init__(self) -> None:
+        self._last = MemoryMode.REMOTE
+
+    def decide(self, profile: WorkloadProfile, engine: ClusterEngine) -> MemoryMode:
+        self._last = self._last.other
+        return self._last
+
+
+class AllLocalPolicy(_BasePolicy):
+    """Conventional scheduling: everything in local DRAM."""
+
+    name = "all-local"
+
+    def decide(self, profile: WorkloadProfile, engine: ClusterEngine) -> MemoryMode:
+        return MemoryMode.LOCAL
+
+
+class AllRemotePolicy(_BasePolicy):
+    """Stress baseline: everything on disaggregated memory."""
+
+    name = "all-remote"
+
+    def decide(self, profile: WorkloadProfile, engine: ClusterEngine) -> MemoryMode:
+        return MemoryMode.REMOTE
+
+
+class StaticThresholdPolicy(_BasePolicy):
+    """Interference-*blind* oracle-profile heuristic.
+
+    Offloads an application iff its *isolated* remote/local ratio is
+    below ``threshold`` — i.e. a hand-tuned rule with perfect knowledge
+    of the Fig. 3 characterization but no awareness of the current
+    system state.  Comparing it against Adrias isolates what the
+    interference-aware prediction pipeline buys beyond static profiling:
+    the static rule keeps offloading mild applications even when the
+    channel is already saturated.
+    """
+
+    def __init__(self, threshold: float = 1.3) -> None:
+        if threshold < 1.0:
+            raise ValueError("threshold must be >= 1 (an isolated ratio)")
+        self.threshold = threshold
+        self.name = f"static(t={threshold:g})"
+
+    def decide(self, profile: WorkloadProfile, engine: ClusterEngine) -> MemoryMode:
+        if profile.kind is WorkloadKind.INTERFERENCE:
+            return MemoryMode.LOCAL
+        if profile.remote_slowdown <= self.threshold:
+            return MemoryMode.REMOTE
+        return MemoryMode.LOCAL
+
+
+class AdriasPolicy(_BasePolicy):
+    """Prediction-driven interference-aware placement (§V-C).
+
+    Parameters
+    ----------
+    predictor:
+        Trained :class:`repro.models.Predictor`.
+    beta:
+        BE slack in (0, 1]: the fraction of remote performance that
+        local performance must beat for the application to stay local.
+        β = 1 keeps everything local (modulo prediction error); lower
+        values offload progressively more.
+    qos_p99_ms:
+        QoS constraint per LC application name (99th percentile, ms).
+        Applications without an entry use ``default_qos_ms``.
+    """
+
+    def __init__(
+        self,
+        predictor: Predictor,
+        beta: float = 0.8,
+        qos_p99_ms: dict[str, float] | None = None,
+        default_qos_ms: float = float("inf"),
+    ) -> None:
+        if not 0 < beta <= 1:
+            raise ValueError("beta must be in (0, 1]")
+        if default_qos_ms <= 0:
+            raise ValueError("default_qos_ms must be positive")
+        self.predictor = predictor
+        self.beta = beta
+        self.qos_p99_ms = dict(qos_p99_ms) if qos_p99_ms else {}
+        self.default_qos_ms = default_qos_ms
+        self.name = f"adrias(b={beta:g})"
+
+    def _history(self, engine: ClusterEngine) -> np.ndarray:
+        return engine.trace.window(
+            engine.now, self.predictor.config.history_s
+        )
+
+    def decide(self, profile: WorkloadProfile, engine: ClusterEngine) -> MemoryMode:
+        # Interference trashers carry no performance metric; the paper's
+        # policy only concerns BE/LC applications.  Keep them local so
+        # they do not pollute the link on their own.
+        if profile.kind is WorkloadKind.INTERFERENCE:
+            return MemoryMode.LOCAL
+        if not self.predictor.has_signature(profile):
+            # First encounter: schedule on remote and capture (§V-C).
+            self.predictor.signatures.capture(profile)
+            return MemoryMode.REMOTE
+        history = self._history(engine)
+        estimates = self.predictor.predict_both_modes(profile, history)
+        if profile.kind is WorkloadKind.BEST_EFFORT:
+            if estimates[MemoryMode.LOCAL] < self.beta * estimates[MemoryMode.REMOTE]:
+                return MemoryMode.LOCAL
+            return MemoryMode.REMOTE
+        qos = self.qos_p99_ms.get(profile.name, self.default_qos_ms)
+        if estimates[MemoryMode.REMOTE] <= qos:
+            return MemoryMode.REMOTE
+        return MemoryMode.LOCAL

@@ -1,0 +1,97 @@
+"""Performance-event catalog monitored by the Watcher (§V-A).
+
+The Watcher gathers cache- and memory-related counters of the local
+system plus channel metrics of the ThymesisFlow FPGAs.  This module is
+the single source of truth for event metadata; the ordering matches
+:data:`repro.hardware.counters.METRIC_NAMES` and Table I.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.hardware.counters import METRIC_NAMES
+
+__all__ = ["EventSpec", "EVENTS", "event_spec", "event_index"]
+
+
+@dataclass(frozen=True)
+class EventSpec:
+    """Metadata for one monitored performance event."""
+
+    name: str
+    symbol: str       # symbol used in the paper, e.g. "LLC_mis"
+    unit: str
+    description: str
+    source: str       # "cpu" (perf counters) or "fpga" (ThymesisFlow)
+
+
+EVENTS: dict[str, EventSpec] = {
+    "llc_loads": EventSpec(
+        name="llc_loads",
+        symbol="LLC_ld",
+        unit="events/s",
+        description="Last-level cache loads on the borrower node",
+        source="cpu",
+    ),
+    "llc_misses": EventSpec(
+        name="llc_misses",
+        symbol="LLC_mis",
+        unit="events/s",
+        description="Last-level cache misses on the borrower node",
+        source="cpu",
+    ),
+    "mem_loads": EventSpec(
+        name="mem_loads",
+        symbol="MEM_ld",
+        unit="events/s",
+        description="Local DRAM memory loads (includes reflected remote traffic)",
+        source="cpu",
+    ),
+    "mem_stores": EventSpec(
+        name="mem_stores",
+        symbol="MEM_st",
+        unit="events/s",
+        description="Local DRAM memory stores",
+        source="cpu",
+    ),
+    "rmt_tx_flits": EventSpec(
+        name="rmt_tx_flits",
+        symbol="RMT_tx",
+        unit="flits/s",
+        description="32 B flits transmitted on the ThymesisFlow channel",
+        source="fpga",
+    ),
+    "rmt_rx_flits": EventSpec(
+        name="rmt_rx_flits",
+        symbol="RMT_rx",
+        unit="flits/s",
+        description="32 B flits received on the ThymesisFlow channel",
+        source="fpga",
+    ),
+    "link_latency": EventSpec(
+        name="link_latency",
+        symbol="RMT_lat",
+        unit="cycles",
+        description="Average latency of the ThymesisFlow communication channel",
+        source="fpga",
+    ),
+}
+
+if tuple(EVENTS) != METRIC_NAMES:  # pragma: no cover - import-time invariant
+    raise RuntimeError("event catalog out of sync with METRIC_NAMES")
+
+
+def event_spec(name: str) -> EventSpec:
+    try:
+        return EVENTS[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown event {name!r}; available: {list(EVENTS)}"
+        ) from None
+
+
+def event_index(name: str) -> int:
+    """Column index of the event in counter matrices."""
+    event_spec(name)
+    return METRIC_NAMES.index(name)

@@ -1,0 +1,71 @@
+"""The Watcher component (§V-A).
+
+Continuously samples the testbed's performance events into a bounded
+:class:`MetricStore` and serves fixed-shape history windows to the
+Predictor.  In the reproduction the "hardware" is the cluster engine;
+:meth:`Watcher.observe` is called once per engine tick (1 Hz, the same
+granularity as the paper's monitoring loop).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.cluster.engine import ClusterEngine
+from repro.hardware.counters import PerfCounters
+from repro.hardware.testbed import SystemPressure
+from repro.telemetry.store import MetricStore
+
+__all__ = ["Watcher"]
+
+
+class Watcher:
+    """Online performance-event monitor."""
+
+    def __init__(self, history_capacity_s: float = 1024.0, dt: float = 1.0) -> None:
+        if dt <= 0:
+            raise ValueError("dt must be positive")
+        capacity = int(round(history_capacity_s / dt))
+        self.dt = dt
+        self.store = MetricStore(capacity=capacity)
+
+    def observe(self, time: float, counters: PerfCounters) -> None:
+        """Record one counter sample."""
+        self.store.push(time, counters)
+
+    def observe_pressure(
+        self, engine: ClusterEngine, pressure: SystemPressure
+    ) -> None:
+        """Convenience: synthesize and record counters for a tick."""
+        self.observe(engine.now, engine.testbed.sample_counters(pressure))
+
+    def history(self, window_s: float) -> np.ndarray:
+        """Trailing history window S as a ``(steps, n_metrics)`` matrix.
+
+        This is the system-state feature vector of §V-B2 with
+        r = ``window_s`` (120 s in the paper).
+        """
+        if window_s <= 0:
+            raise ValueError("window must be positive")
+        steps = int(round(window_s / self.dt))
+        return self.store.last(steps)
+
+    def attach(self, engine: ClusterEngine) -> None:
+        """Mirror every new engine trace sample into this Watcher.
+
+        Wraps the engine's ``tick`` so existing simulation drivers need
+        no changes; the Watcher sees exactly what the trace records.
+        """
+        original_tick = engine.tick
+
+        def tick_and_observe():
+            pressure = original_tick()
+            # The engine just appended its sample; mirror the same values
+            # rather than re-synthesizing (which would re-draw noise).
+            self.observe(
+                engine.now,
+                PerfCounters.from_array(engine.trace.metrics[-1]),
+            )
+            return pressure
+
+        engine.tick = tick_and_observe

@@ -1,0 +1,40 @@
+"""repro.tiers — heterogeneous memory tiers (§VII extension).
+
+Generalizes the paper's local/remote dichotomy to an N-tier memory
+pool (e.g. local DRAM + remote DRAM + remote NVMe), each tier with its
+own capacity, channel model and medium slowdown, plus a β-slack
+placement policy over the hierarchy.  The paper anticipates exactly
+this: Adrias "assumes no prior knowledge on the HW infrastructure" and
+treats any additional medium as another tier with different latency
+characteristics.
+"""
+
+from repro.tiers.policy import GreedyTierPolicy, TierDecision, place_sequentially
+from repro.tiers.spec import (
+    LOCAL_DRAM,
+    REMOTE_DRAM,
+    REMOTE_NVME,
+    TierSpec,
+    default_tiers,
+)
+from repro.tiers.testbed import (
+    MultiTierPressure,
+    MultiTierTestbed,
+    TierAssignment,
+    tier_slowdown,
+)
+
+__all__ = [
+    "GreedyTierPolicy",
+    "LOCAL_DRAM",
+    "MultiTierPressure",
+    "MultiTierTestbed",
+    "REMOTE_DRAM",
+    "REMOTE_NVME",
+    "TierAssignment",
+    "TierDecision",
+    "TierSpec",
+    "default_tiers",
+    "place_sequentially",
+    "tier_slowdown",
+]

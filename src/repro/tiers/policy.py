@@ -1,0 +1,101 @@
+"""Tier-aware placement policies.
+
+Generalizes the Adrias β-slack rule to N tiers: for each arriving
+application, estimate its slowdown on every tier under the current
+pressure and place it on the *most disaggregated* tier whose estimated
+slowdown stays within the slack of the best option.  This is the
+"straightforward adjustment" §VII anticipates — iso-performance
+predictions break towards the cheaper (more abundant) tier.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+from repro.tiers.testbed import (
+    MultiTierTestbed,
+    TierAssignment,
+    tier_slowdown,
+)
+from repro.workloads.base import WorkloadProfile
+
+__all__ = ["TierDecision", "GreedyTierPolicy", "place_sequentially"]
+
+
+@dataclass(frozen=True)
+class TierDecision:
+    """Chosen tier plus the per-tier slowdown estimates behind it."""
+
+    tier: str
+    estimates: dict[str, float]
+
+
+class GreedyTierPolicy:
+    """β-slack placement over an ordered tier hierarchy.
+
+    ``preference`` orders tiers from most to least desirable to occupy
+    (i.e. most disaggregated first): the policy walks it and takes the
+    first tier whose estimated slowdown is within ``1/beta`` of the
+    best estimate.  ``beta = 1`` degenerates to always-best (usually
+    local); lower β trades performance for local-DRAM headroom exactly
+    like the two-tier Adrias rule.
+    """
+
+    def __init__(
+        self,
+        testbed: MultiTierTestbed,
+        beta: float = 0.8,
+        preference: list[str] | None = None,
+    ) -> None:
+        if not 0 < beta <= 1:
+            raise ValueError("beta must be in (0, 1]")
+        self.testbed = testbed
+        self.beta = beta
+        if preference is None:
+            # Most abundant (largest) tier first, local last.
+            non_local = sorted(
+                (t for t in testbed.tiers.values() if not t.is_local),
+                key=lambda t: -t.capacity_gb,
+            )
+            preference = [t.name for t in non_local] + [testbed.local_tier]
+        unknown = set(preference) - set(testbed.tiers)
+        if unknown:
+            raise ValueError(f"unknown tiers in preference: {sorted(unknown)}")
+        self.preference = preference
+
+    def decide(
+        self,
+        profile: WorkloadProfile,
+        current: list[TierAssignment],
+    ) -> TierDecision:
+        pressure = self.testbed.resolve(current)
+        estimates = {
+            name: tier_slowdown(profile, pressure, tier)
+            for name, tier in self.testbed.tiers.items()
+        }
+        best = min(estimates.values())
+        for name in self.preference:
+            candidate = TierAssignment(profile=profile, tier=name)
+            if not self.testbed.fits(current, candidate):
+                continue
+            if estimates[name] * self.beta <= best:
+                return TierDecision(tier=name, estimates=estimates)
+        # Fall back to the best-estimate tier with capacity.
+        for name, _ in sorted(estimates.items(), key=lambda kv: kv[1]):
+            candidate = TierAssignment(profile=profile, tier=name)
+            if self.testbed.fits(current, candidate):
+                return TierDecision(tier=name, estimates=estimates)
+        raise MemoryError(f"{profile.name} fits in no tier")
+
+
+def place_sequentially(
+    policy: GreedyTierPolicy,
+    profiles: list[WorkloadProfile],
+) -> list[TierAssignment]:
+    """Place a workload batch one by one (arrival order matters)."""
+    assignments: list[TierAssignment] = []
+    for profile in profiles:
+        decision = policy.decide(profile, assignments)
+        assignments.append(TierAssignment(profile=profile, tier=decision.tier))
+    return assignments

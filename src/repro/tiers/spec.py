@@ -1,0 +1,71 @@
+"""Memory-tier specifications (§VII: "Adrias & HW heterogeneity").
+
+The paper notes that a system offering both remote DRAM and NVMe would
+appear to Adrias as "two different memory tiers, with different latency
+characteristics", with no need to know the actual medium.  This package
+realizes that: a tier is just a capacity plus (for non-local tiers) a
+channel model and a medium slowdown — exactly the quantities the
+monitored metrics expose.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.hardware.config import LinkConfig
+
+__all__ = ["TierSpec", "LOCAL_DRAM", "REMOTE_DRAM", "REMOTE_NVME", "default_tiers"]
+
+
+@dataclass(frozen=True)
+class TierSpec:
+    """One memory tier of a heterogeneous pool."""
+
+    name: str
+    capacity_gb: float
+    #: Channel model for disaggregated tiers; None for node-local DRAM
+    #: (which contends on the memory bus instead).
+    link: LinkConfig | None = None
+    #: Isolated medium slowdown relative to local DRAM for a
+    #: memory-sensitive application (the Fig. 3 ratio generalized per
+    #: tier).  Applications scale this by their own remote sensitivity.
+    medium_slowdown: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.capacity_gb <= 0:
+            raise ValueError("tier capacity must be positive")
+        if self.medium_slowdown < 1.0:
+            raise ValueError("medium_slowdown must be >= 1")
+
+    @property
+    def is_local(self) -> bool:
+        return self.link is None
+
+
+#: The borrower node's own DRAM (capacity from NodeConfig.dram_gb).
+LOCAL_DRAM = TierSpec(name="local-dram", capacity_gb=1200.0)
+
+#: The paper's ThymesisFlow remote-DRAM tier.
+REMOTE_DRAM = TierSpec(
+    name="remote-dram",
+    capacity_gb=512.0,
+    link=LinkConfig(),
+    medium_slowdown=1.0,  # the per-app remote_slowdown already covers it
+)
+
+#: A hypothetical NVMe-backed tier: bigger, slower, saturates earlier.
+REMOTE_NVME = TierSpec(
+    name="remote-nvme",
+    capacity_gb=4096.0,
+    link=LinkConfig(
+        capacity_gbps=1.2,
+        base_latency_cycles=2500.0,
+        saturated_latency_cycles=8000.0,
+    ),
+    medium_slowdown=1.6,
+)
+
+
+def default_tiers() -> list[TierSpec]:
+    """Local DRAM + remote DRAM + remote NVMe."""
+    return [LOCAL_DRAM, REMOTE_DRAM, REMOTE_NVME]

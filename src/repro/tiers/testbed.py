@@ -1,0 +1,173 @@
+"""Multi-tier testbed: contention resolution over N memory tiers.
+
+Generalizes the two-pool :class:`repro.hardware.Testbed` to an
+arbitrary tier list.  Compute-side contention (cores, caches) is shared
+by every tenant; each non-local tier has its own channel with its own
+saturation behaviour; local-DRAM tenants contend on the memory bus.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.hardware.cache import CacheState, SharedCache
+from repro.hardware.config import NodeConfig
+from repro.hardware.link import LinkState, ThymesisFlowLink
+from repro.hardware.memory import LocalMemory, MemoryState
+from repro.tiers.spec import TierSpec
+from repro.workloads.base import MemoryMode, WorkloadProfile
+
+__all__ = ["TierAssignment", "MultiTierPressure", "MultiTierTestbed", "tier_slowdown"]
+
+
+@dataclass(frozen=True)
+class TierAssignment:
+    """One application pinned to one tier."""
+
+    profile: WorkloadProfile
+    tier: str
+
+
+@dataclass(frozen=True)
+class MultiTierPressure:
+    """Resolved state: shared compute plus one link state per tier."""
+
+    cpu_utilization: float
+    l2: CacheState
+    llc: CacheState
+    memory: MemoryState
+    links: dict[str, LinkState]          # non-local tiers only
+    used_gb: dict[str, float]
+
+    @property
+    def cpu_oversubscription(self) -> float:
+        return max(0.0, self.cpu_utilization - 1.0)
+
+
+class MultiTierTestbed:
+    """Analytic contention model over a heterogeneous memory pool."""
+
+    def __init__(
+        self,
+        tiers: list[TierSpec],
+        node: NodeConfig | None = None,
+    ) -> None:
+        if not tiers:
+            raise ValueError("at least one tier is required")
+        names = [t.name for t in tiers]
+        if len(names) != len(set(names)):
+            raise ValueError("tier names must be unique")
+        locals_ = [t for t in tiers if t.is_local]
+        if len(locals_) != 1:
+            raise ValueError("exactly one local tier is required")
+        self.node = node if node is not None else NodeConfig()
+        self.tiers = {t.name: t for t in tiers}
+        self.local_tier = locals_[0].name
+        self.llc = SharedCache(self.node.llc_mb)
+        self.l2 = SharedCache(self.node.l2_mb, pressure_floor=0.8,
+                              inflation_slope=0.6)
+        self.memory = LocalMemory(self.node.dram_bw_gbps, self.node.dram_gb)
+        self._links = {
+            t.name: ThymesisFlowLink(t.link)
+            for t in tiers
+            if t.link is not None
+        }
+
+    def tier(self, name: str) -> TierSpec:
+        try:
+            return self.tiers[name]
+        except KeyError:
+            raise KeyError(
+                f"unknown tier {name!r}; available: {sorted(self.tiers)}"
+            ) from None
+
+    def fits(self, assignments: list[TierAssignment],
+             candidate: TierAssignment) -> bool:
+        used = self._used_gb(assignments)
+        tier = self.tier(candidate.tier)
+        return used.get(tier.name, 0.0) + candidate.profile.footprint_gb <= tier.capacity_gb
+
+    def _used_gb(self, assignments: list[TierAssignment]) -> dict[str, float]:
+        used: dict[str, float] = {name: 0.0 for name in self.tiers}
+        for assignment in assignments:
+            self.tier(assignment.tier)  # validate
+            used[assignment.tier] += assignment.profile.footprint_gb
+        return used
+
+    def resolve(self, assignments: list[TierAssignment]) -> MultiTierPressure:
+        used = self._used_gb(assignments)
+        for name, amount in used.items():
+            capacity = self.tiers[name].capacity_gb
+            if amount > capacity:
+                raise MemoryError(
+                    f"tier {name!r} over capacity: {amount:.1f} > {capacity:.1f} GB"
+                )
+
+        cpu = l2_mb = llc_mb = local_bw = 0.0
+        offered: dict[str, float] = {name: 0.0 for name in self._links}
+        for assignment in assignments:
+            profile = assignment.profile
+            cpu += profile.cpu_threads
+            l2_mb += profile.l2_mb
+            llc_mb += profile.llc_mb
+            if assignment.tier == self.local_tier:
+                local_bw += profile.mem_bw_gbps
+            else:
+                offered[assignment.tier] += profile.remote_bw_gbps
+
+        return MultiTierPressure(
+            cpu_utilization=cpu / self.node.logical_cores,
+            l2=self.l2.resolve(l2_mb),
+            llc=self.llc.resolve(llc_mb),
+            memory=self.memory.resolve(local_bw),
+            links={
+                name: link.resolve(offered[name])
+                for name, link in self._links.items()
+            },
+            used_gb=used,
+        )
+
+
+def tier_slowdown(
+    profile: WorkloadProfile,
+    pressure: MultiTierPressure,
+    tier: TierSpec,
+) -> float:
+    """Slowdown of ``profile`` if running from ``tier``.
+
+    Reuses the calibrated two-mode slowdown model: local tiers follow
+    the LOCAL branch; non-local tiers follow the REMOTE branch against
+    their own channel state, scaled by the tier's medium slowdown.
+    """
+    from repro.hardware.testbed import ResourceDemand, SystemPressure
+
+    # Adapt the multi-tier state into the two-pool SystemPressure the
+    # profile model consumes, substituting the candidate tier's link.
+    link_state = pressure.links.get(tier.name)
+    if tier.is_local:
+        adapted = SystemPressure(
+            cpu_utilization=pressure.cpu_utilization,
+            l2=pressure.l2,
+            llc=pressure.llc,
+            memory=pressure.memory,
+            link=next(iter(pressure.links.values())) if pressure.links
+            else _idle_link(),
+            total_demand=ResourceDemand(),
+        )
+        return profile.slowdown(adapted, MemoryMode.LOCAL)
+    adapted = SystemPressure(
+        cpu_utilization=pressure.cpu_utilization,
+        l2=pressure.l2,
+        llc=pressure.llc,
+        memory=pressure.memory,
+        link=link_state,
+        total_demand=ResourceDemand(),
+    )
+    base = profile.slowdown(adapted, MemoryMode.REMOTE)
+    return base * tier.medium_slowdown
+
+
+def _idle_link():
+    from repro.hardware.link import ThymesisFlowLink
+
+    return ThymesisFlowLink().resolve(0.0)

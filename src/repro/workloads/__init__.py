@@ -1,0 +1,53 @@
+"""repro.workloads — cloud workload models of §IV-A.
+
+Best-effort Spark/HiBench analytics, latency-critical Redis/Memcached
+with a memtier-style closed-loop load generator, and iBench resource
+trashers.  Profiles carry demand vectors, interference sensitivities and
+the per-benchmark remote-memory calibration of the characterization
+(Figs. 3-5, remarks R4-R7).
+"""
+
+from repro.workloads.base import (
+    MemoryMode,
+    SensitivityVector,
+    WorkloadKind,
+    WorkloadProfile,
+)
+from repro.workloads.ibench import IBENCH, IBENCH_KINDS, ibench_profile
+from repro.workloads.loadgen import LatencySample, LoadGenConfig, TailLatencyModel
+from repro.workloads.memcached import MEMCACHED
+from repro.workloads.redis import LCProfile, REDIS
+from repro.workloads.registry import (
+    all_profiles,
+    be_profiles,
+    get_profile,
+    interference_profiles,
+    lc_profiles,
+    profiles_of_kind,
+)
+from repro.workloads.spark import SPARK_BENCHMARKS, spark_names, spark_profile
+
+__all__ = [
+    "IBENCH",
+    "IBENCH_KINDS",
+    "LCProfile",
+    "LatencySample",
+    "LoadGenConfig",
+    "MEMCACHED",
+    "MemoryMode",
+    "REDIS",
+    "SPARK_BENCHMARKS",
+    "SensitivityVector",
+    "TailLatencyModel",
+    "WorkloadKind",
+    "WorkloadProfile",
+    "all_profiles",
+    "be_profiles",
+    "get_profile",
+    "ibench_profile",
+    "interference_profiles",
+    "lc_profiles",
+    "profiles_of_kind",
+    "spark_names",
+    "spark_profile",
+]

@@ -1,0 +1,79 @@
+"""iBench-style interference microbenchmarks.
+
+iBench (Delimitrou & Kozyrakis, 2013) provides single-resource
+"trashing" benchmarks.  The paper co-locates four kinds — cpu, l2, l3
+(LLC) and memBw — in the characterization sweeps (Figs. 2 and 5) and as
+background interference in the scenario generator (§V-B1).
+
+Each profile trashes exactly one resource; calibration of the memBw
+instance follows Fig. 2: four remote instances sit just below the
+channel's saturation knee (latency still ~350 cycles) while eight
+saturate it (latency ~900 cycles, delivered throughput pinned at the
+~2.5 Gbps cap).
+"""
+
+from __future__ import annotations
+
+from repro.workloads.base import SensitivityVector, WorkloadKind, WorkloadProfile
+
+__all__ = ["IBENCH_KINDS", "IBENCH", "ibench_profile"]
+
+#: The four interference targets of the paper.
+IBENCH_KINDS: tuple[str, ...] = ("cpu", "l2", "l3", "memBw")
+
+_INSENSITIVE = SensitivityVector(cpu=0.0, l2=0.0, llc=0.0, membw=0.0, link=0.0)
+
+
+def _ibench(name: str, **kwargs) -> WorkloadProfile:
+    defaults = dict(
+        kind=WorkloadKind.INTERFERENCE,
+        nominal_runtime_s=60.0,
+        remote_slowdown=1.0,
+        cpu_threads=1.0,
+        l2_mb=0.0,
+        llc_mb=0.0,
+        llc_access_gbps=0.0,
+        mem_bw_gbps=0.0,
+        remote_bw_gbps=0.0,
+        footprint_gb=0.5,
+        # Trashers run open loop at fixed intensity; they do not slow
+        # down meaningfully themselves.
+        sensitivity=_INSENSITIVE,
+    )
+    defaults.update(kwargs)
+    return WorkloadProfile(name=name, **defaults)
+
+
+IBENCH: dict[str, WorkloadProfile] = {
+    # Multithreaded spinner: 16 instances oversubscribe the 64 logical
+    # cores of the borrower node (the regime where R7 stacking shows).
+    "cpu": _ibench("ibench-cpu", cpu_threads=4.0),
+    "l2": _ibench("ibench-l2", cpu_threads=0.5, l2_mb=1.0),
+    # 16 l3 instances demand 40 MB, i.e. 2x the 20 MB LLC — the regime
+    # the paper calls the "worst possible performance degradation" (R6).
+    "l3": _ibench(
+        "ibench-l3", cpu_threads=0.5, llc_mb=2.5, llc_access_gbps=2.0
+    ),
+    # One memBw instance moves ~6 Gbps against local DRAM; against the
+    # link it offers ~0.45 Gbps so that 4 instances (1.8 Gbps) stay
+    # below the saturation knee of the 2.5 Gbps channel while 8
+    # (3.6 Gbps) saturate it and triple the latency (Fig. 2, R2).
+    "memBw": _ibench(
+        "ibench-memBw",
+        cpu_threads=0.5,
+        llc_access_gbps=3.0,
+        mem_bw_gbps=6.0,
+        remote_bw_gbps=0.45,
+        footprint_gb=2.0,
+    ),
+}
+
+
+def ibench_profile(kind: str) -> WorkloadProfile:
+    """Look up the interference profile for one of the four targets."""
+    try:
+        return IBENCH[kind]
+    except KeyError:
+        raise KeyError(
+            f"unknown iBench kind {kind!r}; available: {list(IBENCH_KINDS)}"
+        ) from None

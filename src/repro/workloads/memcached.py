@@ -1,0 +1,35 @@
+"""Memcached latency-critical workload profile.
+
+Memcached is multi-threaded, so it sustains a higher nominal throughput
+(~100,000 ops/s under the §IV-A memtier configuration: 4 threads x 200
+clients, 40,000 requests per client) at a lower base tail latency than
+Redis.  Like Redis it is mode-insensitive in isolation (R4) and mostly
+memory-bandwidth sensitive (R6).
+"""
+
+from __future__ import annotations
+
+from repro.workloads.base import SensitivityVector, WorkloadKind
+from repro.workloads.redis import LCProfile
+
+__all__ = ["MEMCACHED"]
+
+MEMCACHED = LCProfile(
+    name="memcached",
+    kind=WorkloadKind.LATENCY_CRITICAL,
+    nominal_runtime_s=320.0,  # ~32M requests at ~100k ops/s
+    remote_slowdown=1.015,
+    stacking=0.0,
+    cpu_threads=8.0,
+    l2_mb=0.8,
+    llc_mb=2.0,
+    llc_access_gbps=2.5,
+    mem_bw_gbps=1.2,
+    remote_bw_gbps=0.25,
+    footprint_gb=24.0,
+    sensitivity=SensitivityVector(cpu=0.35, l2=0.1, llc=0.2, membw=0.65, link=0.45),
+    base_p99_ms=0.8,
+    tail_ratio=2.0,
+    ops_per_sec=100000.0,
+    nominal_rho=0.5,
+)

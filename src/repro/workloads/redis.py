@@ -1,0 +1,70 @@
+"""Redis latency-critical workload profile.
+
+Redis is a single-threaded in-memory key/value store.  §IV-A drives it
+with memtier: 4 threads x 200 closed-loop clients, SET:GET 1:10,
+10,000 requests per client, ~30,000 operations served per second.
+
+Characterization facts encoded here (R4, R6):
+
+* local and remote tail-latency curves are almost identical in
+  isolation — small reads/writes exert minimal bandwidth pressure, so
+  ``remote_slowdown`` is ~1;
+* pointer chasing has poor on-chip spatial locality, so Redis is barely
+  LLC-sensitive but reacts to memory-bandwidth (and, in remote mode,
+  link) saturation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.workloads.base import SensitivityVector, WorkloadKind, WorkloadProfile
+
+__all__ = ["LCProfile", "REDIS"]
+
+
+@dataclass(frozen=True)
+class LCProfile(WorkloadProfile):
+    """Latency-critical profile: adds the serving/latency dimensions."""
+
+    #: p99 response time in isolation at the nominal load, in ms.
+    base_p99_ms: float = 1.0
+    #: p99.9 / p99 ratio in the calm regime.
+    tail_ratio: float = 2.0
+    #: Nominal served throughput (operations per second).
+    ops_per_sec: float = 30000.0
+    #: Server utilization at the nominal load (queueing headroom).
+    nominal_rho: float = 0.45
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        if self.base_p99_ms <= 0:
+            raise ValueError("base_p99_ms must be positive")
+        if self.tail_ratio < 1:
+            raise ValueError("tail_ratio must be >= 1")
+        if self.ops_per_sec <= 0:
+            raise ValueError("ops_per_sec must be positive")
+        if not 0 < self.nominal_rho < 1:
+            raise ValueError("nominal_rho must be in (0, 1)")
+
+
+#: Redis server serving the memtier configuration of §IV-A.
+REDIS = LCProfile(
+    name="redis",
+    kind=WorkloadKind.LATENCY_CRITICAL,
+    nominal_runtime_s=270.0,  # ~8M requests at ~30k ops/s
+    remote_slowdown=1.02,
+    stacking=0.0,
+    cpu_threads=4.0,
+    l2_mb=0.5,
+    llc_mb=1.5,
+    llc_access_gbps=1.5,
+    mem_bw_gbps=0.6,
+    remote_bw_gbps=0.15,
+    footprint_gb=16.0,
+    sensitivity=SensitivityVector(cpu=0.3, l2=0.1, llc=0.15, membw=0.7, link=0.5),
+    base_p99_ms=1.5,
+    tail_ratio=2.2,
+    ops_per_sec=30000.0,
+    nominal_rho=0.45,
+)

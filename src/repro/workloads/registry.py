@@ -1,0 +1,67 @@
+"""Unified workload registry.
+
+One lookup point for every deployable workload: the 17 Spark benchmarks
+(BE), Redis and Memcached (LC) and the four iBench interference kinds.
+The scenario generator draws from this pool (§V-B1).
+"""
+
+from __future__ import annotations
+
+from repro.workloads.base import WorkloadKind, WorkloadProfile
+from repro.workloads.ibench import IBENCH
+from repro.workloads.memcached import MEMCACHED
+from repro.workloads.redis import REDIS
+from repro.workloads.spark import SPARK_BENCHMARKS
+
+__all__ = [
+    "all_profiles",
+    "get_profile",
+    "profiles_of_kind",
+    "be_profiles",
+    "lc_profiles",
+    "interference_profiles",
+]
+
+
+def all_profiles() -> dict[str, WorkloadProfile]:
+    """Every registered workload keyed by profile name."""
+    registry: dict[str, WorkloadProfile] = {}
+    registry.update(SPARK_BENCHMARKS)
+    registry[REDIS.name] = REDIS
+    registry[MEMCACHED.name] = MEMCACHED
+    for profile in IBENCH.values():
+        registry[profile.name] = profile
+    return registry
+
+
+def get_profile(name: str) -> WorkloadProfile:
+    registry = all_profiles()
+    try:
+        return registry[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown workload {name!r}; available: {sorted(registry)}"
+        ) from None
+
+
+def profiles_of_kind(kind: WorkloadKind) -> dict[str, WorkloadProfile]:
+    return {
+        name: profile
+        for name, profile in all_profiles().items()
+        if profile.kind is kind
+    }
+
+
+def be_profiles() -> dict[str, WorkloadProfile]:
+    """The Spark best-effort pool."""
+    return profiles_of_kind(WorkloadKind.BEST_EFFORT)
+
+
+def lc_profiles() -> dict[str, WorkloadProfile]:
+    """The latency-critical pool (Redis, Memcached)."""
+    return profiles_of_kind(WorkloadKind.LATENCY_CRITICAL)
+
+
+def interference_profiles() -> dict[str, WorkloadProfile]:
+    """The iBench interference pool."""
+    return profiles_of_kind(WorkloadKind.INTERFERENCE)

@@ -1,0 +1,70 @@
+import pytest
+
+from repro.analysis import (
+    interference_heatmap,
+    interference_slowdown,
+    isolation_comparison,
+    lc_client_sweep,
+    link_saturation_sweep,
+)
+from repro.workloads import MemoryMode, REDIS, spark_profile
+
+
+class TestLinkSaturationSweep:
+    def test_point_fields(self):
+        points = link_saturation_sweep(counts=(1, 8))
+        assert points[0].n_microbenchmarks == 1
+        assert points[1].offered_gbps > points[0].offered_gbps
+        assert points[1].counters.rmt_tx_flits > 0
+
+    def test_invalid_counts(self):
+        with pytest.raises(ValueError):
+            link_saturation_sweep(counts=(0,))
+
+
+class TestIsolationComparison:
+    def test_ratio_consistency(self):
+        results = isolation_comparison([spark_profile("gmm")])
+        entry = results["gmm"]
+        assert entry["ratio"] == pytest.approx(entry["remote"] / entry["local"])
+        assert entry["local"] == pytest.approx(110.0, abs=1.5)
+
+
+class TestLcClientSweep:
+    def test_modes_and_lengths(self):
+        sweeps = lc_client_sweep(REDIS, client_counts=(100, 800))
+        assert set(sweeps) == {"local", "remote"}
+        assert len(sweeps["local"]) == 2
+        # More clients -> higher tail latency in both modes.
+        for mode in sweeps.values():
+            assert mode[1].p99_ms > mode[0].p99_ms
+
+
+class TestInterferenceSlowdown:
+    def test_zero_trashers_equals_isolation(self):
+        profile = spark_profile("gmm")
+        runtime = interference_slowdown(profile, "cpu", 0, MemoryMode.LOCAL)
+        assert runtime == pytest.approx(profile.nominal_runtime_s, abs=1.5)
+
+    def test_more_trashers_more_slowdown(self):
+        profile = spark_profile("pagerank")
+        a = interference_slowdown(profile, "l3", 4, MemoryMode.LOCAL)
+        b = interference_slowdown(profile, "l3", 16, MemoryMode.LOCAL)
+        assert b > a
+
+    def test_negative_trashers_rejected(self):
+        with pytest.raises(ValueError):
+            interference_slowdown(spark_profile("gmm"), "cpu", -1, MemoryMode.LOCAL)
+
+
+class TestInterferenceHeatmap:
+    def test_structure(self):
+        heatmap = interference_heatmap(
+            spark_profile("gmm"), counts=(1, 8), kinds=("cpu", "memBw")
+        )
+        assert set(heatmap) == {"cpu", "memBw"}
+        assert set(heatmap["cpu"]) == {1, 8}
+        # Ratios are remote/local and remote starts from remote_slowdown.
+        assert heatmap["cpu"][1] == pytest.approx(
+            spark_profile("gmm").remote_slowdown, rel=0.05
+        )

@@ -1,0 +1,78 @@
+import numpy as np
+import pytest
+
+from repro.analysis import ascii_scatter, ascii_timeseries
+
+
+class TestTimeseries:
+    def test_dimensions(self):
+        chart = ascii_timeseries(np.sin(np.linspace(0, 6, 200)),
+                                 width=40, height=8, title="T")
+        lines = chart.splitlines()
+        assert lines[0] == "T"
+        assert len(lines) == 1 + 8 + 1  # title + rows + axis
+        assert all("|" in line for line in lines[1:-1])
+
+    def test_extremes_labelled(self):
+        chart = ascii_timeseries(np.array([1.0, 5.0, 3.0]), width=10, height=4)
+        assert "5" in chart.splitlines()[0]
+        assert "1" in chart.splitlines()[3]
+
+    def test_monotone_series_rises(self):
+        chart = ascii_timeseries(np.arange(100.0), width=20, height=6)
+        lines = [l.split("|", 1)[1] for l in chart.splitlines()[:-1]]
+        first_col = [line[0] for line in lines]
+        last_col = [line[-1] for line in lines]
+        # The first column's dot is near the bottom, the last near the top.
+        assert first_col.index("*") > last_col.index("*")
+
+    def test_constant_series_safe(self):
+        chart = ascii_timeseries(np.full(50, 7.0), width=20, height=5)
+        assert "*" in chart
+
+    def test_downsampling_long_series(self):
+        chart = ascii_timeseries(np.random.default_rng(0).normal(size=10_000),
+                                 width=30, height=5)
+        body = chart.splitlines()[0].split("|", 1)
+        assert len(chart.splitlines()[0]) < 100
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ascii_timeseries(np.array([]))
+        with pytest.raises(ValueError):
+            ascii_timeseries(np.arange(5.0), width=4)
+
+
+class TestScatter:
+    def test_dimensions(self):
+        rng = np.random.default_rng(1)
+        chart = ascii_scatter(rng.normal(size=50), rng.normal(size=50),
+                              width=20, height=8)
+        lines = chart.splitlines()
+        assert len(lines) == 9  # rows + axis
+        assert lines[-1].startswith("+")
+
+    def test_diagonal_overlay_for_perfect_fit(self):
+        x = np.linspace(0, 10, 60)
+        chart = ascii_scatter(x, x, width=30, height=10, diagonal=True)
+        # A perfect fit means the stars sit on (and overwrite) the
+        # diagonal guide dots: bottom-left rises to top-right.
+        lines = chart.splitlines()[:-1]
+        assert "*" in lines[0][-8:] or "*" in lines[1][-8:]
+        assert "*" in lines[-1][:8] or "*" in lines[-2][:8]
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ascii_scatter(np.arange(3.0), np.arange(4.0))
+        with pytest.raises(ValueError):
+            ascii_scatter(np.array([]), np.array([]))
+
+
+class TestExperimentPlots:
+    def test_fig08_plot(self):
+        from repro.experiments import fig08_scenarios
+
+        result = fig08_scenarios.run(duration_s=400.0)
+        chart = result.plot()
+        assert "concurrent applications" in chart
+        assert chart.count("spawn {") == 3

@@ -1,0 +1,47 @@
+import pytest
+
+from repro.analysis import format_kv, format_table
+
+
+class TestFormatTable:
+    def test_alignment_and_content(self):
+        out = format_table(
+            ["name", "value"],
+            [("alpha", 1.5), ("b", 22)],
+            title="Demo",
+        )
+        lines = out.splitlines()
+        assert lines[0] == "Demo"
+        assert "name" in lines[1] and "value" in lines[1]
+        assert set(lines[2]) <= {"-", " "}
+        assert "alpha" in lines[3]
+        assert "22" in lines[4]
+
+    def test_row_width_mismatch_raises(self):
+        with pytest.raises(ValueError):
+            format_table(["a", "b"], [("only-one",)])
+
+    def test_empty_headers_raise(self):
+        with pytest.raises(ValueError):
+            format_table([], [])
+
+    def test_empty_rows_ok(self):
+        out = format_table(["a"], [])
+        assert "a" in out
+
+    def test_float_formatting(self):
+        out = format_table(["v"], [(1.23456,), (1e9,), (float("nan"),)])
+        assert "1.235" in out
+        assert "e+" in out
+        assert "nan" in out
+
+
+class TestFormatKv:
+    def test_alignment(self):
+        out = format_kv({"short": 1, "a-much-longer-key": 2.5}, title="T")
+        lines = out.splitlines()
+        assert lines[0] == "T"
+        assert lines[1].index(":") == lines[2].index(":")
+
+    def test_empty(self):
+        assert format_kv({}) == ""

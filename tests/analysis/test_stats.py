@@ -1,0 +1,42 @@
+import numpy as np
+import pytest
+
+from repro.analysis import DistributionSummary, relative_change, summarize
+
+
+class TestSummarize:
+    def test_basic_statistics(self):
+        summary = summarize(np.arange(1.0, 101.0))
+        assert summary.count == 100
+        assert summary.mean == pytest.approx(50.5)
+        assert summary.median == pytest.approx(50.5)
+        assert summary.minimum == 1.0
+        assert summary.maximum == 100.0
+        assert summary.p25 < summary.median < summary.p75 < summary.p99
+
+    def test_iqr(self):
+        summary = summarize(np.arange(1.0, 101.0))
+        assert summary.iqr() == pytest.approx(summary.p75 - summary.p25)
+
+    def test_nans_dropped(self):
+        summary = summarize(np.array([1.0, np.nan, 3.0]))
+        assert summary.count == 2
+        assert summary.mean == pytest.approx(2.0)
+
+    def test_all_nan_raises(self):
+        with pytest.raises(ValueError):
+            summarize(np.array([np.nan, np.nan]))
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            summarize(np.array([]))
+
+
+class TestRelativeChange:
+    def test_known(self):
+        assert relative_change(100.0, 115.0) == pytest.approx(0.15)
+        assert relative_change(100.0, 85.0) == pytest.approx(-0.15)
+
+    def test_zero_baseline_raises(self):
+        with pytest.raises(ValueError):
+            relative_change(0.0, 1.0)

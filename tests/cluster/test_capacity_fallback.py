@@ -1,0 +1,47 @@
+"""Capacity-pressure behaviour of the scenario runner.
+
+When the chosen pool cannot host an arrival the runner falls back to
+the other pool, and drops the arrival only when both are exhausted.
+"""
+
+import pytest
+
+from repro.cluster import ScenarioConfig, run_scenario
+from repro.hardware import NodeConfig, TestbedConfig
+from repro.workloads import MemoryMode, spark_profile
+
+
+class TestCapacityFallback:
+    def test_remote_overflow_falls_back_to_local(self):
+        # Remote pool fits a single 8 GB app; everything else must land
+        # in local DRAM instead of being dropped.
+        config = ScenarioConfig(duration_s=300.0, spawn_interval=(10, 20), seed=1)
+        testbed = TestbedConfig(node=NodeConfig(remote_gb=9.0))
+
+        def all_remote(profile, engine):
+            return MemoryMode.REMOTE
+
+        trace = run_scenario(config, scheduler=all_remote,
+                             pool=[spark_profile("scan")],
+                             testbed_config=testbed)
+        assert len(trace.records) > 1
+        local = [r for r in trace.records if r.mode is MemoryMode.LOCAL]
+        assert local, "overflow arrivals must fall back to local memory"
+
+    def test_total_exhaustion_drops_arrivals(self):
+        config = ScenarioConfig(duration_s=300.0, spawn_interval=(10, 20), seed=2)
+        testbed = TestbedConfig(node=NodeConfig(dram_gb=9.0, remote_gb=9.0))
+
+        def all_local(profile, engine):
+            return MemoryMode.LOCAL
+
+        # gmm runs 110 s with an 8 GB footprint: at one arrival every
+        # 10-20 s both 9 GB pools saturate and later arrivals drop.
+        trace = run_scenario(config, scheduler=all_local,
+                             pool=[spark_profile("gmm")],
+                             testbed_config=testbed)
+        from repro.cluster import generate_arrivals
+
+        arrivals = generate_arrivals(config, pool=[spark_profile("gmm")])
+        assert len(trace.records) < len(arrivals)
+        assert len(trace.records) >= 1

@@ -1,0 +1,107 @@
+import pytest
+
+from repro.cluster import CapacityError, ClusterEngine
+from repro.hardware import NodeConfig, Testbed, TestbedConfig
+from repro.workloads import MemoryMode, ibench_profile, spark_profile
+
+
+@pytest.fixture
+def engine():
+    return ClusterEngine(testbed=Testbed(TestbedConfig(counter_noise=0.0)))
+
+
+class TestTick:
+    def test_clock_advances_by_dt(self, engine):
+        engine.tick()
+        assert engine.now == pytest.approx(1.0)
+        engine.run_for(9.0)
+        assert engine.now == pytest.approx(10.0)
+
+    def test_trace_grows_per_tick(self, engine):
+        engine.run_for(5.0)
+        assert len(engine.trace) == 5
+
+    def test_app_ids_unique_and_increasing(self, engine):
+        a = engine.deploy(spark_profile("scan"), MemoryMode.LOCAL)
+        b = engine.deploy(spark_profile("scan"), MemoryMode.LOCAL)
+        assert b.app_id == a.app_id + 1
+
+    def test_run_backwards_rejected(self, engine):
+        with pytest.raises(ValueError):
+            engine.run_for(-1.0)
+
+    def test_invalid_dt(self):
+        with pytest.raises(ValueError):
+            ClusterEngine(dt=0.0)
+
+
+class TestCapacity:
+    def test_local_capacity_enforced(self):
+        small = TestbedConfig(node=NodeConfig(dram_gb=10.0))
+        engine = ClusterEngine(testbed=Testbed(small))
+        engine.deploy(spark_profile("scan"), MemoryMode.LOCAL)  # 8 GB
+        with pytest.raises(CapacityError):
+            engine.deploy(spark_profile("scan"), MemoryMode.LOCAL)
+
+    def test_remote_capacity_enforced(self):
+        small = TestbedConfig(node=NodeConfig(remote_gb=10.0))
+        engine = ClusterEngine(testbed=Testbed(small))
+        engine.deploy(spark_profile("scan"), MemoryMode.REMOTE)
+        with pytest.raises(CapacityError):
+            engine.deploy(spark_profile("scan"), MemoryMode.REMOTE)
+
+    def test_finished_deployments_release_capacity(self):
+        small = TestbedConfig(node=NodeConfig(dram_gb=10.0))
+        engine = ClusterEngine(testbed=Testbed(small))
+        engine.deploy(spark_profile("scan"), MemoryMode.LOCAL)
+        engine.run_until_idle()
+        engine.deploy(spark_profile("scan"), MemoryMode.LOCAL)  # fits again
+
+    def test_fits_and_used_capacity(self, engine):
+        assert engine.used_capacity_gb(MemoryMode.LOCAL) == 0.0
+        engine.deploy(spark_profile("scan"), MemoryMode.LOCAL)
+        assert engine.used_capacity_gb(MemoryMode.LOCAL) == 8.0
+        assert engine.fits(spark_profile("scan"), MemoryMode.LOCAL)
+
+
+class TestContention:
+    def test_colocated_apps_slow_each_other(self, engine):
+        solo_runtime = engine.measure_isolated(
+            spark_profile("pagerank"), MemoryMode.LOCAL
+        )
+        for _ in range(8):
+            engine.deploy(ibench_profile("l3"), MemoryMode.LOCAL, duration_s=1e6)
+        target = engine.deploy(spark_profile("pagerank"), MemoryMode.LOCAL)
+        while target.running:
+            engine.tick()
+        assert target.record().runtime_s > solo_runtime * 1.05
+
+    def test_pressure_with_hypothetical(self, engine):
+        baseline = engine.current_pressure()
+        with_app = engine.pressure_with(spark_profile("lr"), MemoryMode.REMOTE)
+        assert with_app.link.offered_gbps > baseline.link.offered_gbps
+        # The hypothetical must not mutate the engine.
+        assert engine.current_pressure().link.offered_gbps == pytest.approx(
+            baseline.link.offered_gbps
+        )
+
+    def test_measure_isolated_does_not_touch_engine(self, engine):
+        engine.deploy(spark_profile("scan"), MemoryMode.LOCAL)
+        before = len(engine.deployments)
+        engine.measure_isolated(spark_profile("lr"), MemoryMode.LOCAL)
+        assert len(engine.deployments) == before
+
+
+class TestHooks:
+    def test_on_finish_called_with_record(self, engine):
+        seen = []
+        engine.on_finish = seen.append
+        engine.deploy(spark_profile("scan"), MemoryMode.LOCAL)
+        engine.run_until_idle()
+        assert len(seen) == 1
+        assert seen[0].name == "scan"
+
+    def test_run_until_idle_timeout(self, engine):
+        engine.deploy(ibench_profile("cpu"), MemoryMode.LOCAL, duration_s=1e9)
+        with pytest.raises(RuntimeError):
+            engine.run_until_idle(max_seconds=5.0)

@@ -1,0 +1,60 @@
+"""Property-based invariants of the cluster engine."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cluster import ClusterEngine
+from repro.hardware import Testbed, TestbedConfig
+from repro.workloads import MemoryMode, spark_names, spark_profile
+
+
+APP_NAMES = st.sampled_from(spark_names())
+MODES = st.sampled_from([MemoryMode.LOCAL, MemoryMode.REMOTE])
+
+
+class TestEngineInvariants:
+    @given(name=APP_NAMES, mode=MODES)
+    @settings(max_examples=10, deadline=None)
+    def test_isolated_runtime_matches_profile(self, name, mode):
+        """In isolation the measured runtime equals the profile's
+        analytic isolated runtime (within one tick)."""
+        profile = spark_profile(name)
+        engine = ClusterEngine(testbed=Testbed(TestbedConfig(counter_noise=0.0)))
+        measured = engine.measure_isolated(profile, mode)
+        expected = profile.isolated_runtime(mode)
+        assert abs(measured - expected) <= 1.0 + 1e-9
+
+    @given(
+        names=st.lists(APP_NAMES, min_size=1, max_size=5),
+        mode=MODES,
+    )
+    @settings(max_examples=10, deadline=None)
+    def test_colocated_never_faster_than_isolated(self, names, mode):
+        """Adding tenants can only slow an application down."""
+        engine = ClusterEngine(testbed=Testbed(TestbedConfig(counter_noise=0.0)))
+        deployments = [engine.deploy(spark_profile(n), mode) for n in names]
+        engine.run_until_idle()
+        for name, deployment in zip(names, deployments):
+            isolated = spark_profile(name).isolated_runtime(mode)
+            assert deployment.record().runtime_s >= isolated - 1.0 - 1e-9
+
+    @given(names=st.lists(APP_NAMES, min_size=1, max_size=4))
+    @settings(max_examples=10, deadline=None)
+    def test_every_deployment_finishes_exactly_once(self, names):
+        engine = ClusterEngine()
+        for name in names:
+            engine.deploy(spark_profile(name), MemoryMode.LOCAL)
+        engine.run_until_idle()
+        assert len(engine.trace.records) == len(names)
+        app_ids = [r.app_id for r in engine.trace.records]
+        assert len(app_ids) == len(set(app_ids))
+
+    @given(names=st.lists(APP_NAMES, min_size=1, max_size=4))
+    @settings(max_examples=10, deadline=None)
+    def test_counters_nonnegative_throughout(self, names):
+        engine = ClusterEngine()
+        for name in names:
+            engine.deploy(spark_profile(name), MemoryMode.REMOTE)
+        engine.run_for(30.0)
+        assert np.all(engine.trace.metrics >= 0.0)

@@ -1,0 +1,94 @@
+"""Multi-node fleet tests (the §VII scalability extension)."""
+
+import pytest
+
+from repro.cluster import (
+    CapacityError,
+    ClusterFleet,
+    FleetDecision,
+    LeastLoadedPlacement,
+)
+from repro.hardware import NodeConfig, TestbedConfig
+from repro.workloads import MemoryMode, ibench_profile, spark_profile
+
+
+class TestFleetBasics:
+    def test_nodes_independent(self):
+        fleet = ClusterFleet(n_nodes=2)
+        fleet.deploy(spark_profile("lr"), FleetDecision(0, MemoryMode.LOCAL))
+        p0 = fleet.engines[0].current_pressure()
+        p1 = fleet.engines[1].current_pressure()
+        assert p0.cpu_utilization > 0
+        assert p1.cpu_utilization == 0
+
+    def test_lockstep_clock(self):
+        fleet = ClusterFleet(n_nodes=3)
+        fleet.run_for(10.0)
+        assert all(e.now == pytest.approx(10.0) for e in fleet.engines)
+
+    def test_run_until_idle_collects_records(self):
+        fleet = ClusterFleet(n_nodes=2)
+        fleet.deploy(spark_profile("scan"), FleetDecision(0, MemoryMode.LOCAL))
+        fleet.deploy(spark_profile("scan"), FleetDecision(1, MemoryMode.REMOTE))
+        fleet.run_until_idle()
+        records = fleet.records()
+        assert len(records) == 2
+        assert {r.mode for r in records} == {MemoryMode.LOCAL, MemoryMode.REMOTE}
+
+    def test_invalid_node_index(self):
+        fleet = ClusterFleet(n_nodes=2)
+        with pytest.raises(ValueError):
+            fleet.deploy(spark_profile("scan"), FleetDecision(5, MemoryMode.LOCAL))
+
+    def test_invalid_construction(self):
+        with pytest.raises(ValueError):
+            ClusterFleet(n_nodes=0)
+
+    def test_deploy_anywhere_falls_through_nodes(self):
+        config = TestbedConfig(node=NodeConfig(dram_gb=10.0))
+        fleet = ClusterFleet(n_nodes=2, testbed_config=config)
+        a = fleet.deploy_anywhere(spark_profile("scan"), MemoryMode.LOCAL)
+        b = fleet.deploy_anywhere(spark_profile("scan"), MemoryMode.LOCAL)
+        assert {a.app_id, b.app_id} is not None
+        assert fleet.engines[0].running and fleet.engines[1].running
+        with pytest.raises(CapacityError):
+            fleet.deploy_anywhere(spark_profile("scan"), MemoryMode.LOCAL)
+
+
+class TestLoadBalancing:
+    def test_least_loaded_node_tracks_pressure(self):
+        fleet = ClusterFleet(n_nodes=2)
+        for _ in range(8):
+            fleet.deploy(ibench_profile("l3"), FleetDecision(0, MemoryMode.LOCAL),
+                         duration_s=1e6)
+        assert fleet.least_loaded_node() == 1
+        assert fleet.node_load(0) > fleet.node_load(1)
+
+    def test_least_loaded_placement_spreads_work(self):
+        from repro.orchestrator import AllLocalPolicy
+
+        fleet = ClusterFleet(n_nodes=2)
+        scheduler = LeastLoadedPlacement(AllLocalPolicy())
+        placements = []
+        for _ in range(6):
+            decision = scheduler(spark_profile("lr"), fleet)
+            fleet.deploy(spark_profile("lr"), decision)
+            placements.append(decision.node_index)
+        # Work alternates: each placement raises the target's load.
+        assert set(placements) == {0, 1}
+        assert placements[0] != placements[1]
+
+    def test_capacity_fallback_across_pools(self):
+        from repro.orchestrator import AllRemotePolicy
+
+        config = TestbedConfig(node=NodeConfig(remote_gb=10.0))
+        fleet = ClusterFleet(n_nodes=2, testbed_config=config)
+        scheduler = LeastLoadedPlacement(AllRemotePolicy())
+        modes = []
+        for _ in range(4):
+            decision = scheduler(spark_profile("scan"), fleet)  # 8 GB each
+            fleet.deploy(spark_profile("scan"), decision)
+            modes.append(decision.mode)
+        # Two fit remotely (one per node); the rest fall back to local.
+        assert modes.count(MemoryMode.REMOTE) == 2
+        assert modes.count(MemoryMode.LOCAL) == 2

@@ -1,0 +1,114 @@
+import numpy as np
+import pytest
+
+from repro.cluster import (
+    ScenarioConfig,
+    default_pool,
+    generate_arrivals,
+    run_scenario,
+)
+from repro.workloads import MemoryMode, WorkloadKind, spark_profile
+
+
+class TestConfigValidation:
+    def test_bad_spawn_interval(self):
+        with pytest.raises(ValueError):
+            ScenarioConfig(spawn_interval=(40.0, 5.0))
+        with pytest.raises(ValueError):
+            ScenarioConfig(spawn_interval=(0.0, 5.0))
+
+    def test_bad_duration(self):
+        with pytest.raises(ValueError):
+            ScenarioConfig(duration_s=0.0)
+
+
+class TestDefaultPool:
+    def test_composition(self):
+        pool = default_pool()
+        names = {p.name for p in pool}
+        assert len(pool) == 23
+        assert "redis" in names and "memcached" in names
+        assert "ibench-memBw" in names
+
+
+class TestGenerateArrivals:
+    def test_deterministic_for_seed(self):
+        config = ScenarioConfig(duration_s=600, seed=5)
+        a = generate_arrivals(config)
+        b = generate_arrivals(config)
+        assert [(x.time, x.profile.name, x.mode) for x in a] == [
+            (x.time, x.profile.name, x.mode) for x in b
+        ]
+
+    def test_different_seeds_differ(self):
+        a = generate_arrivals(ScenarioConfig(duration_s=600, seed=1))
+        b = generate_arrivals(ScenarioConfig(duration_s=600, seed=2))
+        assert [x.profile.name for x in a] != [x.profile.name for x in b]
+
+    def test_interarrival_within_bounds(self):
+        config = ScenarioConfig(duration_s=2000, spawn_interval=(5, 20), seed=3)
+        arrivals = generate_arrivals(config)
+        times = [a.time for a in arrivals]
+        gaps = np.diff(times)
+        assert np.all(gaps >= 5.0 - 1e-9) and np.all(gaps <= 20.0 + 1e-9)
+        assert times[-1] < 2000
+
+    def test_heavier_interval_means_more_arrivals(self):
+        heavy = generate_arrivals(ScenarioConfig(duration_s=1800, spawn_interval=(5, 20), seed=4))
+        light = generate_arrivals(ScenarioConfig(duration_s=1800, spawn_interval=(5, 60), seed=4))
+        assert len(heavy) > len(light)
+
+    def test_interference_gets_durations(self):
+        arrivals = generate_arrivals(ScenarioConfig(duration_s=3000, seed=6))
+        for arrival in arrivals:
+            if arrival.profile.kind is WorkloadKind.INTERFERENCE:
+                assert arrival.duration_s is not None
+            else:
+                assert arrival.duration_s is None
+
+    def test_scheduler_mode_deferred(self):
+        arrivals = generate_arrivals(
+            ScenarioConfig(duration_s=600, seed=7), random_modes=False
+        )
+        assert all(a.mode is None for a in arrivals)
+
+    def test_empty_pool_rejected(self):
+        with pytest.raises(ValueError):
+            generate_arrivals(ScenarioConfig(), pool=[])
+
+
+class TestRunScenario:
+    def test_all_arrivals_complete_with_drain(self):
+        config = ScenarioConfig(duration_s=400, spawn_interval=(10, 30), seed=8)
+        trace = run_scenario(config)
+        arrivals = generate_arrivals(config)
+        assert len(trace.records) == len(arrivals)
+
+    def test_scheduler_overrides_modes(self):
+        config = ScenarioConfig(duration_s=400, spawn_interval=(10, 30), seed=9)
+
+        def all_local(profile, engine):
+            return MemoryMode.LOCAL
+
+        trace = run_scenario(config, scheduler=all_local)
+        assert all(r.mode is MemoryMode.LOCAL for r in trace.records)
+
+    def test_same_seed_same_arrival_sequence_across_policies(self):
+        config = ScenarioConfig(duration_s=400, spawn_interval=(10, 30), seed=10)
+        t1 = run_scenario(config, scheduler=lambda p, e: MemoryMode.LOCAL)
+        t2 = run_scenario(config, scheduler=lambda p, e: MemoryMode.REMOTE)
+        assert [r.name for r in sorted(t1.records, key=lambda r: r.arrival_time)] == [
+            r.name for r in sorted(t2.records, key=lambda r: r.arrival_time)
+        ]
+
+    def test_restricted_pool(self):
+        config = ScenarioConfig(duration_s=300, spawn_interval=(10, 30), seed=11)
+        trace = run_scenario(config, pool=[spark_profile("scan")])
+        assert all(r.name == "scan" for r in trace.records)
+
+    def test_no_drain_leaves_trace_at_duration(self):
+        config = ScenarioConfig(
+            duration_s=300, spawn_interval=(10, 30), seed=12, drain=False
+        )
+        trace = run_scenario(config)
+        assert trace.times[-1] == pytest.approx(300.0, abs=1.5)

@@ -1,0 +1,108 @@
+import numpy as np
+import pytest
+
+from repro.cluster import Trace
+from repro.cluster.deployment import DeploymentRecord
+from repro.hardware import METRIC_NAMES, PerfCounters
+from repro.workloads import MemoryMode, WorkloadKind
+
+
+def make_trace(n_ticks=10, dt=1.0):
+    trace = Trace(dt=dt)
+    for i in range(n_ticks):
+        counters = PerfCounters.from_array(np.full(len(METRIC_NAMES), float(i)))
+        trace.append((i + 1) * dt, counters, n_running=i % 3)
+    return trace
+
+
+def make_record(name="scan", kind=WorkloadKind.BEST_EFFORT,
+                mode=MemoryMode.LOCAL, traffic=0.0, p99=float("nan")):
+    return DeploymentRecord(
+        app_id=0, name=name, kind=kind, mode=mode,
+        arrival_time=0.0, finish_time=10.0, runtime_s=10.0,
+        p99_ms=p99, p999_ms=p99, mean_slowdown=1.0, link_traffic_gb=traffic,
+    )
+
+
+class TestAppend:
+    def test_timestamps_must_increase(self):
+        trace = make_trace(3)
+        with pytest.raises(ValueError):
+            trace.append(2.0, PerfCounters.zeros(), 0)
+
+    def test_length(self):
+        assert len(make_trace(7)) == 7
+
+
+class TestMetricAccess:
+    def test_metrics_matrix_shape(self):
+        trace = make_trace(5)
+        assert trace.metrics.shape == (5, len(METRIC_NAMES))
+
+    def test_metric_by_name(self):
+        trace = make_trace(5)
+        assert np.allclose(trace.metric("llc_loads"), np.arange(5.0))
+
+    def test_unknown_metric_raises(self):
+        with pytest.raises(KeyError):
+            make_trace(2).metric("bogus")
+
+    def test_empty_trace_metrics(self):
+        trace = Trace()
+        assert trace.metrics.shape == (0, len(METRIC_NAMES))
+
+
+class TestWindows:
+    def test_window_exact(self):
+        trace = make_trace(10)
+        window = trace.window(end_time=10.0, length_s=4.0)
+        assert window.shape == (4, len(METRIC_NAMES))
+        assert np.allclose(window[:, 0], [6, 7, 8, 9])
+
+    def test_window_zero_pads_before_start(self):
+        trace = make_trace(3)
+        window = trace.window(end_time=3.0, length_s=5.0)
+        assert window.shape == (5, len(METRIC_NAMES))
+        assert np.allclose(window[:2, 0], 0.0)
+        assert np.allclose(window[2:, 0], [0, 1, 2])
+
+    def test_window_invalid_length(self):
+        with pytest.raises(ValueError):
+            make_trace(3).window(3.0, 0.0)
+
+    def test_horizon_mean(self):
+        trace = make_trace(10)
+        mean = trace.horizon_mean(start_time=2.0, length_s=4.0)
+        assert mean[0] == pytest.approx(np.mean([2, 3, 4, 5]))
+
+    def test_horizon_outside_trace_raises(self):
+        with pytest.raises(ValueError):
+            make_trace(3).horizon_mean(start_time=10.0, length_s=5.0)
+
+
+class TestRecordQueries:
+    def test_records_of_kind_and_name(self):
+        trace = make_trace(2)
+        trace.add_record(make_record("scan"))
+        trace.add_record(make_record("redis", kind=WorkloadKind.LATENCY_CRITICAL))
+        assert len(trace.records_of_kind(WorkloadKind.BEST_EFFORT)) == 1
+        assert trace.records_for("redis")[0].name == "redis"
+
+    def test_offload_fraction_excludes_interference(self):
+        trace = make_trace(2)
+        trace.add_record(make_record("scan", mode=MemoryMode.REMOTE))
+        trace.add_record(make_record("scan", mode=MemoryMode.LOCAL))
+        trace.add_record(
+            make_record("ibench-cpu", kind=WorkloadKind.INTERFERENCE,
+                        mode=MemoryMode.REMOTE)
+        )
+        assert trace.offload_fraction() == pytest.approx(0.5)
+
+    def test_offload_fraction_empty(self):
+        assert make_trace(1).offload_fraction() == 0.0
+
+    def test_total_link_traffic(self):
+        trace = make_trace(1)
+        trace.add_record(make_record(traffic=2.0))
+        trace.add_record(make_record(traffic=3.0))
+        assert trace.total_link_traffic_gb() == pytest.approx(5.0)

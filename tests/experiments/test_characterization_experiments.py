@@ -1,0 +1,101 @@
+"""Tests for the training-free experiment drivers (Figs. 2-5, 8)."""
+
+import numpy as np
+import pytest
+
+from repro.experiments import (
+    fig02_link_saturation,
+    fig03_spark_isolation,
+    fig04_lc_isolation,
+    fig05_interference_heatmap,
+    fig08_scenarios,
+)
+
+
+class TestFig2:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return fig02_link_saturation.run()
+
+    def test_r1_throughput_cap(self, result):
+        assert result.throughput_cap_gbps == pytest.approx(2.5, abs=0.01)
+
+    def test_r2_latency_regimes(self, result):
+        assert result.base_latency_cycles == pytest.approx(350, abs=10)
+        assert result.saturated_latency_cycles == pytest.approx(900, abs=20)
+
+    def test_format_contains_all_rows(self, result):
+        text = result.format()
+        for count in fig02_link_saturation.COUNTS:
+            assert f"\n{count} " in text or text.splitlines()
+
+
+class TestFig3:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return fig03_spark_isolation.run()
+
+    def test_mean_band(self, result):
+        assert 0.15 <= result.mean_degradation <= 0.32
+
+    def test_extremes(self, result):
+        assert result.ratio("nweight") >= 1.8
+        assert result.ratio("gmm") <= 1.1
+
+    def test_covers_all_17(self, result):
+        assert len(result.results) == 17
+
+    def test_format(self, result):
+        text = result.format()
+        assert "nweight" in text and "MEAN" in text
+
+
+class TestFig4:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return fig04_lc_isolation.run()
+
+    def test_r4_modes_nearly_identical(self, result):
+        assert result.max_mode_gap("redis") < 0.12
+        assert result.max_mode_gap("memcached") < 0.12
+
+    def test_format(self, result):
+        assert "p99 local ms" in result.format()
+
+
+class TestFig5:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return fig05_interference_heatmap.run(
+            apps=("nweight", "gmm"), counts=(1, 8, 16)
+        )
+
+    def test_r5_chasm_for_membw(self, result):
+        assert result.ratio("nweight", "memBw", 16) > 1.5 * result.ratio(
+            "nweight", "memBw", 1
+        )
+
+    def test_ratios_bounded(self, result):
+        for app, heatmap in result.heatmaps.items():
+            for row in heatmap.values():
+                for ratio in row.values():
+                    assert 0.9 < ratio < 10.0
+
+    def test_format(self, result):
+        assert "memBw" in result.format()
+
+
+class TestFig8:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return fig08_scenarios.run(duration_s=900.0)
+
+    def test_heavier_spawn_more_concurrency(self, result):
+        by_spawn = {s.spawn_interval: s for s in result.summaries}
+        assert by_spawn[(5, 20)].mean_concurrent > by_spawn[(5, 60)].mean_concurrent
+
+    def test_metric_phases_have_spread(self, result):
+        assert all(s.mem_loads_std > 0 for s in result.summaries)
+
+    def test_format(self, result):
+        assert "{5,20}" in result.format()

@@ -1,0 +1,68 @@
+import pytest
+
+from repro.experiments.common import (
+    DEFAULT,
+    ExperimentScale,
+    PAPER,
+    QUICK,
+    eval_scenario_configs,
+    get_signatures,
+    get_traces,
+    scale_from_env,
+)
+
+
+#: Micro scale used only by the test suite: small enough that cached
+#: traces build in a couple of seconds.
+MICRO = ExperimentScale(
+    name="micro",
+    n_scenarios=2,
+    scenario_duration_s=600.0,
+    epochs_system=5,
+    epochs_performance=5,
+    n_eval_scenarios=1,
+    eval_duration_s=400.0,
+)
+
+
+class TestScales:
+    def test_paper_matches_section_vb1(self):
+        """The paper simulates 72 one-hour scenarios."""
+        assert PAPER.n_scenarios == 72
+        assert PAPER.scenario_duration_s == 3600.0
+
+    def test_ordering(self):
+        assert QUICK.n_scenarios < DEFAULT.n_scenarios < PAPER.n_scenarios
+
+    def test_scale_from_env(self, monkeypatch):
+        monkeypatch.setenv("ADRIAS_SCALE", "paper")
+        assert scale_from_env() is PAPER
+        monkeypatch.delenv("ADRIAS_SCALE")
+        assert scale_from_env() is QUICK
+        monkeypatch.setenv("ADRIAS_SCALE", "bogus")
+        with pytest.raises(ValueError):
+            scale_from_env()
+
+    def test_budget_mapping(self):
+        budget = QUICK.budget()
+        assert budget.n_scenarios == QUICK.n_scenarios
+        assert budget.epochs_system == QUICK.epochs_system
+
+
+class TestCaching:
+    def test_traces_cached_per_scale(self):
+        a = get_traces(MICRO)
+        b = get_traces(MICRO)
+        assert a is b
+        assert len(a) == MICRO.n_scenarios
+
+    def test_signatures_cached(self):
+        a = get_signatures()
+        b = get_signatures()
+        assert a is b
+        assert len(a) == 19  # 17 Spark + 2 LC
+
+    def test_eval_configs_disjoint_from_training_seeds(self):
+        train_seeds = {c.seed for c in MICRO.budget().scenario_configs()}
+        eval_seeds = {c.seed for c in eval_scenario_configs(MICRO)}
+        assert train_seeds.isdisjoint(eval_seeds)

@@ -1,0 +1,101 @@
+"""Smoke tests for the training-based experiment drivers at micro scale.
+
+These verify plumbing (shapes, keys, formatting, result invariants), not
+accuracy bands — accuracy is asserted at real scale by the benchmark
+harness (see ``benchmarks/``).
+"""
+
+import numpy as np
+import pytest
+
+from repro.experiments import (
+    fig06_correlation,
+    fig09_10_distributions,
+    fig13_be_accuracy,
+    fig14_lc_accuracy,
+    table1_system_state,
+)
+from repro.hardware import METRIC_NAMES
+from repro.workloads import WorkloadKind
+from tests.experiments.test_common import MICRO
+
+
+class TestFig6:
+    def test_result_structure(self):
+        result = fig06_correlation.run(scale=MICRO)
+        assert set(result.be.prior) == set(METRIC_NAMES)
+        assert result.lc.n_samples >= 3
+        assert "Pearson" in result.format()
+
+
+class TestFig9And10:
+    def test_be_distributions(self):
+        result = fig09_10_distributions.run(WorkloadKind.BEST_EFFORT, scale=MICRO)
+        assert len(result.distributions) > 0
+        for dist in result.distributions.values():
+            assert dist.local.count >= 2 and dist.remote.count >= 2
+        assert "Fig. 9" in result.format()
+
+    def test_lc_distributions(self):
+        result = fig09_10_distributions.run(
+            WorkloadKind.LATENCY_CRITICAL, scale=MICRO
+        )
+        assert "Fig. 10" in result.format()
+        for dist in result.distributions.values():
+            # Remote p99 medians sit at or above local ones.
+            assert dist.median_shift > -0.2
+
+
+class TestTable1:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return table1_system_state.run(scale=MICRO)
+
+    def test_all_metrics_reported(self, result):
+        assert set(result.r2_per_metric) == set(METRIC_NAMES)
+        assert result.average_r2 == pytest.approx(
+            np.mean(list(result.r2_per_metric.values()))
+        )
+
+    def test_residual_arrays_aligned(self, result):
+        assert result.actual.shape == result.predicted.shape
+
+    def test_format(self, result):
+        text = result.format()
+        assert "Table I" in text and "Avg." in text
+
+
+class TestFig13:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return fig13_be_accuracy.run(scale=MICRO)
+
+    def test_ablation_entries_present(self, result):
+        pairs = {(e.train_variant, e.test_variant) for e in result.ablation}
+        assert ("none", "none") in pairs
+        assert ("exec", "exec") in pairs
+        assert ("120", "pred") in pairs
+
+    def test_oracle_metrics_keys(self, result):
+        assert {"r2", "mae"} <= set(result.oracle_metrics)
+
+    def test_mae_per_benchmark_positive(self, result):
+        assert all(v > 0 for v in result.mae_per_benchmark.values())
+        for name in result.mae_per_benchmark:
+            assert result.relative_mae(name) > 0
+
+    def test_unknown_ablation_pair_raises(self, result):
+        with pytest.raises(KeyError):
+            result.ablation_r2("x", "y")
+
+    def test_format(self, result):
+        text = result.format()
+        assert "Fig. 13b" in text and "{120,pred}" in text
+
+
+class TestFig14:
+    def test_result_structure(self):
+        result = fig14_lc_accuracy.run(scale=MICRO)
+        assert {"r2", "mae"} <= set(result.metrics)
+        assert set(result.mae_per_benchmark) <= {"redis", "memcached"}
+        assert "Fig. 14" in result.format()

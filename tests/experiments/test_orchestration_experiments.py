@@ -1,0 +1,96 @@
+"""Smoke tests for the orchestration experiment drivers at micro scale.
+
+Structural plumbing only — quantitative §VI-B claims are asserted by
+the benchmark harness at real training scale.
+"""
+
+import numpy as np
+import pytest
+
+from repro.experiments import (
+    ablations,
+    fig16_be_orchestration,
+    fig17_lc_orchestration,
+    traffic_reduction,
+)
+from repro.workloads import WorkloadKind
+from tests.experiments.test_common import MICRO
+
+
+class TestFig16:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return fig16_be_orchestration.run(scale=MICRO, betas=(1.0, 0.7))
+
+    def test_policies_present(self, result):
+        assert {"random", "round-robin", "all-local",
+                "adrias-1", "adrias-0.7"} == set(result.results)
+
+    def test_offload_bounds(self, result):
+        for policy in result.results:
+            assert 0.0 <= result.offload(policy) <= 1.0
+        assert result.offload("all-local") == 0.0
+
+    def test_median_drop_reference_is_zero(self, result):
+        assert result.median_drop("all-local") == pytest.approx(0.0)
+
+    def test_placement_counts_consistent(self, result):
+        policy_result = result.results["random"]
+        for name in policy_result.benchmark_names(WorkloadKind.BEST_EFFORT):
+            local, remote = policy_result.placement_counts(name)
+            assert local + remote >= 1
+
+    def test_format(self, result):
+        assert "Fig. 16" in result.format()
+
+
+class TestFig17:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return fig17_lc_orchestration.run(scale=MICRO, levels=(0, 4))
+
+    def test_levels_and_policies(self, result):
+        assert set(result.by_level) == {0, 4}
+        for level in result.by_level.values():
+            assert {"random", "round-robin", "all-local", "adrias"} == set(level)
+
+    def test_qos_levels_monotone(self, result):
+        for thresholds in result.qos_levels.values():
+            assert all(b <= a + 1e-9 for a, b in zip(thresholds, thresholds[1:]))
+
+    def test_counts_consistent(self, result):
+        for level in result.by_level.values():
+            for apps in level.values():
+                for counts in apps.values():
+                    assert 0 <= counts["violations"] <= counts["total"]
+                    assert 0 <= counts["offloads"] <= counts["total"]
+
+    def test_all_local_never_offloads(self, result):
+        for level in result.by_level.values():
+            for counts in level["all-local"].values():
+                assert counts["offloads"] == 0
+
+    def test_format(self, result):
+        assert "Fig. 17" in result.format()
+
+
+class TestTraffic:
+    def test_entries_and_reductions(self):
+        result = traffic_reduction.run(scale=MICRO, betas=(0.8,))
+        assert {"random", "round-robin", "adrias-0.8"} == set(result.entries)
+        for entry in result.entries.values():
+            assert entry.traffic_gb >= 0
+            assert 0 <= entry.offload_fraction <= 1
+        assert result.reduction_vs("adrias-0.8", "random") <= 1.0
+        assert "traffic" in result.format().lower()
+
+
+class TestAblationDrivers:
+    def test_beta_sweep_structure(self):
+        points = ablations.beta_sweep(scale=MICRO, betas=(1.0, 0.6))
+        assert [p.beta for p in points] == [1.0, 0.6]
+        assert all(0 <= p.offload_fraction <= 1 for p in points)
+
+    def test_link_capacity_whatif(self):
+        results = ablations.link_capacity_whatif(capacities_gbps=(2.5, 40.0))
+        assert results[40.0] < results[2.5]

@@ -1,0 +1,44 @@
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.hardware import SharedCache
+
+
+class TestSharedCache:
+    def test_no_inflation_below_floor(self):
+        cache = SharedCache(20.0, pressure_floor=0.7)
+        state = cache.resolve(10.0)
+        assert state.miss_inflation == 0.0
+        assert not state.oversubscribed
+
+    def test_inflation_grows_linearly_past_floor(self):
+        cache = SharedCache(20.0, pressure_floor=0.7, inflation_slope=1.0)
+        assert cache.resolve(20.0).miss_inflation == pytest.approx(0.3)
+        assert cache.resolve(40.0).miss_inflation == pytest.approx(1.3)
+
+    def test_oversubscription_flag(self):
+        cache = SharedCache(20.0)
+        assert cache.resolve(25.0).oversubscribed
+        assert not cache.resolve(20.0).oversubscribed
+
+    @given(demand=st.floats(min_value=0, max_value=1000, allow_nan=False))
+    @settings(max_examples=50, deadline=None)
+    def test_inflation_nonnegative_and_monotone(self, demand):
+        cache = SharedCache(20.0)
+        state = cache.resolve(demand)
+        assert state.miss_inflation >= 0.0
+        bigger = cache.resolve(demand + 1.0)
+        assert bigger.miss_inflation >= state.miss_inflation
+
+    def test_negative_demand_raises(self):
+        with pytest.raises(ValueError):
+            SharedCache(20.0).resolve(-1.0)
+
+    def test_invalid_construction(self):
+        with pytest.raises(ValueError):
+            SharedCache(0.0)
+        with pytest.raises(ValueError):
+            SharedCache(10.0, pressure_floor=1.0)
+        with pytest.raises(ValueError):
+            SharedCache(10.0, inflation_slope=0.0)

@@ -1,0 +1,89 @@
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.hardware import LinkConfig, ThymesisFlowLink
+
+
+@pytest.fixture
+def link():
+    return ThymesisFlowLink()
+
+
+class TestThroughputCap:
+    """Remark R1: delivered throughput is bounded at ~2.5 Gbps."""
+
+    def test_below_capacity_passes_through(self, link):
+        state = link.resolve(1.0)
+        assert state.delivered_gbps == pytest.approx(1.0)
+        assert state.backpressure == pytest.approx(1.0)
+        assert not state.saturated
+
+    def test_above_capacity_capped(self, link):
+        state = link.resolve(10.0)
+        assert state.delivered_gbps == pytest.approx(2.5)
+        assert state.saturated
+
+    @given(offered=st.floats(min_value=0, max_value=100, allow_nan=False))
+    @settings(max_examples=50, deadline=None)
+    def test_delivered_never_exceeds_min(self, offered):
+        state = ThymesisFlowLink().resolve(offered)
+        assert state.delivered_gbps <= min(offered, 2.5) + 1e-12
+        assert state.backpressure >= 1.0
+
+    def test_zero_offered(self, link):
+        state = link.resolve(0.0)
+        assert state.delivered_gbps == 0.0
+        assert state.backpressure == 1.0
+
+
+class TestLatencyRegimes:
+    """Remark R2: ~350 cycles flat, stepping to ~900 past saturation."""
+
+    def test_unloaded_latency_near_base(self, link):
+        assert link.resolve(0.0).latency_cycles == pytest.approx(350, abs=5)
+
+    def test_saturated_latency_near_plateau(self, link):
+        assert link.resolve(10.0).latency_cycles == pytest.approx(900, abs=5)
+
+    def test_latency_monotone_in_utilization(self, link):
+        latencies = [link.resolve(o).latency_cycles for o in np.linspace(0, 8, 50)]
+        assert all(b >= a - 1e-9 for a, b in zip(latencies, latencies[1:]))
+
+    def test_knee_between_four_and_eight_trashers(self, link):
+        # Per-trasher offered load from the iBench memBw calibration.
+        per = 0.45
+        assert link.resolve(4 * per).latency_cycles < 450
+        assert link.resolve(8 * per).latency_cycles > 850
+
+    def test_latency_ratio_property(self, link):
+        state = link.resolve(10.0)
+        assert state.latency_ratio == pytest.approx(900 / 350 - 1, abs=0.05)
+
+
+class TestFlits:
+    def test_flit_count_conversion(self, link):
+        # 2.5 Gbps for 1 s = 312.5 MB = ~9.77M 32-byte flits.
+        flits = link.flits(2.5, dt_s=1.0)
+        assert flits == int(2.5e9 / 8 / 32)
+
+    def test_negative_inputs_raise(self, link):
+        with pytest.raises(ValueError):
+            link.flits(-1.0)
+        with pytest.raises(ValueError):
+            link.resolve(-0.1)
+
+
+class TestConfigValidation:
+    def test_rejects_bad_capacity(self):
+        with pytest.raises(ValueError):
+            LinkConfig(capacity_gbps=0.0)
+
+    def test_rejects_inverted_latencies(self):
+        with pytest.raises(ValueError):
+            LinkConfig(base_latency_cycles=900, saturated_latency_cycles=300)
+
+    def test_custom_capacity_respected(self):
+        link = ThymesisFlowLink(LinkConfig(capacity_gbps=10.0))
+        assert link.resolve(50.0).delivered_gbps == pytest.approx(10.0)

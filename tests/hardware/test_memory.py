@@ -1,0 +1,54 @@
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.hardware import LocalMemory
+
+
+@pytest.fixture
+def dram():
+    return LocalMemory(bandwidth_gbps=120.0, capacity_gb=1200.0)
+
+
+class TestLocalMemory:
+    def test_light_load_unaffected(self, dram):
+        state = dram.resolve(30.0)
+        assert state.queuing_factor == 1.0
+        assert state.delivered_gbps == pytest.approx(30.0)
+
+    def test_queuing_past_floor(self, dram):
+        # floor 0.6 -> at 90/120 = 0.75 util, queue = 1 + 1.5*0.15
+        state = dram.resolve(90.0)
+        assert state.queuing_factor == pytest.approx(1.225)
+
+    def test_delivered_capped_at_bandwidth(self, dram):
+        state = dram.resolve(500.0)
+        assert state.delivered_gbps == pytest.approx(120.0)
+
+    def test_local_dram_much_harder_to_saturate_than_link(self, dram):
+        """Remark R5: 16 memBw trashers (~96 Gbps) stay below local
+        saturation while 8 (~3.6 Gbps offered) saturate the 2.5 Gbps link."""
+        state = dram.resolve(16 * 6.0)
+        assert state.utilization < 1.0
+        assert state.queuing_factor < 1.5
+
+    @given(demand=st.floats(min_value=0, max_value=1000, allow_nan=False))
+    @settings(max_examples=50, deadline=None)
+    def test_queuing_monotone(self, demand):
+        dram = LocalMemory(120.0, 1200.0)
+        assert (
+            dram.resolve(demand + 1.0).queuing_factor
+            >= dram.resolve(demand).queuing_factor
+        )
+
+    def test_negative_inputs_raise(self, dram):
+        with pytest.raises(ValueError):
+            dram.resolve(-1.0)
+        with pytest.raises(ValueError):
+            dram.resolve(1.0, used_gb=-1.0)
+
+    def test_invalid_construction(self):
+        with pytest.raises(ValueError):
+            LocalMemory(0.0, 10.0)
+        with pytest.raises(ValueError):
+            LocalMemory(10.0, 10.0, contention_floor=1.0)

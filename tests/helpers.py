@@ -1,0 +1,89 @@
+"""Shared test utilities: numerical gradient checking."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn.losses import MSELoss
+from repro.nn.module import Module
+
+
+def numeric_grad(f, array: np.ndarray, index: tuple, eps: float = 1e-6) -> float:
+    """Central-difference derivative of scalar ``f()`` w.r.t. one element."""
+    old = array[index]
+    array[index] = old + eps
+    up = f()
+    array[index] = old - eps
+    down = f()
+    array[index] = old
+    return (up - down) / (2 * eps)
+
+
+def check_param_grads(
+    module: Module,
+    inputs: tuple[np.ndarray, ...],
+    target: np.ndarray,
+    n_checks: int = 5,
+    tol: float = 1e-5,
+    rng: np.random.Generator | None = None,
+) -> None:
+    """Verify analytic parameter gradients against central differences.
+
+    Runs the module in eval-free deterministic mode is the caller's
+    responsibility (disable dropout by calling ``module.eval()`` and
+    re-enabling training-mode layers is NOT done here — pass modules
+    without stochastic layers, or set dropout p=0).
+    """
+    rng = rng if rng is not None else np.random.default_rng(0)
+    loss = MSELoss()
+
+    def forward_loss() -> float:
+        return loss.forward(module.forward(*inputs), target)
+
+    module.zero_grad()
+    value = forward_loss()
+    assert np.isfinite(value)
+    module.backward(loss.backward())
+
+    for param in module.parameters():
+        flat = param.value.reshape(-1)
+        flat_grad = param.grad.reshape(-1)
+        indices = rng.choice(flat.size, size=min(n_checks, flat.size), replace=False)
+        for idx in indices:
+            num = numeric_grad(forward_loss, flat, (idx,))
+            ana = flat_grad[idx]
+            assert abs(num - ana) <= tol * max(1.0, abs(num), abs(ana)), (
+                f"gradient mismatch for {param.name}[{idx}]: "
+                f"analytic {ana}, numeric {num}"
+            )
+
+
+def check_input_grad(
+    module: Module,
+    x: np.ndarray,
+    target: np.ndarray,
+    n_checks: int = 5,
+    tol: float = 1e-5,
+    rng: np.random.Generator | None = None,
+) -> None:
+    """Verify the returned input gradient against central differences."""
+    rng = rng if rng is not None else np.random.default_rng(0)
+    loss = MSELoss()
+
+    def forward_loss() -> float:
+        return loss.forward(module.forward(x), target)
+
+    module.zero_grad()
+    forward_loss()
+    dx = module.backward(loss.backward())
+    assert dx.shape == x.shape
+
+    flat_x = x.reshape(-1)
+    flat_dx = dx.reshape(-1)
+    indices = rng.choice(flat_x.size, size=min(n_checks, flat_x.size), replace=False)
+    for idx in indices:
+        num = numeric_grad(forward_loss, flat_x, (idx,))
+        ana = flat_dx[idx]
+        assert abs(num - ana) <= tol * max(1.0, abs(num), abs(ana)), (
+            f"input-gradient mismatch at {idx}: analytic {ana}, numeric {num}"
+        )

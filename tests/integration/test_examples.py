@@ -1,0 +1,77 @@
+"""Smoke tests: the shipped examples must run end to end.
+
+The two training-free examples run fully; the training examples are
+exercised through their underlying entry points elsewhere
+(tests/integration/test_pipeline.py) to keep the suite fast.
+"""
+
+import importlib.util
+import pathlib
+import sys
+
+import pytest
+
+EXAMPLES = pathlib.Path(__file__).resolve().parents[2] / "examples"
+
+
+def load_example(name: str):
+    spec = importlib.util.spec_from_file_location(name, EXAMPLES / f"{name}.py")
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+class TestQuickstart:
+    def test_runs_and_reports(self, capsys):
+        load_example("quickstart").main()
+        out = capsys.readouterr().out
+        assert "throughput cap 2.50 Gbps" in out
+        assert "mean remote degradation" in out
+        assert "nweight" in out
+
+
+class TestCapacityPlanning:
+    def test_runs_and_ranks(self, capsys):
+        load_example("capacity_planning").main()
+        out = capsys.readouterr().out
+        assert "saturation knee" in out
+        assert "safest offload candidates" in out
+        # The mild benchmarks must rank safest.
+        tail = out.split("safest offload candidates:")[1]
+        assert "gmm" in tail and "pca" in tail
+        assert "nweight" not in tail
+
+
+class TestMultiNodeFleet:
+    def test_runs_and_balancing_helps(self, capsys):
+        load_example("multi_node_fleet").main()
+        out = capsys.readouterr().out
+        assert "least-loaded node" in out
+        assert "improves the median runtime" in out
+
+
+class TestHeterogeneousTiers:
+    def test_runs_and_keeps_sensitive_apps_local(self, capsys):
+        load_example("heterogeneous_tiers").main()
+        out = capsys.readouterr().out
+        assert "beta = 0.6" in out
+        assert "nweight/lr stay in local DRAM" in out
+
+
+class TestOfflineWorkflow:
+    def test_runs_end_to_end(self, capsys, tmp_path, monkeypatch):
+        module = load_example("offline_training_workflow")
+        monkeypatch.setattr(sys, "argv", ["prog", str(tmp_path)])
+        module.main()
+        out = capsys.readouterr().out
+        assert "verified after reload" in out
+        assert (tmp_path / "system_state.npz").exists()
+        assert (tmp_path / "scenario_0.npz").exists()
+
+
+class TestTrainingExamplesImportable:
+    @pytest.mark.parametrize("name", ["orchestrate_cluster", "online_prediction"])
+    def test_module_loads_without_executing(self, name):
+        # Importing must not kick off training (guarded by __main__).
+        module = load_example(name)
+        assert callable(module.main)

@@ -1,0 +1,90 @@
+"""Fleet + Adrias integration: the full §VII scale-out picture.
+
+A trained Adrias policy drives mode decisions while the fleet layer
+picks nodes by predicted load — the complete centralized-orchestration
+design the paper sketches.
+"""
+
+import pytest
+
+from repro.cluster import (
+    ClusterFleet,
+    LeastLoadedPlacement,
+    ScenarioConfig,
+    generate_arrivals,
+)
+from repro.orchestrator import AdriasPolicy, TrainingBudget, train_predictor
+from repro.workloads import MemoryMode, WorkloadKind
+
+
+@pytest.fixture(scope="module")
+def predictor():
+    return train_predictor(TrainingBudget(
+        n_scenarios=3, scenario_duration_s=900.0,
+        epochs_system=15, epochs_performance=30,
+    ))
+
+
+class TestFleetWithAdrias:
+    def test_full_scaleout_run(self, predictor):
+        fleet = ClusterFleet(n_nodes=2)
+        scheduler = LeastLoadedPlacement(
+            AdriasPolicy(predictor, beta=0.85, default_qos_ms=6.0)
+        )
+        arrivals = generate_arrivals(
+            ScenarioConfig(duration_s=600.0, spawn_interval=(5, 30), seed=31)
+        )
+        node_choices = []
+        for arrival in arrivals:
+            gap = arrival.time - fleet.now
+            if gap > 0:
+                fleet.run_for(gap)
+            decision = scheduler(arrival.profile, fleet)
+            fleet.deploy(arrival.profile, decision,
+                         duration_s=arrival.duration_s)
+            node_choices.append(decision.node_index)
+        fleet.run_until_idle()
+
+        records = fleet.records()
+        assert len(records) == len(arrivals)
+        # Work spreads across both nodes.
+        assert set(node_choices) == {0, 1}
+        # The Adrias mode rule still applies per node: some BE apps run
+        # on each memory pool.
+        be_modes = {
+            r.mode for r in records if r.kind is WorkloadKind.BEST_EFFORT
+        }
+        assert MemoryMode.LOCAL in be_modes
+        # Interference trashers never go remote under Adrias.
+        assert all(
+            r.mode is MemoryMode.LOCAL
+            for r in records if r.kind is WorkloadKind.INTERFERENCE
+        )
+
+    def test_balanced_fleet_beats_single_node(self, predictor):
+        def run(n_nodes):
+            fleet = ClusterFleet(n_nodes=n_nodes)
+            scheduler = LeastLoadedPlacement(
+                AdriasPolicy(predictor, beta=0.85, default_qos_ms=6.0)
+            )
+            arrivals = generate_arrivals(
+                ScenarioConfig(duration_s=600.0, spawn_interval=(5, 20),
+                               seed=32)
+            )
+            for arrival in arrivals:
+                gap = arrival.time - fleet.now
+                if gap > 0:
+                    fleet.run_for(gap)
+                decision = scheduler(arrival.profile, fleet)
+                fleet.deploy(arrival.profile, decision,
+                             duration_s=arrival.duration_s)
+            fleet.run_until_idle()
+            import numpy as np
+
+            runtimes = [
+                r.runtime_s for r in fleet.records()
+                if r.kind is WorkloadKind.BEST_EFFORT
+            ]
+            return float(np.median(runtimes))
+
+        assert run(n_nodes=3) < run(n_nodes=1)

@@ -1,0 +1,110 @@
+"""End-to-end integration: offline phase -> online orchestration.
+
+Exercises the full Fig. 7 pipeline at a micro scale: scenario simulation
+-> signature capture -> dataset generation -> model training -> Adrias
+policy replay against All-Local, verifying structural invariants of the
+whole system working together.
+"""
+
+import numpy as np
+import pytest
+
+from repro.cluster import ScenarioConfig
+from repro.models import FeatureConfig
+from repro.orchestrator import (
+    AdriasPolicy,
+    AllLocalPolicy,
+    Orchestrator,
+    RandomPolicy,
+    TrainingBudget,
+    compare_policies,
+    train_predictor,
+)
+from repro.workloads import MemoryMode, WorkloadKind
+
+
+@pytest.fixture(scope="module")
+def predictor():
+    budget = TrainingBudget(
+        n_scenarios=4, scenario_duration_s=900.0,
+        epochs_system=15, epochs_performance=30,
+    )
+    return train_predictor(budget)
+
+
+class TestOfflinePhase:
+    def test_predictor_fully_wired(self, predictor):
+        assert predictor.system_state is not None
+        assert predictor.be_performance is not None
+        assert predictor.lc_performance is not None
+        assert len(predictor.signatures) == 19
+
+    def test_system_state_predictions_sane(self, predictor):
+        config = predictor.config
+        rng = np.random.default_rng(0)
+        base = np.array([2e7, 6e6, 9e6, 4e6, 2e6, 2e6, 400.0])
+        history = np.abs(
+            base * rng.normal(1.0, 0.05, size=(config.history_raw_steps, 7))
+        )
+        s_hat = predictor.predict_system_state(history)
+        assert s_hat.shape == (7,)
+        assert np.all(np.isfinite(s_hat))
+        assert np.all(s_hat >= 0)
+
+
+class TestOnlinePhase:
+    @pytest.fixture(scope="class")
+    def replay(self, predictor):
+        policies = {
+            "all-local": AllLocalPolicy(),
+            "random": RandomPolicy(seed=3),
+            "adrias": AdriasPolicy(predictor, beta=0.85, default_qos_ms=6.0),
+        }
+        configs = [
+            ScenarioConfig(duration_s=700.0, spawn_interval=(5, 35), seed=777 + i)
+            for i in range(2)
+        ]
+        return compare_policies(policies, configs)
+
+    def test_adrias_offloads_something(self, replay):
+        assert replay["adrias"].offload_fraction() > 0.0
+
+    def test_adrias_traffic_accounting_consistent(self, replay):
+        """Offloads and link traffic must be jointly consistent.  (The
+        quantitative selectivity claims of §VI-B are asserted at real
+        training scale by the benchmark harness, not at this micro
+        scale where the model is deliberately under-trained.)"""
+        adrias = replay["adrias"]
+        assert adrias.total_link_traffic_gb() > 0
+        local_only = replay["all-local"]
+        assert local_only.total_link_traffic_gb() == 0.0
+
+    def test_policies_face_identical_arrivals(self, replay):
+        sets = [
+            sorted(r.name for t in result.traces for r in t.records)
+            for result in replay.values()
+        ]
+        assert sets[0] == sets[1] == sets[2]
+
+    def test_orchestrator_wrapper_in_scenario(self, predictor):
+        from repro.cluster import run_scenario
+
+        orchestrator = Orchestrator(
+            AdriasPolicy(predictor, beta=0.8, default_qos_ms=6.0)
+        )
+        trace = run_scenario(
+            ScenarioConfig(duration_s=500.0, spawn_interval=(5, 30), seed=555),
+            scheduler=orchestrator,
+        )
+        non_interference = [
+            r for r in trace.records if r.kind is not WorkloadKind.INTERFERENCE
+        ]
+        assert len(orchestrator.decisions) >= len(non_interference)
+        decided_remote = {
+            name for name, mode in orchestrator.decisions
+            if mode is MemoryMode.REMOTE
+        }
+        recorded_remote = {
+            r.name for r in non_interference if r.mode is MemoryMode.REMOTE
+        }
+        assert recorded_remote <= decided_remote

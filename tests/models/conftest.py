@@ -1,0 +1,33 @@
+"""Shared fixtures for model tests: tiny traces and signatures.
+
+Session-scoped so the (mildly expensive) simulation runs once for the
+whole model test module set.
+"""
+
+import pytest
+
+from repro.cluster import ScenarioConfig, run_scenario
+from repro.models import FeatureConfig, SignatureLibrary
+from repro.workloads import be_profiles, lc_profiles
+
+
+@pytest.fixture(scope="session")
+def tiny_traces():
+    configs = [
+        ScenarioConfig(duration_s=900.0, spawn_interval=(5, high), seed=s)
+        for s, high in enumerate((20, 40, 60))
+    ]
+    return [run_scenario(c) for c in configs]
+
+
+@pytest.fixture(scope="session")
+def feature_config():
+    return FeatureConfig()
+
+
+@pytest.fixture(scope="session")
+def signatures(feature_config):
+    library = SignatureLibrary(feature_config=feature_config)
+    library.capture_all(list(be_profiles().values()))
+    library.capture_all(list(lc_profiles().values()))
+    return library

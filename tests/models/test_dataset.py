@@ -1,0 +1,103 @@
+import numpy as np
+import pytest
+
+from repro.models import (
+    FeatureConfig,
+    build_performance_dataset,
+    build_system_state_dataset,
+)
+from repro.workloads import WorkloadKind
+
+
+class TestSystemStateDataset:
+    def test_shapes(self, tiny_traces, feature_config):
+        dataset = build_system_state_dataset(tiny_traces, feature_config)
+        n, t, m = dataset.windows.shape
+        assert n == len(dataset) > 0
+        assert t == feature_config.history_steps
+        assert m == feature_config.n_metrics
+        assert dataset.targets.shape == (n, m)
+
+    def test_stride_controls_density(self, tiny_traces):
+        sparse = build_system_state_dataset(tiny_traces, stride_s=60.0)
+        dense = build_system_state_dataset(tiny_traces, stride_s=15.0)
+        assert len(dense) > 2 * len(sparse)
+
+    def test_targets_are_horizon_means(self, tiny_traces, feature_config):
+        trace = tiny_traces[0]
+        dataset = build_system_state_dataset([trace], feature_config, stride_s=30.0)
+        expected = trace.horizon_mean(feature_config.history_s,
+                                      feature_config.horizon_s)
+        assert np.allclose(dataset.targets[0], expected)
+
+    def test_invalid_stride(self, tiny_traces):
+        with pytest.raises(ValueError):
+            build_system_state_dataset(tiny_traces, stride_s=0.0)
+
+    def test_empty_traces_raise(self):
+        with pytest.raises(ValueError):
+            build_system_state_dataset([])
+
+
+class TestPerformanceDataset:
+    @pytest.fixture(scope="class")
+    def be_dataset(self, tiny_traces, signatures, feature_config):
+        return build_performance_dataset(
+            tiny_traces, signatures, WorkloadKind.BEST_EFFORT, feature_config
+        )
+
+    def test_shapes_aligned(self, be_dataset, feature_config):
+        n = len(be_dataset)
+        assert n > 0
+        assert be_dataset.state.shape == (
+            n, feature_config.history_steps, feature_config.n_metrics
+        )
+        assert be_dataset.signature.shape == (
+            n, feature_config.signature_steps, feature_config.n_metrics
+        )
+        assert be_dataset.mode.shape == (n,)
+        assert be_dataset.future_120.shape == (n, feature_config.n_metrics)
+        assert be_dataset.future_exec.shape == (n, feature_config.n_metrics)
+        assert len(be_dataset.names) == n
+
+    def test_targets_positive_runtimes(self, be_dataset):
+        assert np.all(be_dataset.targets > 0)
+
+    def test_modes_binary(self, be_dataset):
+        assert set(np.unique(be_dataset.mode)) <= {0.0, 1.0}
+
+    def test_lc_dataset_has_p99_targets(self, tiny_traces, signatures):
+        lc = build_performance_dataset(
+            tiny_traces, signatures, WorkloadKind.LATENCY_CRITICAL
+        )
+        assert np.all(lc.targets > 0)
+        assert set(lc.names) <= {"redis", "memcached"}
+
+    def test_interference_kind_rejected(self, tiny_traces, signatures):
+        with pytest.raises(ValueError):
+            build_performance_dataset(
+                tiny_traces, signatures, WorkloadKind.INTERFERENCE
+            )
+
+    def test_split_is_partition(self, be_dataset):
+        train, test = be_dataset.split(test_fraction=0.4, seed=0)
+        assert len(train) + len(test) == len(be_dataset)
+        assert len(test) == pytest.approx(0.4 * len(be_dataset), abs=1)
+
+    def test_split_deterministic(self, be_dataset):
+        a_train, _ = be_dataset.split(seed=1)
+        b_train, _ = be_dataset.split(seed=1)
+        assert np.allclose(a_train.targets, b_train.targets)
+
+    def test_exclude_and_only_benchmark(self, be_dataset):
+        name = be_dataset.names[0]
+        without = be_dataset.exclude_benchmark(name)
+        only = be_dataset.only_benchmark(name)
+        assert name not in without.names
+        assert set(only.names) == {name}
+        assert len(without) + len(only) == len(be_dataset)
+
+    def test_subset_preserves_alignment(self, be_dataset):
+        subset = be_dataset.subset(np.array([0]))
+        assert subset.names[0] == be_dataset.names[0]
+        assert np.allclose(subset.targets[0], be_dataset.targets[0])

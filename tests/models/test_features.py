@@ -1,0 +1,58 @@
+import numpy as np
+import pytest
+
+from repro.models import FeatureConfig, encode_mode, subsample
+from repro.workloads import MemoryMode
+
+
+class TestFeatureConfig:
+    def test_paper_defaults(self):
+        """§V-B2: r = z = 120 s."""
+        config = FeatureConfig()
+        assert config.history_s == 120.0
+        assert config.horizon_s == 120.0
+        assert config.n_metrics == 7
+
+    def test_derived_steps(self):
+        config = FeatureConfig(history_s=120, sample_period_s=5)
+        assert config.history_steps == 24
+        assert config.history_raw_steps == 120
+        assert config.signature_steps == 12
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            FeatureConfig(history_s=0)
+        with pytest.raises(ValueError):
+            FeatureConfig(sample_period_s=0.5, dt=1.0)
+
+
+class TestSubsample:
+    def test_bucket_averaging(self):
+        rows = np.arange(12.0).reshape(6, 2)
+        out = subsample(rows, period_s=2.0, dt=1.0)
+        assert out.shape == (3, 2)
+        assert np.allclose(out[0], [(0 + 2) / 2, (1 + 3) / 2])
+
+    def test_identity_period(self):
+        rows = np.arange(8.0).reshape(4, 2)
+        assert np.allclose(subsample(rows, 1.0), rows)
+
+    def test_preserves_mean(self):
+        rng = np.random.default_rng(0)
+        rows = rng.normal(size=(20, 3))
+        out = subsample(rows, 5.0)
+        assert np.allclose(out.mean(axis=0), rows.mean(axis=0))
+
+    def test_indivisible_length_raises(self):
+        with pytest.raises(ValueError):
+            subsample(np.zeros((7, 2)), 2.0)
+
+    def test_requires_2d(self):
+        with pytest.raises(ValueError):
+            subsample(np.zeros(6), 2.0)
+
+
+class TestEncodeMode:
+    def test_encoding(self):
+        assert encode_mode(MemoryMode.LOCAL) == 0.0
+        assert encode_mode(MemoryMode.REMOTE) == 1.0

@@ -1,0 +1,71 @@
+"""Persistence of trained predictors (save/load round trips)."""
+
+import numpy as np
+import pytest
+
+from repro.models import (
+    PerformancePredictor,
+    SystemStatePredictor,
+    build_performance_dataset,
+    build_system_state_dataset,
+)
+from repro.workloads import WorkloadKind
+
+
+class TestSystemStatePersistence:
+    def test_roundtrip(self, tiny_traces, tmp_path):
+        dataset = build_system_state_dataset(tiny_traces, stride_s=30.0)
+        predictor = SystemStatePredictor(seed=0)
+        predictor.fit(dataset.windows, dataset.targets, epochs=5)
+        path = tmp_path / "ss.npz"
+        predictor.save(path)
+
+        clone = SystemStatePredictor(seed=99)  # different init
+        clone.load(path)
+        assert np.allclose(
+            predictor.predict(dataset.windows[:4]),
+            clone.predict(dataset.windows[:4]),
+        )
+        assert clone.residual == predictor.residual
+
+    def test_untrained_save_rejected(self, tmp_path):
+        with pytest.raises(RuntimeError):
+            SystemStatePredictor().save(tmp_path / "x.npz")
+
+    def test_architecture_mismatch_fails_loudly(self, tiny_traces, tmp_path):
+        dataset = build_system_state_dataset(tiny_traces, stride_s=30.0)
+        predictor = SystemStatePredictor(seed=0, lstm_hidden=16)
+        predictor.fit(dataset.windows, dataset.targets, epochs=3)
+        path = tmp_path / "ss16.npz"
+        predictor.save(path)
+        wrong = SystemStatePredictor(seed=0, lstm_hidden=32)
+        with pytest.raises((KeyError, ValueError)):
+            wrong.load(path)
+
+
+class TestPerformancePersistence:
+    def test_roundtrip(self, tiny_traces, signatures, tmp_path):
+        data = build_performance_dataset(
+            tiny_traces, signatures, WorkloadKind.BEST_EFFORT
+        )
+        predictor = PerformancePredictor(seed=0)
+        predictor.fit(
+            data.state, data.signature, data.mode, data.future_120,
+            data.targets, epochs=5,
+        )
+        path = tmp_path / "be.npz"
+        predictor.save(path)
+
+        clone = PerformancePredictor(seed=7)
+        clone.load(path)
+        original = predictor.predict(
+            data.state[:5], data.signature[:5], data.mode[:5], data.future_120[:5]
+        )
+        restored = clone.predict(
+            data.state[:5], data.signature[:5], data.mode[:5], data.future_120[:5]
+        )
+        assert np.allclose(original, restored)
+
+    def test_untrained_save_rejected(self, tmp_path):
+        with pytest.raises(RuntimeError):
+            PerformancePredictor().save(tmp_path / "x.npz")

@@ -1,0 +1,105 @@
+"""Continual-retraining workflow tests (§V-C / Fig. 15 loop)."""
+
+import numpy as np
+import pytest
+
+from repro.models import (
+    PerformancePredictor,
+    Predictor,
+    SystemStatePredictor,
+    build_performance_dataset,
+    build_system_state_dataset,
+    evaluate_onboarding,
+    onboard_application,
+    retrain,
+)
+from repro.workloads import MemoryMode, WorkloadKind, spark_profile
+
+
+@pytest.fixture(scope="module")
+def base_predictor(tiny_traces, signatures, feature_config):
+    ss_data = build_system_state_dataset(tiny_traces, feature_config, stride_s=20.0)
+    system_state = SystemStatePredictor(feature_config=feature_config, seed=0)
+    system_state.fit(ss_data.windows, ss_data.targets, epochs=15)
+    be_data = build_performance_dataset(
+        tiny_traces, signatures, WorkloadKind.BEST_EFFORT, feature_config
+    )
+    be = PerformancePredictor(feature_config=feature_config, seed=1)
+    be.fit(
+        be_data.state, be_data.signature, be_data.mode,
+        system_state.predict(be_data.state), be_data.targets, epochs=20,
+    )
+    return Predictor(
+        system_state=system_state, be_performance=be,
+        signatures=signatures, feature_config=feature_config,
+    )
+
+
+class TestOnboarding:
+    def test_captures_unknown_application(self, base_predictor):
+        newcomer = spark_profile("scan").with_overrides(name="scan-v2")
+        assert not base_predictor.has_signature(newcomer)
+        signature = onboard_application(base_predictor, newcomer)
+        assert base_predictor.has_signature(newcomer)
+        assert signature.shape[1] == base_predictor.config.n_metrics
+        base_predictor.signatures.drop("scan-v2")
+
+    def test_idempotent_for_known_application(self, base_predictor):
+        profile = spark_profile("gmm")
+        first = onboard_application(base_predictor, profile)
+        second = onboard_application(base_predictor, profile)
+        assert np.allclose(first, second)
+
+
+class TestRetrain:
+    def test_returns_new_predictor_with_shared_components(
+        self, base_predictor, tiny_traces
+    ):
+        updated = retrain(
+            base_predictor, tiny_traces,
+            kinds=(WorkloadKind.BEST_EFFORT,), epochs=5,
+        )
+        assert updated is not base_predictor
+        assert updated.system_state is base_predictor.system_state
+        assert updated.signatures is base_predictor.signatures
+        assert updated.be_performance is not base_predictor.be_performance
+        # The untouched LC slot carries over.
+        assert updated.lc_performance is base_predictor.lc_performance
+
+    def test_retrained_model_is_usable(self, base_predictor, tiny_traces):
+        updated = retrain(
+            base_predictor, tiny_traces,
+            kinds=(WorkloadKind.BEST_EFFORT,), epochs=5,
+        )
+        history = tiny_traces[-1].window(600.0, updated.config.history_s)
+        estimate = updated.predict_performance(
+            spark_profile("gmm"), history, MemoryMode.LOCAL
+        )
+        assert np.isfinite(estimate) and estimate > 0
+
+    def test_interference_kind_rejected(self, base_predictor, tiny_traces):
+        with pytest.raises(ValueError):
+            retrain(base_predictor, tiny_traces,
+                    kinds=(WorkloadKind.INTERFERENCE,), epochs=1)
+
+    def test_requires_system_state(self, tiny_traces, signatures, feature_config):
+        bare = Predictor(system_state=None, signatures=signatures,
+                         feature_config=feature_config)
+        with pytest.raises(ValueError):
+            retrain(bare, tiny_traces, epochs=1)
+
+
+class TestEvaluateOnboarding:
+    def test_reports_before_after_gain(self, base_predictor, tiny_traces):
+        scores = evaluate_onboarding(
+            base_predictor, tiny_traces, benchmark="gmm", epochs=15,
+        )
+        assert set(scores) == {"before", "after", "gain"}
+        assert scores["gain"] == pytest.approx(
+            scores["after"] - scores["before"]
+        )
+
+    def test_unknown_benchmark_rejected(self, base_predictor, tiny_traces):
+        with pytest.raises(ValueError):
+            evaluate_onboarding(base_predictor, tiny_traces,
+                                benchmark="nosuchapp", epochs=1)

@@ -1,0 +1,91 @@
+import numpy as np
+import pytest
+
+from repro.hardware import METRIC_NAMES
+from repro.models import FeatureConfig, SystemStateModel, SystemStatePredictor
+from repro.models.dataset import build_system_state_dataset
+
+
+class TestModelArchitecture:
+    def test_forward_shape(self):
+        model = SystemStateModel(n_metrics=7, lstm_hidden=8, block_hidden=16)
+        x = np.random.default_rng(0).normal(size=(5, 12, 7))
+        out = model.forward(x)
+        assert out.shape == (5, 7)
+
+    def test_backward_returns_input_grad(self):
+        model = SystemStateModel(n_metrics=7, lstm_hidden=8, block_hidden=16)
+        x = np.random.default_rng(1).normal(size=(3, 6, 7))
+        out = model.forward(x)
+        grad = model.backward(np.ones_like(out))
+        assert grad.shape == x.shape
+
+    def test_has_two_lstm_layers_and_three_blocks(self):
+        """The paper's architecture: 2 LSTM layers + triplet of blocks."""
+        from repro.nn import BatchNorm1d, Dropout, LSTM
+
+        model = SystemStateModel()
+        lstms = [m for m in model.modules() if isinstance(m, LSTM)]
+        batchnorms = [m for m in model.modules() if isinstance(m, BatchNorm1d)]
+        dropouts = [m for m in model.modules() if isinstance(m, Dropout)]
+        assert len(lstms) == 2
+        assert len(batchnorms) == 3
+        assert len(dropouts) == 3
+
+
+class TestPredictor:
+    @pytest.fixture(scope="class")
+    def fitted(self, tiny_traces):
+        dataset = build_system_state_dataset(tiny_traces, stride_s=20.0)
+        predictor = SystemStatePredictor(seed=0)
+        predictor.fit(dataset.windows, dataset.targets, epochs=20)
+        return predictor, dataset
+
+    def test_predict_shapes(self, fitted):
+        predictor, dataset = fitted
+        batch = predictor.predict(dataset.windows[:4])
+        assert batch.shape == (4, len(METRIC_NAMES))
+        single = predictor.predict(dataset.windows[0])
+        assert single.shape == (len(METRIC_NAMES),)
+
+    def test_predictions_nonnegative(self, fitted):
+        predictor, dataset = fitted
+        assert np.all(predictor.predict(dataset.windows) >= 0.0)
+
+    def test_beats_naive_zero_predictor(self, fitted):
+        predictor, dataset = fitted
+        scores = predictor.evaluate(dataset.windows, dataset.targets)
+        assert scores["average"] > 0.5  # train-set sanity, tiny budget
+
+    def test_evaluate_reports_all_metrics(self, fitted):
+        predictor, dataset = fitted
+        scores = predictor.evaluate(dataset.windows, dataset.targets)
+        assert set(scores) == set(METRIC_NAMES) | {"average"}
+
+    def test_predict_before_fit_raises(self):
+        predictor = SystemStatePredictor()
+        with pytest.raises(RuntimeError):
+            predictor.predict(np.zeros((1, 24, 7)))
+
+    def test_fit_validation(self):
+        predictor = SystemStatePredictor()
+        with pytest.raises(ValueError):
+            predictor.fit(np.zeros((4, 24, 7)), np.zeros((5, 7)), epochs=1)
+        with pytest.raises(ValueError):
+            predictor.fit(np.zeros((4, 24)), np.zeros((4, 7)), epochs=1)
+
+    def test_residual_mode_improves_over_nonresidual_on_tiny_budget(
+        self, tiny_traces
+    ):
+        dataset = build_system_state_dataset(tiny_traces, stride_s=30.0)
+        n = len(dataset)
+        split = int(0.6 * n)
+        resid = SystemStatePredictor(seed=1, residual=True)
+        flat = SystemStatePredictor(seed=1, residual=False)
+        for predictor in (resid, flat):
+            predictor.fit(
+                dataset.windows[:split], dataset.targets[:split], epochs=8
+            )
+        r_resid = resid.evaluate(dataset.windows[split:], dataset.targets[split:])
+        r_flat = flat.evaluate(dataset.windows[split:], dataset.targets[split:])
+        assert r_resid["average"] > r_flat["average"]

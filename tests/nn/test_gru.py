@@ -1,0 +1,94 @@
+import numpy as np
+import pytest
+
+from repro.nn import GRU, StackedGRU
+from tests.helpers import check_input_grad, check_param_grads
+
+
+class TestGRUForward:
+    def test_output_shapes(self):
+        rng = np.random.default_rng(0)
+        x = rng.normal(size=(3, 6, 4))
+        seq = GRU(4, 5, return_sequences=True, rng=rng)
+        last = GRU(4, 5, return_sequences=False, rng=rng)
+        assert seq.forward(x).shape == (3, 6, 5)
+        assert last.forward(x).shape == (3, 5)
+
+    def test_last_of_sequence_equals_last_state(self):
+        rng = np.random.default_rng(1)
+        a = GRU(3, 4, return_sequences=True, rng=np.random.default_rng(2))
+        b = GRU(3, 4, return_sequences=False, rng=np.random.default_rng(2))
+        x = rng.normal(size=(2, 5, 3))
+        assert np.allclose(a.forward(x)[:, -1], b.forward(x))
+
+    def test_hidden_bounded(self):
+        rng = np.random.default_rng(3)
+        gru = GRU(3, 8, rng=rng)
+        x = 50.0 * rng.normal(size=(2, 10, 3))
+        out = gru.forward(x)
+        assert np.all(np.abs(out) <= 1.0)
+        assert np.all(np.isfinite(out))
+
+    def test_zero_update_gate_keeps_candidate(self):
+        # With z ~ 0 (large negative update bias) h_t ~ candidate.
+        gru = GRU(2, 3, return_sequences=False, rng=np.random.default_rng(4))
+        gru.bias_x.value[3:6] = -50.0  # update-gate slice
+        x = np.random.default_rng(5).normal(size=(1, 1, 2))
+        out = gru.forward(x)
+        # h_prev = 0, z ~ 0 -> h = candidate = tanh(Wn x) (r gates only
+        # the recurrent term, which is zero at t=0).
+        expected = np.tanh(x[:, 0, :] @ gru.w_x.value[6:9].T + gru.bias_x.value[6:9])
+        assert np.allclose(out, expected, atol=1e-9)
+
+    def test_input_validation(self):
+        with pytest.raises(ValueError):
+            GRU(3, 4).forward(np.zeros((2, 5)))
+        with pytest.raises(ValueError):
+            GRU(0, 4)
+
+
+class TestGRUBackward:
+    @pytest.mark.parametrize("return_sequences", [True, False])
+    def test_param_grads_numerically(self, return_sequences):
+        rng = np.random.default_rng(6)
+        gru = GRU(3, 4, return_sequences=return_sequences, rng=rng)
+        x = rng.normal(size=(2, 6, 3))
+        shape = (2, 6, 4) if return_sequences else (2, 4)
+        y = rng.normal(size=shape)
+        check_param_grads(gru, (x,), y, tol=1e-5)
+
+    def test_input_grad_numerically(self):
+        rng = np.random.default_rng(7)
+        gru = GRU(3, 4, return_sequences=False, rng=rng)
+        x = rng.normal(size=(2, 5, 3))
+        y = rng.normal(size=(2, 4))
+        check_input_grad(gru, x, y, tol=1e-5)
+
+    def test_backward_before_forward_raises(self):
+        with pytest.raises(RuntimeError):
+            GRU(2, 2).backward(np.zeros((1, 2)))
+
+
+class TestStackedGRU:
+    def test_wiring(self):
+        stack = StackedGRU(7, 16, num_layers=3, return_sequences=False)
+        assert len(stack) == 3
+        assert stack[0].return_sequences and not stack[2].return_sequences
+
+    def test_param_grads_numerically(self):
+        rng = np.random.default_rng(8)
+        stack = StackedGRU(2, 3, num_layers=2, return_sequences=False, rng=rng)
+        x = rng.normal(size=(2, 4, 2))
+        y = rng.normal(size=(2, 3))
+        check_param_grads(stack, (x,), y, tol=1e-5, n_checks=3)
+
+    def test_fewer_parameters_than_lstm(self):
+        from repro.nn import StackedLSTM
+
+        gru = StackedGRU(7, 32, num_layers=2)
+        lstm = StackedLSTM(7, 32, num_layers=2)
+        assert gru.num_parameters() < lstm.num_parameters()
+
+    def test_invalid_layers(self):
+        with pytest.raises(ValueError):
+            StackedGRU(2, 3, num_layers=0)

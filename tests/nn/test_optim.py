@@ -1,0 +1,99 @@
+import numpy as np
+import pytest
+
+from repro.nn import SGD, Adam, Parameter, RMSprop
+
+
+def quadratic_step(param: Parameter) -> float:
+    """Loss = ||x||^2; gradient = 2x."""
+    param.zero_grad()
+    param.accumulate(2.0 * param.value)
+    return float(np.sum(param.value**2))
+
+
+class TestSGD:
+    def test_plain_step(self):
+        p = Parameter(np.array([1.0, -2.0]))
+        opt = SGD([p], lr=0.1)
+        p.accumulate(np.array([1.0, 1.0]))
+        opt.step()
+        assert np.allclose(p.value, [0.9, -2.1])
+
+    def test_momentum_accumulates(self):
+        p = Parameter(np.array([0.0]))
+        opt = SGD([p], lr=1.0, momentum=0.9)
+        p.accumulate(np.array([1.0]))
+        opt.step()  # velocity = 1
+        p.zero_grad()
+        p.accumulate(np.array([1.0]))
+        opt.step()  # velocity = 1.9
+        assert p.value[0] == pytest.approx(-2.9)
+
+    def test_weight_decay(self):
+        p = Parameter(np.array([10.0]))
+        opt = SGD([p], lr=0.1, weight_decay=0.5)
+        opt.step()  # grad = 0 + 0.5*10 = 5
+        assert p.value[0] == pytest.approx(9.5)
+
+    def test_converges_on_quadratic(self):
+        p = Parameter(np.array([5.0, -3.0]))
+        opt = SGD([p], lr=0.1, momentum=0.5)
+        for _ in range(100):
+            quadratic_step(p)
+            opt.step()
+        assert np.allclose(p.value, 0.0, atol=1e-4)
+
+
+class TestAdam:
+    def test_first_step_size_is_lr(self):
+        p = Parameter(np.array([1.0]))
+        opt = Adam([p], lr=0.01)
+        p.accumulate(np.array([123.0]))
+        opt.step()
+        # Bias-corrected first step is ~lr regardless of gradient scale.
+        assert p.value[0] == pytest.approx(1.0 - 0.01, abs=1e-6)
+
+    def test_converges_on_quadratic(self):
+        p = Parameter(np.array([5.0, -3.0, 1.0]))
+        opt = Adam([p], lr=0.2)
+        for _ in range(200):
+            quadratic_step(p)
+            opt.step()
+        assert np.allclose(p.value, 0.0, atol=1e-3)
+
+    def test_invalid_betas(self):
+        p = Parameter(np.zeros(1))
+        with pytest.raises(ValueError):
+            Adam([p], betas=(1.0, 0.9))
+
+    def test_zero_grad_clears_all_params(self):
+        a, b = Parameter(np.zeros(2)), Parameter(np.zeros(3))
+        opt = Adam([a, b])
+        a.accumulate(np.ones(2))
+        b.accumulate(np.ones(3))
+        opt.zero_grad()
+        assert np.all(a.grad == 0) and np.all(b.grad == 0)
+
+
+class TestRMSprop:
+    def test_converges_on_quadratic(self):
+        p = Parameter(np.array([4.0]))
+        opt = RMSprop([p], lr=0.05)
+        for _ in range(300):
+            quadratic_step(p)
+            opt.step()
+        assert abs(p.value[0]) < 1e-2
+
+    def test_invalid_alpha(self):
+        with pytest.raises(ValueError):
+            RMSprop([Parameter(np.zeros(1))], alpha=1.5)
+
+
+class TestValidation:
+    def test_empty_params_raise(self):
+        with pytest.raises(ValueError):
+            SGD([], lr=0.1)
+
+    def test_nonpositive_lr_raises(self):
+        with pytest.raises(ValueError):
+            Adam([Parameter(np.zeros(1))], lr=0.0)

@@ -1,0 +1,36 @@
+import numpy as np
+import pytest
+
+from repro.nn import Parameter
+
+
+class TestParameter:
+    def test_stores_float64_copy_semantics(self):
+        p = Parameter(np.array([1, 2, 3], dtype=np.int32), "w")
+        assert p.value.dtype == np.float64
+        assert p.shape == (3,)
+        assert p.size == 3
+
+    def test_grad_starts_zero_and_matches_shape(self):
+        p = Parameter(np.ones((2, 3)))
+        assert p.grad.shape == (2, 3)
+        assert np.all(p.grad == 0)
+
+    def test_accumulate_adds(self):
+        p = Parameter(np.zeros(4))
+        p.accumulate(np.ones(4))
+        p.accumulate(2 * np.ones(4))
+        assert np.allclose(p.grad, 3.0)
+
+    def test_zero_grad_resets_in_place(self):
+        p = Parameter(np.zeros(2))
+        buffer = p.grad
+        p.accumulate(np.ones(2))
+        p.zero_grad()
+        assert np.all(p.grad == 0)
+        assert p.grad is buffer  # in-place: optimizers keep aliases
+
+    def test_accumulate_broadcast_mismatch_raises(self):
+        p = Parameter(np.zeros((2, 2)))
+        with pytest.raises(ValueError):
+            p.accumulate(np.ones((3, 3)))

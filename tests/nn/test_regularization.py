@@ -1,0 +1,50 @@
+import numpy as np
+import pytest
+
+from repro.nn import Dropout
+
+
+class TestDropout:
+    def test_eval_mode_is_identity(self):
+        layer = Dropout(0.5)
+        layer.eval()
+        x = np.ones((4, 4))
+        assert layer.forward(x) is x
+        assert layer.backward(x) is x
+
+    def test_zero_probability_is_identity(self):
+        layer = Dropout(0.0)
+        x = np.ones((4, 4))
+        assert layer.forward(x) is x
+
+    def test_training_preserves_expectation(self):
+        rng = np.random.default_rng(0)
+        layer = Dropout(0.3, rng=rng)
+        x = np.ones((200, 200))
+        out = layer.forward(x)
+        assert out.mean() == pytest.approx(1.0, abs=0.02)
+
+    def test_surviving_elements_scaled(self):
+        layer = Dropout(0.5, rng=np.random.default_rng(1))
+        out = layer.forward(np.ones((10, 10)))
+        kept = out[out != 0]
+        assert np.allclose(kept, 2.0)
+
+    def test_backward_uses_same_mask(self):
+        layer = Dropout(0.5, rng=np.random.default_rng(2))
+        x = np.ones((6, 6))
+        out = layer.forward(x)
+        grad = layer.backward(np.ones_like(x))
+        assert np.allclose((out == 0), (grad == 0))
+
+    def test_invalid_probability(self):
+        with pytest.raises(ValueError):
+            Dropout(1.0)
+        with pytest.raises(ValueError):
+            Dropout(-0.1)
+
+    def test_seeded_layers_reproducible(self):
+        a = Dropout(0.4, rng=np.random.default_rng(7))
+        b = Dropout(0.4, rng=np.random.default_rng(7))
+        x = np.ones((5, 5))
+        assert np.allclose(a.forward(x), b.forward(x))

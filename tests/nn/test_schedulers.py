@@ -1,0 +1,96 @@
+import math
+
+import numpy as np
+import pytest
+
+from repro.nn import (
+    Adam,
+    CosineAnnealingLR,
+    ExponentialLR,
+    Parameter,
+    ReduceLROnPlateau,
+    StepLR,
+)
+
+
+def make_opt(lr=1.0):
+    return Adam([Parameter(np.zeros(2))], lr=lr)
+
+
+class TestStepLR:
+    def test_decays_every_step_size(self):
+        opt = make_opt(1.0)
+        sched = StepLR(opt, step_size=2, gamma=0.1)
+        lrs = []
+        for _ in range(4):
+            sched.step()
+            lrs.append(opt.lr)
+        assert lrs == pytest.approx([1.0, 0.1, 0.1, 0.01])
+
+    def test_invalid_params(self):
+        with pytest.raises(ValueError):
+            StepLR(make_opt(), step_size=0)
+        with pytest.raises(ValueError):
+            StepLR(make_opt(), step_size=2, gamma=1.5)
+
+
+class TestExponentialLR:
+    def test_geometric_decay(self):
+        opt = make_opt(2.0)
+        sched = ExponentialLR(opt, gamma=0.5)
+        sched.step()
+        assert opt.lr == pytest.approx(1.0)
+        sched.step()
+        assert opt.lr == pytest.approx(0.5)
+
+
+class TestCosine:
+    def test_endpoints(self):
+        opt = make_opt(1.0)
+        sched = CosineAnnealingLR(opt, t_max=10, eta_min=0.1)
+        for _ in range(5):
+            sched.step()
+        mid = opt.lr
+        assert mid == pytest.approx(0.55, abs=1e-9)  # halfway point
+        for _ in range(5):
+            sched.step()
+        assert opt.lr == pytest.approx(0.1)
+
+    def test_clamps_beyond_t_max(self):
+        opt = make_opt(1.0)
+        sched = CosineAnnealingLR(opt, t_max=2)
+        for _ in range(5):
+            sched.step()
+        assert opt.lr == pytest.approx(0.0)
+
+
+class TestPlateau:
+    def test_reduces_after_patience(self):
+        opt = make_opt(1.0)
+        sched = ReduceLROnPlateau(opt, factor=0.5, patience=1)
+        sched.step(metric=1.0)   # best
+        sched.step(metric=1.0)   # bad epoch 1
+        assert opt.lr == pytest.approx(1.0)
+        sched.step(metric=1.0)   # bad epoch 2 -> reduce
+        assert opt.lr == pytest.approx(0.5)
+
+    def test_improvement_resets_counter(self):
+        opt = make_opt(1.0)
+        sched = ReduceLROnPlateau(opt, factor=0.5, patience=1)
+        sched.step(metric=1.0)
+        sched.step(metric=0.9)
+        sched.step(metric=0.8)
+        assert opt.lr == pytest.approx(1.0)
+
+    def test_respects_min_lr(self):
+        opt = make_opt(1e-5)
+        sched = ReduceLROnPlateau(opt, factor=0.1, patience=0, min_lr=1e-6)
+        sched.step(metric=1.0)
+        for _ in range(5):
+            sched.step(metric=2.0)
+        assert opt.lr >= 1e-6 - 1e-15
+
+    def test_requires_metric(self):
+        sched = ReduceLROnPlateau(make_opt())
+        with pytest.raises(ValueError):
+            sched.step()

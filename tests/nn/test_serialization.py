@@ -1,0 +1,55 @@
+import numpy as np
+import pytest
+
+from repro.nn import (
+    BatchNorm1d,
+    Linear,
+    ReLU,
+    Sequential,
+    StackedLSTM,
+    load_model,
+    save_model,
+)
+
+
+def make_model(seed):
+    rng = np.random.default_rng(seed)
+    return Sequential(
+        Linear(4, 8, rng=rng), ReLU(), BatchNorm1d(8), Linear(8, 2, rng=rng)
+    )
+
+
+class TestSaveLoad:
+    def test_roundtrip_preserves_outputs(self, tmp_path):
+        path = tmp_path / "model.npz"
+        rng = np.random.default_rng(0)
+        m1, m2 = make_model(1), make_model(2)
+        # Populate batch-norm running stats so buffers are non-trivial.
+        x = rng.normal(size=(32, 4))
+        m1.forward(x)
+        save_model(m1, path)
+        load_model(m2, path)
+        m1.eval()
+        m2.eval()
+        assert np.allclose(m1.forward(x), m2.forward(x))
+
+    def test_lstm_roundtrip(self, tmp_path):
+        path = tmp_path / "lstm.npz"
+        rng = np.random.default_rng(3)
+        m1 = StackedLSTM(3, 8, num_layers=2, rng=np.random.default_rng(4))
+        m2 = StackedLSTM(3, 8, num_layers=2, rng=np.random.default_rng(5))
+        save_model(m1, path)
+        load_model(m2, path)
+        x = rng.normal(size=(2, 6, 3))
+        assert np.allclose(m1.forward(x), m2.forward(x))
+
+    def test_architecture_mismatch_raises(self, tmp_path):
+        path = tmp_path / "model.npz"
+        save_model(make_model(0), path)
+        wrong = Sequential(Linear(4, 4))
+        with pytest.raises((KeyError, ValueError)):
+            load_model(wrong, path)
+
+    def test_empty_model_raises(self, tmp_path):
+        with pytest.raises(ValueError):
+            save_model(ReLU(), tmp_path / "empty.npz")

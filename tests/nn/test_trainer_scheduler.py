@@ -1,0 +1,66 @@
+"""Trainer + scheduler integration."""
+
+import numpy as np
+import pytest
+
+from repro.nn import (
+    Adam,
+    CosineAnnealingLR,
+    DataLoader,
+    Linear,
+    MSELoss,
+    ReduceLROnPlateau,
+    Sequential,
+    StepLR,
+    TensorDataset,
+    Trainer,
+)
+
+
+def make_problem(n=64, seed=0):
+    rng = np.random.default_rng(seed)
+    x = rng.normal(size=(n, 3))
+    y = (x @ np.array([1.0, -1.0, 2.0])).reshape(-1, 1)
+    return DataLoader(TensorDataset(x, y), batch_size=16, shuffle=True, rng=rng)
+
+
+class TestTrainerSchedulerIntegration:
+    def test_step_lr_decays_during_fit(self):
+        model = Sequential(Linear(3, 1, rng=np.random.default_rng(1)))
+        optimizer = Adam(model.parameters(), lr=0.1)
+        scheduler = StepLR(optimizer, step_size=2, gamma=0.1)
+        trainer = Trainer(model, optimizer, MSELoss(), scheduler=scheduler)
+        trainer.fit(make_problem(), epochs=4)
+        assert optimizer.lr == pytest.approx(0.1 * 0.01)
+
+    def test_cosine_reaches_eta_min(self):
+        model = Sequential(Linear(3, 1, rng=np.random.default_rng(2)))
+        optimizer = Adam(model.parameters(), lr=0.05)
+        scheduler = CosineAnnealingLR(optimizer, t_max=5, eta_min=1e-4)
+        trainer = Trainer(model, optimizer, MSELoss(), scheduler=scheduler)
+        trainer.fit(make_problem(), epochs=5)
+        assert optimizer.lr == pytest.approx(1e-4)
+
+    def test_scheduler_receives_val_loss(self):
+        """The trainer feeds the *validation* loss to the scheduler."""
+        model = Sequential(Linear(3, 1, rng=np.random.default_rng(3)))
+        optimizer = Adam(model.parameters(), lr=0.01)
+        seen = []
+
+        class Spy(ReduceLROnPlateau):
+            def step(self, metric=None):
+                seen.append(metric)
+                super().step(metric)
+
+        scheduler = Spy(optimizer, patience=5)
+        trainer = Trainer(model, optimizer, MSELoss(), scheduler=scheduler)
+        loader = make_problem()
+        history = trainer.fit(loader, val_loader=loader, epochs=3)
+        assert seen == history.val_loss
+
+    def test_scheduler_with_train_loss_when_no_val(self):
+        model = Sequential(Linear(3, 1, rng=np.random.default_rng(4)))
+        optimizer = Adam(model.parameters(), lr=0.05)
+        scheduler = ReduceLROnPlateau(optimizer, factor=0.5, patience=10)
+        trainer = Trainer(model, optimizer, MSELoss(), scheduler=scheduler)
+        trainer.fit(make_problem(), epochs=3)  # must not raise

@@ -1,0 +1,110 @@
+import numpy as np
+import pytest
+
+from repro.nn import (
+    Adam,
+    DataLoader,
+    EarlyStopping,
+    Linear,
+    MSELoss,
+    ReLU,
+    Sequential,
+    TensorDataset,
+    Trainer,
+)
+
+
+def regression_problem(n=200, seed=0):
+    rng = np.random.default_rng(seed)
+    x = rng.normal(size=(n, 4))
+    w = np.array([1.0, -2.0, 0.5, 3.0])
+    y = (x @ w + 0.1 * rng.normal(size=n)).reshape(-1, 1)
+    return TensorDataset(x, y)
+
+
+def make_trainer(seed=0, lr=0.01):
+    rng = np.random.default_rng(seed)
+    model = Sequential(Linear(4, 16, rng=rng), ReLU(), Linear(16, 1, rng=rng))
+    return Trainer(model, Adam(model.parameters(), lr=lr), MSELoss())
+
+
+class TestTrainer:
+    def test_loss_decreases(self):
+        ds = regression_problem()
+        trainer = make_trainer()
+        loader = DataLoader(ds, batch_size=32, shuffle=True,
+                            rng=np.random.default_rng(1))
+        history = trainer.fit(loader, epochs=25)
+        assert history.train_loss[-1] < history.train_loss[0] * 0.2
+
+    def test_validation_tracked(self):
+        ds = regression_problem()
+        trainer = make_trainer()
+        loader = DataLoader(ds, batch_size=32)
+        history = trainer.fit(loader, val_loader=loader, epochs=3)
+        assert len(history.val_loss) == 3
+        assert history.best_val_loss == min(history.val_loss)
+
+    def test_evaluate_does_not_touch_params(self):
+        ds = regression_problem()
+        trainer = make_trainer()
+        loader = DataLoader(ds, batch_size=32)
+        before = trainer.model.state_dict()
+        trainer.evaluate(loader)
+        after = trainer.model.state_dict()
+        assert all(np.allclose(before[k], after[k]) for k in before)
+
+    @pytest.mark.filterwarnings("ignore:overflow encountered")
+    def test_nonfinite_loss_raises(self):
+        ds = TensorDataset(np.full((8, 4), 1e200), np.zeros((8, 1)))
+        trainer = make_trainer()
+        with pytest.raises(FloatingPointError):
+            trainer.train_epoch(DataLoader(ds, batch_size=8))
+
+    def test_invalid_epochs(self):
+        trainer = make_trainer()
+        with pytest.raises(ValueError):
+            trainer.fit(DataLoader(regression_problem(), batch_size=8), epochs=0)
+
+    def test_multi_input_forward_fn(self):
+        rng = np.random.default_rng(2)
+        x1 = rng.normal(size=(50, 2))
+        x2 = rng.normal(size=(50, 2))
+        y = (x1.sum(axis=1) + x2.sum(axis=1)).reshape(-1, 1)
+        model = Linear(4, 1, rng=rng)
+        trainer = Trainer(
+            model,
+            Adam(model.parameters(), lr=0.05),
+            MSELoss(),
+            forward_fn=lambda m, a, b: m.forward(np.concatenate([a, b], axis=1)),
+        )
+        ds = TensorDataset(x1, x2, y)
+        history = trainer.fit(DataLoader(ds, batch_size=16, shuffle=True), epochs=30)
+        assert history.train_loss[-1] < 0.05
+
+
+class TestEarlyStopping:
+    def test_stops_after_patience(self):
+        ds = regression_problem(n=64)
+        trainer = make_trainer(lr=1e-6)  # too small to improve
+        loader = DataLoader(ds, batch_size=32)
+        history = trainer.fit(
+            loader, val_loader=loader, epochs=100,
+            early_stopping=EarlyStopping(patience=3, min_delta=1.0),
+        )
+        assert history.epochs <= 5
+
+    def test_restores_best_state(self):
+        model = Linear(2, 1)
+        stopper = EarlyStopping(patience=2)
+        stopper.update(1.0, model)
+        best = model.state_dict()
+        model.weight.value[...] = 999.0
+        stopper.update(2.0, model)
+        stopper.update(3.0, model)
+        stopper.restore_best(model)
+        assert np.allclose(model.state_dict()["weight"], best["weight"])
+
+    def test_invalid_patience(self):
+        with pytest.raises(ValueError):
+            EarlyStopping(patience=0)

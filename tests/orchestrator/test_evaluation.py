@@ -1,0 +1,96 @@
+import numpy as np
+import pytest
+
+from repro.cluster import ScenarioConfig
+from repro.orchestrator import (
+    AllLocalPolicy,
+    AllRemotePolicy,
+    PolicyResult,
+    RandomPolicy,
+    compare_policies,
+    qos_violations,
+)
+from repro.workloads import WorkloadKind
+
+
+@pytest.fixture(scope="module")
+def results():
+    configs = [
+        ScenarioConfig(duration_s=400.0, spawn_interval=(8, 25), seed=50 + i)
+        for i in range(2)
+    ]
+    policies = {
+        "all-local": AllLocalPolicy(),
+        "all-remote": AllRemotePolicy(),
+        "random": RandomPolicy(seed=0),
+    }
+    return compare_policies(policies, configs)
+
+
+class TestComparePolicies:
+    def test_every_policy_sees_same_arrivals(self, results):
+        names = {
+            policy: sorted(
+                r.name for t in result.traces for r in t.records
+            )
+            for policy, result in results.items()
+        }
+        assert names["all-local"] == names["all-remote"] == names["random"]
+
+    def test_offload_fractions(self, results):
+        assert results["all-local"].offload_fraction() == 0.0
+        assert results["all-remote"].offload_fraction() == 1.0
+        assert 0.0 < results["random"].offload_fraction() < 1.0
+
+    def test_remote_generates_link_traffic(self, results):
+        assert results["all-local"].total_link_traffic_gb() == 0.0
+        assert results["all-remote"].total_link_traffic_gb() > 0.0
+
+    def test_all_remote_slower_medians(self, results):
+        """Remote placement degrades the susceptible benchmarks."""
+        local = results["all-local"]
+        remote = results["all-remote"]
+        shared = set(local.benchmark_names(WorkloadKind.BEST_EFFORT)) & set(
+            remote.benchmark_names(WorkloadKind.BEST_EFFORT)
+        )
+        worse = sum(
+            1
+            for name in shared
+            if remote.median_performance(name) > local.median_performance(name)
+        )
+        assert worse >= len(shared) * 0.7
+
+    def test_placement_counts_sum(self, results):
+        result = results["random"]
+        for name in result.benchmark_names(WorkloadKind.BEST_EFFORT):
+            local_n, remote_n = result.placement_counts(name)
+            assert local_n + remote_n == len(result.performances(name))
+
+    def test_empty_inputs_rejected(self):
+        with pytest.raises(ValueError):
+            compare_policies({}, [ScenarioConfig()])
+        with pytest.raises(ValueError):
+            compare_policies({"a": AllLocalPolicy()}, [])
+
+
+class TestPolicyResult:
+    def test_median_of_missing_benchmark_is_nan(self):
+        result = PolicyResult(policy_name="x")
+        assert np.isnan(result.median_performance("nosuch"))
+
+    def test_offload_fraction_empty(self):
+        assert PolicyResult(policy_name="x").offload_fraction() == 0.0
+
+
+class TestQosViolations:
+    def test_counts(self, results):
+        result = results["all-remote"]
+        summary = qos_violations(result, {"redis": 1e9, "memcached": 1e-9})
+        assert summary["redis"]["violations"] == 0
+        mc = summary["memcached"]
+        assert mc["violations"] == mc["total"]
+        assert mc["offloads"] == mc["total"]  # all-remote offloads everything
+
+    def test_invalid_qos(self, results):
+        with pytest.raises(ValueError):
+            qos_violations(results["random"], {"redis": 0.0})

@@ -1,0 +1,34 @@
+import pytest
+
+from repro.hardware import METRIC_NAMES
+from repro.telemetry import EVENTS, event_index, event_spec
+
+
+class TestCatalog:
+    def test_catalog_matches_metric_names(self):
+        assert tuple(EVENTS) == METRIC_NAMES
+
+    def test_seven_events_of_section_va(self):
+        """The Watcher monitors exactly the seven events of §V-A."""
+        assert len(EVENTS) == 7
+
+    def test_sources_split_cpu_vs_fpga(self):
+        cpu = [e for e in EVENTS.values() if e.source == "cpu"]
+        fpga = [e for e in EVENTS.values() if e.source == "fpga"]
+        assert len(cpu) == 4  # LLC ld/mis + MEM ld/st
+        assert len(fpga) == 3  # tx/rx flits + latency
+
+    def test_event_spec_lookup(self):
+        spec = event_spec("link_latency")
+        assert spec.unit == "cycles"
+        assert spec.source == "fpga"
+
+    def test_event_index(self):
+        assert event_index("llc_loads") == 0
+        assert event_index("link_latency") == len(METRIC_NAMES) - 1
+
+    def test_unknown_event_raises(self):
+        with pytest.raises(KeyError):
+            event_spec("ipc")
+        with pytest.raises(KeyError):
+            event_index("ipc")

@@ -1,0 +1,49 @@
+import numpy as np
+import pytest
+
+from repro.cluster import ClusterEngine
+from repro.hardware import METRIC_NAMES, PerfCounters, Testbed, TestbedConfig
+from repro.telemetry import Watcher
+from repro.workloads import MemoryMode, spark_profile
+
+
+def sample(value: float) -> PerfCounters:
+    return PerfCounters.from_array(np.full(len(METRIC_NAMES), value))
+
+
+class TestObserve:
+    def test_history_window_shape(self):
+        watcher = Watcher(history_capacity_s=100.0)
+        for i in range(10):
+            watcher.observe(float(i + 1), sample(i))
+        window = watcher.history(20.0)
+        assert window.shape == (20, len(METRIC_NAMES))
+        assert np.allclose(window[-10:, 0], np.arange(10.0))
+        assert np.allclose(window[:10, 0], 0.0)  # zero-padded warm-up
+
+    def test_invalid_window(self):
+        with pytest.raises(ValueError):
+            Watcher().history(0.0)
+
+    def test_invalid_dt(self):
+        with pytest.raises(ValueError):
+            Watcher(dt=0.0)
+
+
+class TestAttach:
+    def test_mirrors_engine_trace_exactly(self):
+        engine = ClusterEngine(testbed=Testbed(TestbedConfig(counter_noise=0.05)))
+        watcher = Watcher()
+        watcher.attach(engine)
+        engine.deploy(spark_profile("scan"), MemoryMode.LOCAL)
+        engine.run_for(30.0)
+        window = watcher.history(30.0)
+        assert np.allclose(window, engine.trace.metrics[-30:])
+
+    def test_attached_tick_still_returns_pressure(self):
+        engine = ClusterEngine()
+        watcher = Watcher()
+        watcher.attach(engine)
+        pressure = engine.tick()
+        assert pressure.cpu_utilization == 0.0
+        assert len(watcher.store) == 1

@@ -1,0 +1,30 @@
+"""Watcher.observe_pressure convenience path."""
+
+import numpy as np
+
+from repro.cluster import ClusterEngine
+from repro.hardware import Testbed, TestbedConfig
+from repro.telemetry import Watcher
+from repro.workloads import MemoryMode, spark_profile
+
+
+class TestObservePressure:
+    def test_synthesizes_and_records(self):
+        engine = ClusterEngine(testbed=Testbed(TestbedConfig(counter_noise=0.0)))
+        watcher = Watcher()
+        engine.deploy(spark_profile("lr"), MemoryMode.REMOTE)
+        pressure = engine.tick()
+        watcher.observe_pressure(engine, pressure)
+        assert len(watcher.store) == 1
+        window = watcher.history(10.0)
+        # Remote deployment -> flit traffic present in the sample.
+        assert window[-1, 4] > 0
+        assert np.all(window[:-1] == 0)  # zero-padded warm-up
+
+    def test_multiple_ticks_accumulate(self):
+        engine = ClusterEngine()
+        watcher = Watcher()
+        for _ in range(5):
+            pressure = engine.tick()
+            watcher.observe_pressure(engine, pressure)
+        assert len(watcher.store) == 5

@@ -1,0 +1,40 @@
+"""Tests for the ``python -m repro`` command-line interface."""
+
+import pytest
+
+from repro.__main__ import EXPERIMENTS, main
+
+
+class TestList:
+    def test_lists_every_experiment(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        for key in EXPERIMENTS:
+            assert key in out
+
+    def test_experiment_ids_cover_the_paper(self):
+        expected = {
+            "fig02", "fig03", "fig04", "fig05", "fig06", "fig08",
+            "fig09", "fig10", "table1", "fig13", "fig14", "fig15",
+            "fig16", "fig17", "traffic",
+        }
+        assert expected <= set(EXPERIMENTS)
+
+
+class TestRun:
+    def test_run_training_free_experiment(self, capsys):
+        assert main(["run", "fig02"]) == 0
+        out = capsys.readouterr().out
+        assert "Fig. 2" in out
+        assert "2.50" in out  # the throughput cap
+
+    def test_unknown_experiment_fails(self, capsys):
+        assert main(["run", "fig99"]) == 2
+        assert "unknown experiment" in capsys.readouterr().err
+
+    def test_scale_flag_sets_environment(self, capsys, monkeypatch):
+        monkeypatch.delenv("ADRIAS_SCALE", raising=False)
+        assert main(["run", "fig03", "--scale", "quick"]) == 0
+        import os
+
+        assert os.environ["ADRIAS_SCALE"] == "quick"

@@ -1,0 +1,68 @@
+"""Property-based invariants of the multi-tier extension."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.tiers import (
+    GreedyTierPolicy,
+    MultiTierTestbed,
+    TierAssignment,
+    default_tiers,
+    place_sequentially,
+    tier_slowdown,
+)
+from repro.workloads import spark_names, spark_profile
+
+
+TESTBED = MultiTierTestbed(default_tiers())
+APP_NAMES = st.sampled_from(spark_names())
+BETAS = st.floats(min_value=0.5, max_value=1.0)
+
+
+class TestTierProperties:
+    @given(names=st.lists(APP_NAMES, min_size=1, max_size=6), beta=BETAS)
+    @settings(max_examples=25, deadline=None)
+    def test_placement_always_fits_and_is_complete(self, names, beta):
+        policy = GreedyTierPolicy(TESTBED, beta=beta)
+        profiles = [spark_profile(n) for n in names]
+        assignments = place_sequentially(policy, profiles)
+        assert len(assignments) == len(profiles)
+        TESTBED.resolve(assignments)  # must not violate any capacity
+
+    @given(name=APP_NAMES)
+    @settings(max_examples=20, deadline=None)
+    def test_tier_slowdowns_ordered_by_medium(self, name):
+        """In an empty system: local <= remote-dram <= remote-nvme."""
+        profile = spark_profile(name)
+        pressure = TESTBED.resolve([])
+        slowdowns = {
+            tier_name: tier_slowdown(profile, pressure, tier)
+            for tier_name, tier in TESTBED.tiers.items()
+        }
+        assert (
+            slowdowns["local-dram"]
+            <= slowdowns["remote-dram"] + 1e-9
+            <= slowdowns["remote-nvme"] + 1e-9
+        )
+
+    @given(names=st.lists(APP_NAMES, min_size=1, max_size=6))
+    @settings(max_examples=20, deadline=None)
+    def test_beta_one_never_worse_than_low_beta(self, names):
+        """β=1 picks the best tier per arrival, so its aggregate mean
+        slowdown is never worse than an aggressive β=0.6 placement of
+        the same stream (greedy arrival order, same contention model)."""
+        profiles = [spark_profile(n) for n in names]
+
+        def mean_slowdown(beta):
+            assignments = place_sequentially(
+                GreedyTierPolicy(TESTBED, beta=beta), profiles
+            )
+            pressure = TESTBED.resolve(assignments)
+            return float(np.mean([
+                tier_slowdown(a.profile, pressure, TESTBED.tier(a.tier))
+                for a in assignments
+            ]))
+
+        assert mean_slowdown(1.0) <= mean_slowdown(0.6) + 0.05

@@ -1,0 +1,167 @@
+"""Tests for the heterogeneous memory-tier extension (§VII)."""
+
+import pytest
+
+from repro.hardware.config import LinkConfig, NodeConfig
+from repro.tiers import (
+    GreedyTierPolicy,
+    LOCAL_DRAM,
+    MultiTierTestbed,
+    REMOTE_DRAM,
+    REMOTE_NVME,
+    TierAssignment,
+    TierSpec,
+    default_tiers,
+    place_sequentially,
+    tier_slowdown,
+)
+from repro.workloads import spark_profile
+
+
+@pytest.fixture
+def testbed():
+    return MultiTierTestbed(default_tiers())
+
+
+class TestTierSpec:
+    def test_defaults(self):
+        assert LOCAL_DRAM.is_local
+        assert not REMOTE_DRAM.is_local
+        assert REMOTE_NVME.capacity_gb > REMOTE_DRAM.capacity_gb
+        assert REMOTE_NVME.link.capacity_gbps < REMOTE_DRAM.link.capacity_gbps
+        assert REMOTE_NVME.medium_slowdown > 1.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            TierSpec(name="x", capacity_gb=0.0)
+        with pytest.raises(ValueError):
+            TierSpec(name="x", capacity_gb=1.0, medium_slowdown=0.5)
+
+
+class TestTestbedConstruction:
+    def test_requires_exactly_one_local_tier(self):
+        with pytest.raises(ValueError):
+            MultiTierTestbed([REMOTE_DRAM, REMOTE_NVME])
+        with pytest.raises(ValueError):
+            MultiTierTestbed([LOCAL_DRAM,
+                              TierSpec(name="local2", capacity_gb=10.0)])
+
+    def test_unique_names(self):
+        with pytest.raises(ValueError):
+            MultiTierTestbed([LOCAL_DRAM, LOCAL_DRAM])
+
+    def test_unknown_tier_rejected(self, testbed):
+        with pytest.raises(KeyError):
+            testbed.tier("optane")
+
+
+class TestResolve:
+    def test_per_tier_links_independent(self, testbed):
+        lr = spark_profile("lr")
+        assignments = [TierAssignment(lr, "remote-dram")] * 3
+        pressure = testbed.resolve(assignments)
+        assert pressure.links["remote-dram"].offered_gbps > 0
+        assert pressure.links["remote-nvme"].offered_gbps == 0
+
+    def test_compute_contention_shared_across_tiers(self, testbed):
+        apps = [
+            TierAssignment(spark_profile("lr"), tier)
+            for tier in ("local-dram", "remote-dram", "remote-nvme")
+        ]
+        pressure = testbed.resolve(apps)
+        assert pressure.cpu_utilization == pytest.approx(3 * 8 / 64)
+
+    def test_capacity_enforced(self, testbed):
+        small = MultiTierTestbed(
+            [LOCAL_DRAM, TierSpec(name="tiny", capacity_gb=10.0,
+                                  link=LinkConfig())]
+        )
+        with pytest.raises(MemoryError):
+            small.resolve([
+                TierAssignment(spark_profile("lr"), "tiny"),
+                TierAssignment(spark_profile("lr"), "tiny"),
+            ])
+
+    def test_fits(self, testbed):
+        candidate = TierAssignment(spark_profile("lr"), "remote-dram")
+        assert testbed.fits([], candidate)
+
+
+class TestTierSlowdown:
+    def test_local_tier_matches_two_pool_model(self, testbed):
+        profile = spark_profile("gmm")
+        pressure = testbed.resolve([TierAssignment(profile, "local-dram")])
+        assert tier_slowdown(profile, pressure, LOCAL_DRAM) == pytest.approx(
+            1.0, abs=0.01
+        )
+
+    def test_nvme_slower_than_remote_dram(self, testbed):
+        profile = spark_profile("gmm")
+        pressure = testbed.resolve([])
+        dram = tier_slowdown(profile, pressure, REMOTE_DRAM)
+        nvme = tier_slowdown(profile, pressure, REMOTE_NVME)
+        assert nvme > dram >= 1.0
+        assert nvme == pytest.approx(dram * REMOTE_NVME.medium_slowdown, rel=0.05)
+
+    def test_saturated_tier_punished(self, testbed):
+        profile = spark_profile("lr")
+        hot = testbed.resolve(
+            [TierAssignment(spark_profile("lr"), "remote-nvme")] * 4
+        )
+        cold = testbed.resolve([])
+        assert tier_slowdown(profile, hot, REMOTE_NVME) > tier_slowdown(
+            profile, cold, REMOTE_NVME
+        )
+
+
+class TestGreedyPolicy:
+    def test_sensitive_app_stays_local(self, testbed):
+        policy = GreedyTierPolicy(testbed, beta=0.8)
+        decision = policy.decide(spark_profile("nweight"), [])
+        assert decision.tier == "local-dram"
+
+    def test_mild_app_lands_on_a_disaggregated_tier(self, testbed):
+        policy = GreedyTierPolicy(testbed, beta=0.8)
+        decision = policy.decide(spark_profile("gmm"), [])
+        assert decision.tier in ("remote-nvme", "remote-dram")
+
+    def test_beta_one_prefers_best_tier(self, testbed):
+        policy = GreedyTierPolicy(testbed, beta=1.0)
+        decision = policy.decide(spark_profile("gmm"), [])
+        best = min(decision.estimates, key=decision.estimates.get)
+        assert decision.tier == best
+
+    def test_estimates_cover_all_tiers(self, testbed):
+        policy = GreedyTierPolicy(testbed, beta=0.8)
+        decision = policy.decide(spark_profile("scan"), [])
+        assert set(decision.estimates) == {"local-dram", "remote-dram",
+                                           "remote-nvme"}
+
+    def test_invalid_beta(self, testbed):
+        with pytest.raises(ValueError):
+            GreedyTierPolicy(testbed, beta=0.0)
+
+    def test_invalid_preference(self, testbed):
+        with pytest.raises(ValueError):
+            GreedyTierPolicy(testbed, preference=["optane"])
+
+    def test_sequential_placement_spreads_tiers(self, testbed):
+        policy = GreedyTierPolicy(testbed, beta=0.8)
+        profiles = [spark_profile(n) for n in
+                    ("gmm", "pca", "nweight", "lr", "scan", "gbt")]
+        assignments = place_sequentially(policy, profiles)
+        tiers_used = {a.tier for a in assignments}
+        assert "local-dram" in tiers_used       # sensitive apps
+        assert tiers_used - {"local-dram"}      # mild apps offloaded
+
+    def test_capacity_fallback(self):
+        tiny = MultiTierTestbed([
+            TierSpec(name="local-dram", capacity_gb=1200.0),
+            TierSpec(name="small-remote", capacity_gb=10.0, link=LinkConfig()),
+        ])
+        policy = GreedyTierPolicy(tiny, beta=0.8)
+        profiles = [spark_profile("gmm")] * 3  # 8 GB each
+        assignments = place_sequentially(policy, profiles)
+        tiers = [a.tier for a in assignments]
+        assert tiers.count("small-remote") == 1
+        assert tiers.count("local-dram") == 2

@@ -1,0 +1,58 @@
+import pytest
+
+from repro.workloads import IBENCH, IBENCH_KINDS, MemoryMode, WorkloadKind, ibench_profile
+
+
+class TestPool:
+    def test_four_kinds(self):
+        """The paper uses cpu, l2, l3 and memBw trashers."""
+        assert set(IBENCH_KINDS) == {"cpu", "l2", "l3", "memBw"}
+        assert set(IBENCH) == set(IBENCH_KINDS)
+
+    def test_all_interference_kind(self):
+        assert all(p.kind is WorkloadKind.INTERFERENCE for p in IBENCH.values())
+
+    def test_trashers_are_insensitive(self):
+        """Open-loop trashers run at fixed intensity regardless of pressure."""
+        for profile in IBENCH.values():
+            s = profile.sensitivity
+            assert s.cpu == s.l2 == s.llc == s.membw == s.link == 0.0
+
+    def test_unknown_kind_raises(self):
+        with pytest.raises(KeyError, match="available"):
+            ibench_profile("l4")
+
+
+class TestSingleResourceTargeting:
+    def test_cpu_trasher_only_consumes_cpu(self):
+        demand = ibench_profile("cpu").demand(MemoryMode.LOCAL)
+        assert demand.cpu_threads == 4.0
+        assert demand.llc_mb == 0.0
+        assert demand.local_bw_gbps == 0.0
+
+    def test_sixteen_cpu_trashers_oversubscribe_the_node(self):
+        profile = ibench_profile("cpu")
+        assert 16 * profile.cpu_threads >= 64
+
+    def test_l2_trasher_targets_l2(self):
+        demand = ibench_profile("l2").demand(MemoryMode.LOCAL)
+        assert demand.l2_mb > 0
+        assert demand.llc_mb == 0.0
+
+    def test_l3_trasher_targets_llc(self):
+        profile = ibench_profile("l3")
+        assert profile.llc_mb > 0
+        # 16 instances must oversubscribe the 20 MB LLC (R6 worst case).
+        assert 16 * profile.llc_mb > 20.0
+
+    def test_membw_calibration_straddles_the_knee(self):
+        """Fig. 2: 4 instances below saturation, 8 beyond it."""
+        profile = ibench_profile("memBw")
+        capacity = 2.5
+        assert 4 * profile.remote_bw_gbps < capacity
+        assert 8 * profile.remote_bw_gbps > capacity
+
+    def test_membw_local_pressure_meaningful(self):
+        profile = ibench_profile("memBw")
+        # 16 instances approach but do not saturate 120 Gbps local DRAM.
+        assert 0.5 < 16 * profile.mem_bw_gbps / 120.0 < 1.0

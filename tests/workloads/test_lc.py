@@ -1,0 +1,144 @@
+import pytest
+
+from repro.hardware import ResourceDemand, Testbed, TestbedConfig
+from repro.workloads import (
+    LCProfile,
+    LoadGenConfig,
+    MEMCACHED,
+    MemoryMode,
+    REDIS,
+    TailLatencyModel,
+    WorkloadKind,
+)
+
+
+@pytest.fixture
+def testbed():
+    return Testbed(TestbedConfig(counter_noise=0.0))
+
+
+def calm(testbed, profile, mode):
+    return testbed.resolve([profile.demand(mode)])
+
+
+class TestProfiles:
+    def test_kinds(self):
+        assert REDIS.kind is WorkloadKind.LATENCY_CRITICAL
+        assert MEMCACHED.kind is WorkloadKind.LATENCY_CRITICAL
+
+    def test_paper_throughputs(self):
+        """§IV-A: ~30k ops/s for Redis, ~100k for Memcached."""
+        assert REDIS.ops_per_sec == pytest.approx(30000)
+        assert MEMCACHED.ops_per_sec == pytest.approx(100000)
+
+    def test_mode_insensitive_in_isolation(self):
+        """Remark R4 encoded directly: remote_slowdown ~ 1."""
+        assert REDIS.remote_slowdown <= 1.05
+        assert MEMCACHED.remote_slowdown <= 1.05
+
+    def test_pointer_chasing_sensitivities(self):
+        """Remark R6: low LLC sensitivity, higher memBW sensitivity."""
+        for profile in (REDIS, MEMCACHED):
+            assert profile.sensitivity.llc < profile.sensitivity.membw
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            LCProfile(
+                name="bad", kind=WorkloadKind.LATENCY_CRITICAL,
+                nominal_runtime_s=10.0, base_p99_ms=0.0,
+            )
+        with pytest.raises(ValueError):
+            LCProfile(
+                name="bad", kind=WorkloadKind.LATENCY_CRITICAL,
+                nominal_runtime_s=10.0, nominal_rho=1.5,
+            )
+
+
+class TestLoadGenConfig:
+    def test_paper_defaults(self):
+        config = LoadGenConfig()
+        assert config.total_clients == 800  # 4 threads x 200 clients
+        assert config.total_requests == 8_000_000
+        assert config.set_fraction == pytest.approx(1 / 11)  # SET:GET 1:10
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            LoadGenConfig(threads=0)
+        with pytest.raises(ValueError):
+            LoadGenConfig(set_fraction=1.5)
+
+
+class TestTailLatencyModel:
+    def test_nominal_point_reproduces_base_p99(self, testbed):
+        model = TailLatencyModel(REDIS)
+        pressure = calm(testbed, REDIS, MemoryMode.LOCAL)
+        sample = model.sample(pressure, MemoryMode.LOCAL, load_scale=1.0)
+        assert sample.p99_ms == pytest.approx(REDIS.base_p99_ms, rel=0.01)
+        assert not sample.saturated
+
+    def test_remote_isolation_nearly_identical(self, testbed):
+        """Remark R4: local and remote curves almost identical."""
+        model = TailLatencyModel(REDIS)
+        local = model.sample(calm(testbed, REDIS, MemoryMode.LOCAL), MemoryMode.LOCAL)
+        remote = model.sample(
+            calm(testbed, REDIS, MemoryMode.REMOTE), MemoryMode.REMOTE
+        )
+        assert remote.p99_ms / local.p99_ms < 1.10
+
+    def test_latency_monotone_in_load(self, testbed):
+        model = TailLatencyModel(MEMCACHED)
+        pressure = calm(testbed, MEMCACHED, MemoryMode.LOCAL)
+        samples = [
+            model.sample(pressure, MemoryMode.LOCAL, load_scale=s)
+            for s in (0.25, 0.5, 1.0, 1.5, 2.0)
+        ]
+        p99s = [s.p99_ms for s in samples]
+        assert all(b >= a for a, b in zip(p99s, p99s[1:]))
+
+    def test_throughput_saturates(self, testbed):
+        model = TailLatencyModel(REDIS)
+        pressure = calm(testbed, REDIS, MemoryMode.LOCAL)
+        heavy = model.sample(pressure, MemoryMode.LOCAL, load_scale=5.0)
+        assert heavy.saturated
+        assert heavy.served_ops < heavy.offered_ops
+
+    def test_p999_exceeds_p99(self, testbed):
+        model = TailLatencyModel(REDIS)
+        pressure = calm(testbed, REDIS, MemoryMode.LOCAL)
+        sample = model.sample(pressure, MemoryMode.LOCAL)
+        assert sample.p999_ms > sample.p99_ms
+
+    def test_saturated_link_hurts_remote_lc(self, testbed):
+        """Remark R5 for LC: p99 diverges once the channel saturates."""
+        model = TailLatencyModel(REDIS)
+        trashers = [
+            ResourceDemand(remote_bw_gbps=0.45, cpu_threads=0.5) for _ in range(16)
+        ]
+        congested = testbed.resolve(trashers + [REDIS.demand(MemoryMode.REMOTE)])
+        calm_pressure = calm(testbed, REDIS, MemoryMode.REMOTE)
+        hot = model.sample(congested, MemoryMode.REMOTE)
+        cool = model.sample(calm_pressure, MemoryMode.REMOTE)
+        assert hot.p99_ms > 1.5 * cool.p99_ms
+
+    def test_time_to_serve(self, testbed):
+        model = TailLatencyModel(REDIS)
+        pressure = calm(testbed, REDIS, MemoryMode.LOCAL)
+        seconds = model.time_to_serve(30000, pressure, MemoryMode.LOCAL)
+        assert seconds == pytest.approx(1.0, rel=0.01)
+        with pytest.raises(ValueError):
+            model.time_to_serve(0, pressure, MemoryMode.LOCAL)
+
+    def test_client_sweep_shapes(self, testbed):
+        model = TailLatencyModel(REDIS)
+        pressure = calm(testbed, REDIS, MemoryMode.LOCAL)
+        samples = model.client_sweep(pressure, MemoryMode.LOCAL, [100, 800])
+        assert len(samples) == 2
+        assert samples[0].p99_ms < samples[1].p99_ms
+        with pytest.raises(ValueError):
+            model.client_sweep(pressure, MemoryMode.LOCAL, [0])
+
+    def test_negative_load_raises(self, testbed):
+        model = TailLatencyModel(REDIS)
+        pressure = calm(testbed, REDIS, MemoryMode.LOCAL)
+        with pytest.raises(ValueError):
+            model.utilization(pressure, MemoryMode.LOCAL, load_scale=-1.0)

@@ -1,0 +1,35 @@
+import pytest
+
+from repro.workloads import (
+    WorkloadKind,
+    all_profiles,
+    be_profiles,
+    get_profile,
+    interference_profiles,
+    lc_profiles,
+)
+
+
+class TestRegistry:
+    def test_pool_composition(self):
+        """17 Spark + 2 LC + 4 iBench = 23 deployable workloads."""
+        assert len(all_profiles()) == 23
+        assert len(be_profiles()) == 17
+        assert len(lc_profiles()) == 2
+        assert len(interference_profiles()) == 4
+
+    def test_names_unique(self):
+        registry = all_profiles()
+        assert len(registry) == len({p.name for p in registry.values()})
+
+    def test_get_profile(self):
+        assert get_profile("redis").name == "redis"
+        assert get_profile("nweight").kind is WorkloadKind.BEST_EFFORT
+
+    def test_get_profile_unknown(self):
+        with pytest.raises(KeyError, match="available"):
+            get_profile("postgres")
+
+    def test_keyed_by_name(self):
+        for name, profile in all_profiles().items():
+            assert name == profile.name

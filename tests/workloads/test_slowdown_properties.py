@@ -1,0 +1,68 @@
+"""Property-based invariants of the workload slowdown model."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.hardware import ResourceDemand, Testbed, TestbedConfig
+from repro.workloads import MemoryMode, spark_names, spark_profile
+
+
+TESTBED = Testbed(TestbedConfig(counter_noise=0.0))
+APP_NAMES = st.sampled_from(spark_names())
+
+BACKGROUND = st.fixed_dictionaries({
+    "cpu_threads": st.floats(min_value=0, max_value=128),
+    "l2_mb": st.floats(min_value=0, max_value=16),
+    "llc_mb": st.floats(min_value=0, max_value=60),
+    "local_bw_gbps": st.floats(min_value=0, max_value=110),
+    "remote_bw_gbps": st.floats(min_value=0, max_value=10),
+})
+
+
+class TestSlowdownProperties:
+    @given(name=APP_NAMES, background=BACKGROUND)
+    @settings(max_examples=40, deadline=None)
+    def test_slowdown_at_least_isolation(self, name, background):
+        """No amount of background traffic speeds an application up."""
+        profile = spark_profile(name)
+        pressure = TESTBED.resolve([ResourceDemand(**background)])
+        assert profile.slowdown(pressure, MemoryMode.LOCAL) >= 1.0 - 1e-9
+        assert (
+            profile.slowdown(pressure, MemoryMode.REMOTE)
+            >= profile.remote_slowdown - 1e-9
+        )
+
+    @given(name=APP_NAMES, background=BACKGROUND)
+    @settings(max_examples=40, deadline=None)
+    def test_slowdown_finite_and_bounded(self, name, background):
+        """The saturation caps keep slowdowns physical even under
+        absurd background pressure."""
+        profile = spark_profile(name)
+        pressure = TESTBED.resolve([ResourceDemand(**background)])
+        for mode in MemoryMode:
+            slowdown = profile.slowdown(pressure, mode)
+            assert np.isfinite(slowdown)
+            assert slowdown < 50.0
+
+    @given(
+        name=APP_NAMES,
+        axis=st.sampled_from(["llc_mb", "local_bw_gbps", "remote_bw_gbps",
+                              "cpu_threads"]),
+        low=st.floats(min_value=0, max_value=30),
+        extra=st.floats(min_value=0.1, max_value=30),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_slowdown_monotone_per_axis(self, name, axis, low, extra):
+        """More pressure on any single axis never reduces the slowdown."""
+        profile = spark_profile(name)
+        mode = (
+            MemoryMode.REMOTE if axis == "remote_bw_gbps" else MemoryMode.LOCAL
+        )
+        lighter = TESTBED.resolve([ResourceDemand(**{axis: low})])
+        heavier = TESTBED.resolve([ResourceDemand(**{axis: low + extra})])
+        assert (
+            profile.slowdown(heavier, mode)
+            >= profile.slowdown(lighter, mode) - 1e-9
+        )

@@ -1,0 +1,78 @@
+import numpy as np
+import pytest
+
+from repro.workloads import SPARK_BENCHMARKS, WorkloadKind, spark_names, spark_profile
+
+
+class TestSuiteComposition:
+    def test_seventeen_benchmarks(self):
+        """The paper evaluates 17 HiBench-derived Spark applications."""
+        assert len(SPARK_BENCHMARKS) == 17
+
+    def test_all_best_effort(self):
+        assert all(
+            p.kind is WorkloadKind.BEST_EFFORT for p in SPARK_BENCHMARKS.values()
+        )
+
+    def test_paper_highlighted_benchmarks_present(self):
+        for name in ("nweight", "lr", "gmm", "pca", "sort", "kmeans", "gbt", "lda"):
+            assert name in SPARK_BENCHMARKS
+
+    def test_executor_thread_count(self):
+        """Footnote 3: 2 worker instances with 4 threads each."""
+        assert all(p.cpu_threads == 8.0 for p in SPARK_BENCHMARKS.values())
+
+    def test_lookup_by_name(self):
+        assert spark_profile("gmm").name == "gmm"
+        assert spark_names() == list(SPARK_BENCHMARKS)
+
+    def test_unknown_name_raises_with_choices(self):
+        with pytest.raises(KeyError, match="available"):
+            spark_profile("nosuch")
+
+
+class TestFig3Calibration:
+    def test_nweight_and_lr_suffer_2x(self):
+        assert spark_profile("nweight").remote_slowdown >= 1.8
+        assert spark_profile("lr").remote_slowdown >= 1.8
+
+    def test_gmm_and_pca_below_10pct(self):
+        assert spark_profile("gmm").remote_slowdown <= 1.10
+        assert spark_profile("pca").remote_slowdown <= 1.10
+
+    def test_suite_mean_degradation_band(self):
+        """Paper: ~20% average remote degradation over the suite."""
+        mean = np.mean([p.remote_slowdown for p in SPARK_BENCHMARKS.values()])
+        assert 1.15 <= mean <= 1.30
+
+    def test_degradation_non_uniform(self):
+        ratios = [p.remote_slowdown for p in SPARK_BENCHMARKS.values()]
+        assert max(ratios) / min(ratios) > 1.5
+
+
+class TestR7Stacking:
+    def test_stacking_set(self):
+        """Remark R7 names nweight, sort and kmeans."""
+        for name in ("nweight", "sort", "kmeans"):
+            assert spark_profile(name).stacking > 0.0
+
+    def test_mild_benchmarks_do_not_stack(self):
+        for name in ("gmm", "pca", "gbt"):
+            assert spark_profile(name).stacking == 0.0
+
+
+class TestR6Sensitivities:
+    def test_llc_dominates_for_most(self):
+        """Remark R6: LLC contention is the worst source for most Spark apps."""
+        dominated = sum(
+            1
+            for p in SPARK_BENCHMARKS.values()
+            if p.sensitivity.llc >= p.sensitivity.membw
+        )
+        assert dominated > len(SPARK_BENCHMARKS) / 2
+
+    def test_remote_bw_well_below_local_bw(self):
+        """Only LLC-missing traffic traverses the link."""
+        assert all(
+            p.remote_bw_gbps < p.mem_bw_gbps / 3 for p in SPARK_BENCHMARKS.values()
+        )
