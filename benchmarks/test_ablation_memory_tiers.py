@@ -21,7 +21,7 @@ from repro.tiers import (
     place_sequentially,
     tier_slowdown,
 )
-from repro.workloads import SPARK_BENCHMARKS, spark_profile
+from repro.workloads import spark_profile
 
 
 def _aggregate_slowdown(testbed, assignments):

@@ -6,7 +6,6 @@ levels it converges to All-Local with a small violation excess;
 Random/Round-Robin violate far more throughout.
 """
 
-import numpy as np
 
 from benchmarks.conftest import run_once
 from repro.experiments import fig17_lc_orchestration

@@ -20,6 +20,9 @@ Top-level packages
 ``repro.orchestrator``
     The Orchestrator: Adrias policy plus Random / Round-Robin /
     All-Local baselines and evaluation accounting.
+``repro.obs``
+    Self-observability: metrics registry, span tracing (Chrome
+    trace-event export) and the orchestrator decision-audit log.
 ``repro.analysis``
     Correlation and characterization analyses (Figs. 2-6).
 ``repro.experiments``

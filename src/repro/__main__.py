@@ -6,9 +6,14 @@ Usage::
     python -m repro run fig02                  # one experiment
     python -m repro run table1 --scale default
     python -m repro run all --scale quick      # everything (slow)
+    python -m repro run fig16 --obs-out out/   # + observability dump
+    python -m repro obs out/                   # summarize a dump
 
 Each experiment prints the same rows/series the paper reports.  The
 training-based experiments honour ``--scale`` (quick | default | paper).
+``--obs-out DIR`` enables the :mod:`repro.obs` layer for the run and
+writes ``metrics.json``, ``metrics.prom``, ``trace.json`` (Chrome
+trace-event format) and ``decisions.jsonl`` afterwards.
 """
 
 from __future__ import annotations
@@ -17,6 +22,7 @@ import argparse
 import sys
 from typing import Callable
 
+from repro import obs
 from repro.experiments import (
     ablations,
     fig02_link_saturation,
@@ -153,12 +159,31 @@ def main(argv: list[str] | None = None) -> int:
         help="effort preset for training-based experiments "
              "(default: $ADRIAS_SCALE or quick)",
     )
+    run.add_argument(
+        "--obs-out", metavar="DIR", default=None,
+        help="enable observability and dump metrics.json/metrics.prom/"
+             "trace.json/decisions.jsonl to DIR after the run",
+    )
+    obs_cmd = sub.add_parser(
+        "obs", help="summarize an observability dump directory"
+    )
+    obs_cmd.add_argument("directory", help="directory written by --obs-out")
     args = parser.parse_args(argv)
 
     if args.command == "list":
         width = max(len(k) for k in EXPERIMENTS)
         for key, (description, _) in EXPERIMENTS.items():
             print(f"{key.ljust(width)}  {description}")
+        return 0
+
+    if args.command == "obs":
+        from repro.obs.report import summarize_dir
+
+        try:
+            print(summarize_dir(args.directory))
+        except FileNotFoundError as error:
+            print(str(error), file=sys.stderr)
+            return 2
         return 0
 
     if args.scale is not None:
@@ -173,11 +198,22 @@ def main(argv: list[str] | None = None) -> int:
         print(f"unknown experiment(s): {unknown}; try 'python -m repro list'",
               file=sys.stderr)
         return 2
-    for target in targets:
-        description, runner = EXPERIMENTS[target]
-        print(f"== {target}: {description} (scale={scale.name}) ==")
-        print(runner(scale))
-        print()
+
+    if args.obs_out is not None:
+        obs.enable()
+    try:
+        for target in targets:
+            description, runner = EXPERIMENTS[target]
+            print(f"== {target}: {description} (scale={scale.name}) ==")
+            print(runner(scale))
+            print()
+    finally:
+        if args.obs_out is not None:
+            paths = obs.dump(args.obs_out)
+            obs.disable()
+            print("observability artifacts:")
+            for name in sorted(paths):
+                print(f"  {paths[name]}")
     return 0
 
 

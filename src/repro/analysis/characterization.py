@@ -15,7 +15,7 @@ from repro.cluster.engine import ClusterEngine
 from repro.hardware.config import TestbedConfig
 from repro.hardware.counters import PerfCounters
 from repro.hardware.testbed import Testbed
-from repro.workloads.base import MemoryMode, WorkloadKind, WorkloadProfile
+from repro.workloads.base import MemoryMode, WorkloadProfile
 from repro.workloads.ibench import IBENCH_KINDS, ibench_profile
 from repro.workloads.loadgen import LatencySample, TailLatencyModel
 from repro.workloads.redis import LCProfile

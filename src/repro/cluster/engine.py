@@ -16,6 +16,7 @@ from __future__ import annotations
 
 from typing import Callable
 
+from repro import obs
 from repro.cluster.deployment import Deployment
 from repro.cluster.trace import Trace
 from repro.hardware.testbed import SystemPressure, Testbed
@@ -108,11 +109,14 @@ class ClusterEngine:
 
     def tick(self) -> SystemPressure:
         """Advance the simulation by one step."""
+        start = obs.wall_time()
         pressure = self.current_pressure()
         self.now += self.dt
+        finished = 0
         for deployment in self.running:
             deployment.advance(self.now, self.dt, pressure)
             if not deployment.running:
+                finished += 1
                 record = deployment.record()
                 self.trace.add_record(record)
                 if self.on_finish is not None:
@@ -120,6 +124,30 @@ class ClusterEngine:
         self.trace.append(
             self.now, self.testbed.sample_counters(pressure), len(self.running)
         )
+        if obs.enabled():
+            metrics = obs.metrics()
+            metrics.counter(
+                "engine_ticks_total", "Simulation ticks executed"
+            ).inc()
+            if finished:
+                metrics.counter(
+                    "engine_deployments_finished_total",
+                    "Deployments that completed",
+                ).inc(finished)
+            metrics.gauge(
+                "engine_running_apps", "Deployments running after the tick"
+            ).set(len(self.running))
+            metrics.gauge(
+                "engine_link_utilization",
+                "ThymesisFlow offered/capacity ratio at the tick",
+            ).set(pressure.link.utilization)
+            metrics.gauge(
+                "engine_sim_time_seconds", "Current simulation clock"
+            ).set(self.now)
+            metrics.histogram(
+                "engine_tick_seconds",
+                "Wall-clock duration of one engine tick",
+            ).observe(obs.wall_time() - start)
         return pressure
 
     def run_for(self, seconds: float) -> None:

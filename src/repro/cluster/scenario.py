@@ -15,6 +15,7 @@ from typing import Callable, Sequence
 
 import numpy as np
 
+from repro import obs
 from repro.cluster.engine import CapacityError, ClusterEngine
 from repro.cluster.trace import Trace
 from repro.hardware.config import TestbedConfig
@@ -136,26 +137,36 @@ def run_scenario(
         engine = ClusterEngine(testbed=testbed)
     arrivals = generate_arrivals(config, pool=pool, random_modes=scheduler is None)
 
-    for arrival in arrivals:
-        # Advance the clock to the arrival instant.
-        gap = arrival.time - engine.now
-        if gap > 0:
-            engine.run_for(gap)
-        if scheduler is not None:
-            mode = scheduler(arrival.profile, engine)
-        else:
-            mode = arrival.mode if arrival.mode is not None else MemoryMode.LOCAL
-        try:
-            engine.deploy(arrival.profile, mode, duration_s=arrival.duration_s)
-        except CapacityError:
+    with obs.tracer().span(
+        "scenario",
+        seed=config.seed,
+        duration_s=config.duration_s,
+        arrivals=len(arrivals),
+        scheduler=getattr(scheduler, "name", None)
+        or (scheduler.__class__.__name__ if scheduler is not None else "random"),
+    ):
+        for arrival in arrivals:
+            # Advance the clock to the arrival instant.
+            gap = arrival.time - engine.now
+            if gap > 0:
+                engine.run_for(gap)
+            if scheduler is not None:
+                mode = scheduler(arrival.profile, engine)
+            else:
+                mode = arrival.mode if arrival.mode is not None else MemoryMode.LOCAL
             try:
-                engine.deploy(arrival.profile, mode.other, duration_s=arrival.duration_s)
+                engine.deploy(arrival.profile, mode, duration_s=arrival.duration_s)
             except CapacityError:
-                continue  # drop: both pools exhausted
+                try:
+                    engine.deploy(
+                        arrival.profile, mode.other, duration_s=arrival.duration_s
+                    )
+                except CapacityError:
+                    continue  # drop: both pools exhausted
 
-    remaining = config.duration_s - engine.now
-    if remaining > 0:
-        engine.run_for(remaining)
-    if config.drain:
-        engine.run_until_idle()
+        remaining = config.duration_s - engine.now
+        if remaining > 0:
+            engine.run_for(remaining)
+        if config.drain:
+            engine.run_until_idle()
     return engine.trace

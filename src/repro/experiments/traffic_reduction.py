@@ -21,7 +21,6 @@ from repro.experiments.common import (
 )
 from repro.orchestrator.evaluation import compare_policies
 from repro.orchestrator.policies import AdriasPolicy, RandomPolicy, RoundRobinPolicy
-from repro.workloads.base import WorkloadKind
 
 __all__ = ["TrafficResult", "run"]
 

@@ -19,9 +19,14 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro import obs
 from repro.hardware.config import LinkConfig
 
 __all__ = ["LinkState", "ThymesisFlowLink"]
+
+#: Histogram edges spanning the two latency regimes (R2): the ~350-cycle
+#: unloaded level, the logistic ramp, and the ~900-cycle plateau.
+_LATENCY_BUCKETS = (360.0, 400.0, 500.0, 600.0, 700.0, 800.0, 900.0)
 
 
 @dataclass(frozen=True)
@@ -67,6 +72,23 @@ class ThymesisFlowLink:
         utilization = offered_gbps / cfg.capacity_gbps
         latency = self.latency_at(utilization)
         backpressure = 1.0 if delivered == 0 else max(1.0, offered_gbps / delivered)
+        if obs.enabled():
+            metrics = obs.metrics()
+            regime = (
+                "idle" if offered_gbps == 0
+                else "saturated" if utilization >= 1.0
+                else "linear"
+            )
+            metrics.counter(
+                "link_resolves_total",
+                "Channel-state resolutions by saturation regime",
+                labels=("regime",),
+            ).labels(regime=regime).inc()
+            metrics.histogram(
+                "link_latency_cycles",
+                "Resolved channel latency per tick (cycles)",
+                buckets=_LATENCY_BUCKETS,
+            ).observe(latency)
         return LinkState(
             offered_gbps=offered_gbps,
             delivered_gbps=delivered,

@@ -213,6 +213,7 @@ class PerformancePredictor:
             model=self.model,
             optimizer=Adam(self.model.parameters(), lr=lr),
             loss=MSELoss(),
+            name="performance",
         )
         trainer.fit(
             DataLoader(train, batch_size=batch_size, shuffle=True, rng=rng),

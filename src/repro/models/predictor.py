@@ -16,6 +16,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro import obs
 from repro.models.features import FeatureConfig, encode_mode, subsample
 from repro.models.performance import PerformancePredictor
 from repro.models.signatures import SignatureLibrary
@@ -55,8 +56,11 @@ class Predictor:
     # -- inference -------------------------------------------------------------
     def predict_system_state(self, history_raw: np.ndarray) -> np.ndarray:
         """Ŝ (mean metrics over the next horizon) from a raw 1 Hz window."""
+        start = obs.wall_time()
         window = subsample(history_raw, self.config.sample_period_s, self.config.dt)
-        return self.system_state.predict(window)
+        prediction = self.system_state.predict(window)
+        self._observe_inference("system_state", start)
+        return prediction
 
     def predict_performance(
         self,
@@ -70,16 +74,28 @@ class Predictor:
         (the Orchestrator) must then fall back to the capture-first
         policy of §V-C.
         """
+        start = obs.wall_time()
         model = self._model_for(profile.kind)
-        signature = self.signatures.get(profile.name)
-        window = subsample(history_raw, self.config.sample_period_s, self.config.dt)
-        future = self.predict_system_state(history_raw) if model.use_future else None
-        return model.predict(
-            state=window,
-            signature=signature,
-            mode=np.array([encode_mode(mode)]),
-            future=future,
-        )
+        with obs.tracer().span(
+            "predictor.infer", app=profile.name, mode=mode.value
+        ):
+            signature = self.signatures.get(profile.name)
+            window = subsample(
+                history_raw, self.config.sample_period_s, self.config.dt
+            )
+            future = (
+                self.predict_system_state(history_raw)
+                if model.use_future
+                else None
+            )
+            estimate = model.predict(
+                state=window,
+                signature=signature,
+                mode=np.array([encode_mode(mode)]),
+                future=future,
+            )
+        self._observe_inference(profile.kind.value, start)
+        return estimate
 
     def predict_both_modes(
         self, profile: WorkloadProfile, history_raw: np.ndarray
@@ -89,6 +105,21 @@ class Predictor:
             mode: self.predict_performance(profile, history_raw, mode)
             for mode in (MemoryMode.LOCAL, MemoryMode.REMOTE)
         }
+
+    def _observe_inference(self, model_name: str, start: float) -> None:
+        if not obs.enabled():
+            return
+        metrics = obs.metrics()
+        metrics.counter(
+            "predictor_inferences_total",
+            "Predictor forward passes",
+            labels=("model",),
+        ).labels(model=model_name).inc()
+        metrics.histogram(
+            "predictor_inference_seconds",
+            "Wall-clock latency of one inference call",
+            labels=("model",),
+        ).labels(model=model_name).observe(obs.wall_time() - start)
 
     def _model_for(self, kind: WorkloadKind) -> PerformancePredictor:
         if kind is WorkloadKind.BEST_EFFORT:

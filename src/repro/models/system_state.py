@@ -171,6 +171,7 @@ class SystemStatePredictor:
             model=self.model,
             optimizer=Adam(self.model.parameters(), lr=lr),
             loss=MSELoss(),
+            name="system_state",
         )
         trainer.fit(
             DataLoader(train, batch_size=batch_size, shuffle=True, rng=rng),

@@ -8,6 +8,7 @@ from typing import Callable
 
 import numpy as np
 
+from repro import obs
 from repro.nn.clipping import clip_grad_norm
 from repro.nn.data import DataLoader
 from repro.nn.losses import Loss
@@ -80,6 +81,7 @@ class Trainer:
         scheduler: Scheduler | None = None,
         grad_clip: float | None = 5.0,
         forward_fn: Callable | None = None,
+        name: str = "model",
     ) -> None:
         self.model = model
         self.optimizer = optimizer
@@ -87,6 +89,8 @@ class Trainer:
         self.scheduler = scheduler
         self.grad_clip = grad_clip
         self.forward_fn = forward_fn
+        #: Label used for observability (metrics/spans) of this fit.
+        self.name = name
 
     def _forward(self, inputs: tuple[np.ndarray, ...]) -> np.ndarray:
         if self.forward_fn is not None:
@@ -140,23 +144,55 @@ class Trainer:
         if epochs < 1:
             raise ValueError("epochs must be >= 1")
         history = History()
-        for epoch in range(epochs):
-            train_loss = self.train_epoch(train_loader)
-            history.train_loss.append(train_loss)
-            val_loss = None
-            if val_loader is not None:
-                val_loss = self.evaluate(val_loader)
-                history.val_loss.append(val_loss)
-            if self.scheduler is not None:
-                self.scheduler.step(val_loss if val_loss is not None else train_loss)
-            if verbose:  # pragma: no cover - logging only
-                msg = f"epoch {epoch + 1}/{epochs} train={train_loss:.5f}"
-                if val_loss is not None:
-                    msg += f" val={val_loss:.5f}"
-                print(msg)
-            if early_stopping is not None and val_loss is not None:
-                if early_stopping.update(val_loss, self.model):
-                    break
+        with obs.tracer().span("nn.fit", model=self.name, epochs=epochs) as fit_span:
+            for epoch in range(epochs):
+                epoch_start = obs.wall_time()
+                with obs.tracer().span(
+                    "nn.epoch", model=self.name, epoch=epoch
+                ) as epoch_span:
+                    train_loss = self.train_epoch(train_loader)
+                    history.train_loss.append(train_loss)
+                    val_loss = None
+                    if val_loader is not None:
+                        val_loss = self.evaluate(val_loader)
+                        history.val_loss.append(val_loss)
+                    epoch_span.set(train_loss=train_loss, val_loss=val_loss)
+                self._observe_epoch(epoch_start, train_loss, val_loss)
+                if self.scheduler is not None:
+                    self.scheduler.step(
+                        val_loss if val_loss is not None else train_loss
+                    )
+                if verbose:  # pragma: no cover - logging only
+                    msg = f"epoch {epoch + 1}/{epochs} train={train_loss:.5f}"
+                    if val_loss is not None:
+                        msg += f" val={val_loss:.5f}"
+                    print(msg)
+                if early_stopping is not None and val_loss is not None:
+                    if early_stopping.update(val_loss, self.model):
+                        break
+            fit_span.set(epochs_run=history.epochs)
         if early_stopping is not None:
             early_stopping.restore_best(self.model)
         return history
+
+    def _observe_epoch(
+        self, epoch_start: float, train_loss: float, val_loss: float | None
+    ) -> None:
+        if not obs.enabled():
+            return
+        metrics = obs.metrics()
+        metrics.counter(
+            "nn_epochs_total", "Training epochs completed", labels=("model",)
+        ).labels(model=self.name).inc()
+        metrics.histogram(
+            "nn_epoch_seconds",
+            "Wall-clock duration of one training epoch",
+            labels=("model",),
+        ).labels(model=self.name).observe(obs.wall_time() - epoch_start)
+        metrics.gauge(
+            "nn_train_loss", "Latest training loss", labels=("model",)
+        ).labels(model=self.name).set(train_loss)
+        if val_loss is not None:
+            metrics.gauge(
+                "nn_val_loss", "Latest validation loss", labels=("model",)
+            ).labels(model=self.name).set(val_loss)

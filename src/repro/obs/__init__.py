@@ -1,0 +1,70 @@
+"""``repro.obs`` — unified metrics, tracing and decision-audit layer.
+
+Three collectors behind one on/off switch (default: off, zero-cost):
+
+* :mod:`repro.obs.metrics` — labeled counters / gauges / histograms with
+  JSON and Prometheus text exposition;
+* :mod:`repro.obs.tracing` — nested spans exported as Chrome trace-event
+  JSON (``chrome://tracing`` / Perfetto);
+* :mod:`repro.obs.audit` — orchestrator decision log with actual
+  outcomes joined back via ``engine.on_finish``.
+
+See :mod:`repro.obs.runtime` for the session/enable/dump lifecycle and
+:mod:`repro.obs.report` for the ``python -m repro obs`` summaries.
+"""
+
+from repro.obs.audit import DecisionAuditLog, DecisionRecord, NullAuditLog
+from repro.obs.metrics import (
+    DEFAULT_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    NullRegistry,
+)
+from repro.obs.runtime import (
+    ARTIFACT_NAMES,
+    ObsHandles,
+    audit,
+    disable,
+    dump,
+    enable,
+    enabled,
+    metrics,
+    reset,
+    session,
+    tracer,
+    wall_time,
+)
+from repro.obs.tracing import NullTracer, Span, SpanTracer
+
+__all__ = [
+    # runtime
+    "enabled",
+    "enable",
+    "disable",
+    "reset",
+    "metrics",
+    "tracer",
+    "audit",
+    "wall_time",
+    "session",
+    "dump",
+    "ObsHandles",
+    "ARTIFACT_NAMES",
+    # metrics
+    "MetricsRegistry",
+    "NullRegistry",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "DEFAULT_BUCKETS",
+    # tracing
+    "SpanTracer",
+    "NullTracer",
+    "Span",
+    # audit
+    "DecisionAuditLog",
+    "DecisionRecord",
+    "NullAuditLog",
+]

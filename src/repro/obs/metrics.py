@@ -1,0 +1,425 @@
+"""Process-wide metrics: labeled counters, gauges and histograms.
+
+The reproduction instruments its own hot paths the same way the paper's
+Watcher instruments the testbed: cheap always-on counters aggregated in
+memory, exported on demand.  A :class:`MetricsRegistry` owns metric
+*families* (name + kind + label names); each distinct label-value
+combination materializes a child instrument on first use.
+
+Two export formats are supported:
+
+* :meth:`MetricsRegistry.to_json` — a structured snapshot for
+  programmatic consumption (``metrics.json``);
+* :meth:`MetricsRegistry.to_prometheus` — Prometheus text exposition
+  format 0.0.4 (``metrics.prom``), scrape-able or diff-able.
+
+When observability is disabled the process uses :class:`NullRegistry`,
+whose instruments are shared no-op singletons — instrumented code pays
+one attribute lookup and an empty call, nothing else.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import threading
+from typing import Iterable, Mapping, Sequence
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricFamily",
+    "MetricsRegistry",
+    "NullRegistry",
+    "NULL_REGISTRY",
+    "DEFAULT_BUCKETS",
+]
+
+#: Default histogram buckets: latency-flavoured, in seconds.
+DEFAULT_BUCKETS: tuple[float, ...] = (
+    1e-5, 1e-4, 1e-3, 5e-3, 0.01, 0.05, 0.1, 0.5, 1.0, 5.0, 30.0,
+)
+
+
+def _validate_name(name: str) -> None:
+    if not name or not all(c.isalnum() or c in "_:" for c in name):
+        raise ValueError(f"invalid metric name {name!r}")
+
+
+class Counter:
+    """Monotonically increasing counter."""
+
+    __slots__ = ("value",)
+
+    def __init__(self) -> None:
+        self.value = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        if amount < 0:
+            raise ValueError("counters can only increase")
+        self.value += amount
+
+    def snapshot(self) -> float:
+        return self.value
+
+
+class Gauge:
+    """Instantaneous value; can move in either direction."""
+
+    __slots__ = ("value",)
+
+    def __init__(self) -> None:
+        self.value = 0.0
+
+    def set(self, value: float) -> None:
+        self.value = float(value)
+
+    def inc(self, amount: float = 1.0) -> None:
+        self.value += amount
+
+    def dec(self, amount: float = 1.0) -> None:
+        self.value -= amount
+
+    def snapshot(self) -> float:
+        return self.value
+
+
+class Histogram:
+    """Cumulative-bucket histogram (Prometheus semantics: value <= le)."""
+
+    __slots__ = ("buckets", "counts", "sum", "count", "min", "max")
+
+    def __init__(self, buckets: Sequence[float] = DEFAULT_BUCKETS) -> None:
+        edges = tuple(float(b) for b in buckets)
+        if not edges or list(edges) != sorted(set(edges)):
+            raise ValueError("buckets must be non-empty, sorted and unique")
+        self.buckets = edges
+        self.counts = [0] * (len(edges) + 1)  # final slot is +Inf
+        self.sum = 0.0
+        self.count = 0
+        self.min = math.inf
+        self.max = -math.inf
+
+    def observe(self, value: float) -> None:
+        value = float(value)
+        self.sum += value
+        self.count += 1
+        self.min = min(self.min, value)
+        self.max = max(self.max, value)
+        for i, edge in enumerate(self.buckets):
+            if value <= edge:
+                self.counts[i] += 1
+                return
+        self.counts[-1] += 1
+
+    @property
+    def mean(self) -> float:
+        return self.sum / self.count if self.count else float("nan")
+
+    def cumulative_counts(self) -> list[int]:
+        """Counts as Prometheus cumulative ``le`` buckets (incl. +Inf)."""
+        out, running = [], 0
+        for c in self.counts:
+            running += c
+            out.append(running)
+        return out
+
+    def snapshot(self) -> dict:
+        return {
+            "count": self.count,
+            "sum": self.sum,
+            "mean": self.mean if self.count else None,
+            "min": self.min if self.count else None,
+            "max": self.max if self.count else None,
+            "buckets": {
+                ("+Inf" if i == len(self.buckets) else repr(self.buckets[i])): c
+                for i, c in enumerate(self.cumulative_counts())
+            },
+        }
+
+
+_KINDS = {"counter": Counter, "gauge": Gauge, "histogram": Histogram}
+
+
+class MetricFamily:
+    """One named metric plus its per-label-set children.
+
+    A family declared with no labels acts as its own single child, so
+    ``registry.counter("ticks_total", "...").inc()`` works directly.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        kind: str,
+        help: str = "",
+        label_names: Sequence[str] = (),
+        buckets: Sequence[float] | None = None,
+    ) -> None:
+        _validate_name(name)
+        if kind not in _KINDS:
+            raise ValueError(f"unknown metric kind {kind!r}")
+        self.name = name
+        self.kind = kind
+        self.help = help
+        self.label_names = tuple(label_names)
+        self._buckets = tuple(buckets) if buckets is not None else None
+        self._children: dict[tuple[str, ...], Counter | Gauge | Histogram] = {}
+        if not self.label_names:
+            self._children[()] = self._make_child()
+
+    def _make_child(self):
+        if self.kind == "histogram":
+            if self._buckets is not None:
+                return Histogram(self._buckets)
+            return Histogram()
+        return _KINDS[self.kind]()
+
+    def labels(self, **labels: object):
+        """The child instrument for one label-value combination."""
+        if set(labels) != set(self.label_names):
+            raise ValueError(
+                f"{self.name} expects labels {self.label_names}, got "
+                f"{tuple(sorted(labels))}"
+            )
+        key = tuple(str(labels[n]) for n in self.label_names)
+        child = self._children.get(key)
+        if child is None:
+            child = self._children[key] = self._make_child()
+        return child
+
+    # -- unlabeled convenience passthroughs --------------------------------
+    def _solo(self):
+        if self.label_names:
+            raise ValueError(
+                f"{self.name} is labeled {self.label_names}; use .labels()"
+            )
+        return self._children[()]
+
+    def inc(self, amount: float = 1.0) -> None:
+        self._solo().inc(amount)
+
+    def dec(self, amount: float = 1.0) -> None:
+        self._solo().dec(amount)
+
+    def set(self, value: float) -> None:
+        self._solo().set(value)
+
+    def observe(self, value: float) -> None:
+        self._solo().observe(value)
+
+    def children(self) -> Iterable[tuple[tuple[str, ...], object]]:
+        return self._children.items()
+
+    def snapshot(self) -> dict:
+        series = []
+        for key, child in sorted(self._children.items()):
+            series.append(
+                {
+                    "labels": dict(zip(self.label_names, key)),
+                    "value": child.snapshot(),
+                }
+            )
+        return {
+            "name": self.name,
+            "kind": self.kind,
+            "help": self.help,
+            "series": series,
+        }
+
+
+class MetricsRegistry:
+    """Process-wide registry of metric families.
+
+    Get-or-create semantics: calling :meth:`counter` twice with the same
+    name returns the same family, so instrumented call sites need no
+    setup phase.  Redeclaring a name with a different kind or label set
+    is a programming error and raises.
+    """
+
+    def __init__(self) -> None:
+        self._families: dict[str, MetricFamily] = {}
+        self._lock = threading.Lock()
+
+    # -- declaration ---------------------------------------------------------
+    def _family(
+        self,
+        name: str,
+        kind: str,
+        help: str,
+        labels: Sequence[str],
+        buckets: Sequence[float] | None = None,
+    ) -> MetricFamily:
+        with self._lock:
+            family = self._families.get(name)
+            if family is None:
+                family = MetricFamily(name, kind, help, labels, buckets)
+                self._families[name] = family
+                return family
+        if family.kind != kind or family.label_names != tuple(labels):
+            raise ValueError(
+                f"metric {name!r} already declared as {family.kind} with "
+                f"labels {family.label_names}"
+            )
+        return family
+
+    def counter(
+        self, name: str, help: str = "", labels: Sequence[str] = ()
+    ) -> MetricFamily:
+        return self._family(name, "counter", help, labels)
+
+    def gauge(
+        self, name: str, help: str = "", labels: Sequence[str] = ()
+    ) -> MetricFamily:
+        return self._family(name, "gauge", help, labels)
+
+    def histogram(
+        self,
+        name: str,
+        help: str = "",
+        labels: Sequence[str] = (),
+        buckets: Sequence[float] | None = None,
+    ) -> MetricFamily:
+        return self._family(name, "histogram", help, labels, buckets)
+
+    # -- lifecycle -----------------------------------------------------------
+    def __contains__(self, name: str) -> bool:
+        return name in self._families
+
+    def __len__(self) -> int:
+        return len(self._families)
+
+    def reset(self) -> None:
+        """Drop every family (fresh registry state)."""
+        with self._lock:
+            self._families.clear()
+
+    # -- export --------------------------------------------------------------
+    def snapshot(self) -> list[dict]:
+        return [f.snapshot() for _, f in sorted(self._families.items())]
+
+    def to_json(self, indent: int | None = 2) -> str:
+        return json.dumps({"metrics": self.snapshot()}, indent=indent)
+
+    def to_prometheus(self) -> str:
+        """Prometheus text exposition format 0.0.4."""
+        lines: list[str] = []
+        for name, family in sorted(self._families.items()):
+            if family.help:
+                lines.append(f"# HELP {name} {family.help}")
+            lines.append(f"# TYPE {name} {family.kind}")
+            for key, child in sorted(family.children()):
+                labels = dict(zip(family.label_names, key))
+                if family.kind == "histogram":
+                    assert isinstance(child, Histogram)
+                    cumulative = child.cumulative_counts()
+                    for i, edge in enumerate(child.buckets):
+                        bucket_labels = {**labels, "le": _fmt_float(edge)}
+                        lines.append(
+                            f"{name}_bucket{_label_str(bucket_labels)} "
+                            f"{cumulative[i]}"
+                        )
+                    lines.append(
+                        f"{name}_bucket{_label_str({**labels, 'le': '+Inf'})} "
+                        f"{cumulative[-1]}"
+                    )
+                    lines.append(
+                        f"{name}_sum{_label_str(labels)} {_fmt_float(child.sum)}"
+                    )
+                    lines.append(f"{name}_count{_label_str(labels)} {child.count}")
+                else:
+                    lines.append(
+                        f"{name}{_label_str(labels)} "
+                        f"{_fmt_float(child.snapshot())}"
+                    )
+        return "\n".join(lines) + ("\n" if lines else "")
+
+
+def _fmt_float(value: float) -> str:
+    if value == math.inf:
+        return "+Inf"
+    if value == -math.inf:
+        return "-Inf"
+    formatted = repr(float(value))
+    return formatted[:-2] if formatted.endswith(".0") else formatted
+
+
+def _label_str(labels: Mapping[str, str]) -> str:
+    if not labels:
+        return ""
+    inner = ",".join(
+        f'{k}="{_escape(str(v))}"' for k, v in sorted(labels.items())
+    )
+    return "{" + inner + "}"
+
+
+def _escape(value: str) -> str:
+    return value.replace("\\", r"\\").replace('"', r"\"").replace("\n", r"\n")
+
+
+# -- disabled path -------------------------------------------------------------
+
+
+class _NullInstrument:
+    """Shared no-op child: absorbs every instrument method."""
+
+    __slots__ = ()
+
+    def labels(self, **labels: object) -> "_NullInstrument":
+        return self
+
+    def inc(self, amount: float = 1.0) -> None:
+        pass
+
+    def dec(self, amount: float = 1.0) -> None:
+        pass
+
+    def set(self, value: float) -> None:
+        pass
+
+    def observe(self, value: float) -> None:
+        pass
+
+
+_NULL_INSTRUMENT = _NullInstrument()
+
+
+class NullRegistry:
+    """Zero-cost registry used while observability is disabled."""
+
+    def counter(self, name: str, help: str = "", labels: Sequence[str] = ()):
+        return _NULL_INSTRUMENT
+
+    def gauge(self, name: str, help: str = "", labels: Sequence[str] = ()):
+        return _NULL_INSTRUMENT
+
+    def histogram(
+        self,
+        name: str,
+        help: str = "",
+        labels: Sequence[str] = (),
+        buckets: Sequence[float] | None = None,
+    ):
+        return _NULL_INSTRUMENT
+
+    def __contains__(self, name: str) -> bool:
+        return False
+
+    def __len__(self) -> int:
+        return 0
+
+    def reset(self) -> None:
+        pass
+
+    def snapshot(self) -> list[dict]:
+        return []
+
+    def to_json(self, indent: int | None = 2) -> str:
+        return json.dumps({"metrics": []}, indent=indent)
+
+    def to_prometheus(self) -> str:
+        return ""
+
+
+NULL_REGISTRY = NullRegistry()

@@ -1,0 +1,174 @@
+"""Post-hoc summaries of a dumped observability directory.
+
+Backs ``python -m repro obs DIR``: reads the artifacts written by
+:func:`repro.obs.runtime.dump` and renders the paper-style tables the
+rest of the harness uses — top metrics, span time by name, and the
+decision audit's predicted-vs-actual accuracy join.
+"""
+
+from __future__ import annotations
+
+import json
+from collections import defaultdict
+from pathlib import Path
+
+from repro.analysis.reporting import format_kv, format_table
+
+__all__ = ["load_artifacts", "summarize_dir"]
+
+
+def load_artifacts(directory: str | Path) -> dict:
+    """Parse whichever dump artifacts exist under ``directory``."""
+    directory = Path(directory)
+    if not directory.is_dir():
+        raise FileNotFoundError(f"not an observability dump: {directory}")
+    artifacts: dict = {"metrics": None, "trace": None, "decisions": None}
+    metrics_path = directory / "metrics.json"
+    if metrics_path.exists():
+        artifacts["metrics"] = json.loads(metrics_path.read_text())["metrics"]
+    trace_path = directory / "trace.json"
+    if trace_path.exists():
+        artifacts["trace"] = json.loads(trace_path.read_text())["traceEvents"]
+    decisions_path = directory / "decisions.jsonl"
+    if decisions_path.exists():
+        artifacts["decisions"] = [
+            json.loads(line)
+            for line in decisions_path.read_text().splitlines()
+            if line.strip()
+        ]
+    if all(v is None for v in artifacts.values()):
+        raise FileNotFoundError(
+            f"no observability artifacts (metrics.json / trace.json / "
+            f"decisions.jsonl) under {directory}"
+        )
+    return artifacts
+
+
+def _metrics_table(families: list[dict]) -> str:
+    rows = []
+    for family in families:
+        for series in family["series"]:
+            labels = ",".join(f"{k}={v}" for k, v in series["labels"].items())
+            value = series["value"]
+            if family["kind"] == "histogram":
+                shown = (
+                    f"n={value['count']} mean={_num(value['mean'])} "
+                    f"max={_num(value['max'])}"
+                )
+            else:
+                shown = _num(value)
+            rows.append((family["name"], family["kind"], labels or "-", shown))
+    return format_table(
+        ["metric", "kind", "labels", "value"], rows, title="Metrics"
+    )
+
+
+def _spans_table(events: list[dict]) -> str:
+    totals: dict[str, list[float]] = defaultdict(list)
+    for event in events:
+        if event.get("ph") == "X":
+            totals[event["name"]].append(event.get("dur", 0.0))
+    rows = [
+        (
+            name,
+            len(durations),
+            f"{sum(durations) / 1e6:.3f}",
+            f"{max(durations) / 1e3:.2f}",
+        )
+        for name, durations in sorted(
+            totals.items(), key=lambda kv: -sum(kv[1])
+        )
+    ]
+    return format_table(
+        ["span", "count", "total s", "max ms"], rows, title="Trace spans"
+    )
+
+
+def _decisions_summary(decisions: list[dict]) -> str:
+    joined = [d for d in decisions if d.get("outcome")]
+    lines = [
+        format_kv(
+            {
+                "decisions": len(decisions),
+                "joined outcomes": len(joined),
+                "fallback placements": sum(
+                    1 for d in joined if d["outcome"].get("fallback")
+                ),
+            },
+            title="Decision audit",
+        )
+    ]
+    by_policy: dict[str, dict[str, list]] = defaultdict(
+        lambda: {"modes": [], "errors": [], "ratios": []}
+    )
+    for decision in decisions:
+        bucket = by_policy[decision["policy"]]
+        bucket["modes"].append(decision["chosen_mode"])
+        error = decision.get("prediction_error")
+        outcome = decision.get("outcome") or {}
+        actual = outcome.get("performance")
+        if error is not None and actual:
+            bucket["errors"].append(error)
+            bucket["ratios"].append(abs(error) / abs(actual))
+    rows = []
+    for policy, bucket in sorted(by_policy.items()):
+        n = len(bucket["modes"])
+        remote = sum(1 for m in bucket["modes"] if m == "remote")
+        errors = bucket["errors"]
+        rows.append(
+            (
+                policy,
+                n,
+                f"{remote / n * 100:.1f}%",
+                (
+                    f"{sum(abs(e) for e in errors) / len(errors):.3f}"
+                    if errors
+                    else "-"
+                ),
+                (
+                    f"{sum(bucket['ratios']) / len(bucket['ratios']) * 100:.1f}%"
+                    if bucket["ratios"]
+                    else "-"
+                ),
+                f"{sum(errors) / len(errors):+.3f}" if errors else "-",
+            )
+        )
+    lines.append(
+        format_table(
+            ["policy", "decisions", "remote", "MAE", "MAPE", "bias"],
+            rows,
+            title="Predicted vs actual (joined rows)",
+        )
+    )
+    return "\n\n".join(lines)
+
+
+def summarize_dir(directory: str | Path) -> str:
+    """Render the full plain-text report for one dump directory."""
+    artifacts = load_artifacts(directory)
+    sections = [f"Observability dump: {Path(directory)}"]
+    if artifacts["metrics"] is not None:
+        if artifacts["metrics"]:
+            sections.append(_metrics_table(artifacts["metrics"]))
+        else:
+            sections.append("Metrics: (empty)")
+    if artifacts["trace"] is not None:
+        spans = [e for e in artifacts["trace"] if e.get("ph") == "X"]
+        if spans:
+            sections.append(_spans_table(artifacts["trace"]))
+        else:
+            sections.append("Trace spans: (none)")
+    if artifacts["decisions"] is not None:
+        if artifacts["decisions"]:
+            sections.append(_decisions_summary(artifacts["decisions"]))
+        else:
+            sections.append("Decision audit: (no decisions recorded)")
+    return "\n\n".join(sections)
+
+
+def _num(value: object) -> str:
+    if value is None:
+        return "-"
+    if isinstance(value, float):
+        return f"{value:.6g}"
+    return str(value)

@@ -1,0 +1,167 @@
+"""Global observability runtime: enable/disable, accessors, artifact dump.
+
+The instrumented hot paths (engine tick, link resolve, trainer epochs,
+predictor inference, policy decisions) all reach observability through
+three module-level accessors — :func:`metrics`, :func:`tracer`,
+:func:`audit` — which return no-op singletons until :func:`enable` is
+called.  Disabled is the default, so simulation results and benchmark
+numbers are bit-identical to an uninstrumented build: the instruments
+never touch any RNG and the null objects absorb every call.
+
+Typical usage::
+
+    from repro import obs
+
+    with obs.session() as handles:
+        run_experiment()
+        obs.dump("out/")          # metrics.json/.prom, trace.json,
+                                  # decisions.jsonl
+
+or, from the CLI, ``python -m repro run fig16 --obs-out out/``.
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Iterator
+
+from repro.obs.audit import NULL_AUDIT, DecisionAuditLog, NullAuditLog
+from repro.obs.metrics import NULL_REGISTRY, MetricsRegistry, NullRegistry
+from repro.obs.tracing import NULL_TRACER, NullTracer, SpanTracer
+
+__all__ = [
+    "ObsHandles",
+    "enabled",
+    "enable",
+    "disable",
+    "reset",
+    "metrics",
+    "tracer",
+    "audit",
+    "wall_time",
+    "session",
+    "dump",
+    "ARTIFACT_NAMES",
+]
+
+#: Files written by :func:`dump`, in a stable order.
+ARTIFACT_NAMES = (
+    "metrics.json",
+    "metrics.prom",
+    "trace.json",
+    "decisions.jsonl",
+)
+
+
+@dataclass
+class ObsHandles:
+    """The three live collectors while a session is enabled."""
+
+    metrics: MetricsRegistry
+    tracer: SpanTracer
+    audit: DecisionAuditLog
+
+
+_enabled: bool = False
+_metrics: MetricsRegistry | NullRegistry = NULL_REGISTRY
+_tracer: SpanTracer | NullTracer = NULL_TRACER
+_audit: DecisionAuditLog | NullAuditLog = NULL_AUDIT
+
+
+def enabled() -> bool:
+    """Whether observability collection is currently on."""
+    return _enabled
+
+
+def metrics() -> MetricsRegistry | NullRegistry:
+    return _metrics
+
+
+def tracer() -> SpanTracer | NullTracer:
+    return _tracer
+
+
+def audit() -> DecisionAuditLog | NullAuditLog:
+    return _audit
+
+
+def wall_time() -> float:
+    """Monotonic wall time when enabled; constant 0.0 when disabled.
+
+    Hot paths use ``start = obs.wall_time()`` so the disabled path skips
+    the clock syscall entirely.
+    """
+    return time.perf_counter() if _enabled else 0.0
+
+
+def enable() -> ObsHandles:
+    """Switch on collection (idempotent); returns the live handles."""
+    global _enabled, _metrics, _tracer, _audit
+    if not _enabled:
+        _metrics = MetricsRegistry()
+        _tracer = SpanTracer()
+        _audit = DecisionAuditLog()
+        _enabled = True
+    assert isinstance(_metrics, MetricsRegistry)
+    assert isinstance(_tracer, SpanTracer)
+    assert isinstance(_audit, DecisionAuditLog)
+    return ObsHandles(metrics=_metrics, tracer=_tracer, audit=_audit)
+
+
+def disable() -> None:
+    """Switch collection off and drop the collectors."""
+    global _enabled, _metrics, _tracer, _audit
+    _enabled = False
+    _metrics = NULL_REGISTRY
+    _tracer = NULL_TRACER
+    _audit = NULL_AUDIT
+
+
+def reset() -> None:
+    """Clear collected data without toggling the enabled state."""
+    _metrics.reset()
+    _tracer.reset()
+    _audit.reset()
+
+
+@contextmanager
+def session() -> Iterator[ObsHandles]:
+    """Enable observability for a ``with`` block, restoring state after.
+
+    If a session is already active it is left untouched (nested sessions
+    share the outer collectors).
+    """
+    was_enabled = _enabled
+    handles = enable()
+    try:
+        yield handles
+    finally:
+        if not was_enabled:
+            disable()
+
+
+def dump(out_dir: str | Path) -> dict[str, Path]:
+    """Write every artifact of the current session to ``out_dir``.
+
+    Produces ``metrics.json`` (structured snapshot), ``metrics.prom``
+    (Prometheus text exposition), ``trace.json`` (Chrome trace-event
+    JSON, loadable in Perfetto) and ``decisions.jsonl`` (one decision
+    per line, outcomes joined).  Returns ``{artifact name: path}``.
+    """
+    out = Path(out_dir)
+    out.mkdir(parents=True, exist_ok=True)
+    contents = {
+        "metrics.json": _metrics.to_json(),
+        "metrics.prom": _metrics.to_prometheus(),
+        "trace.json": _tracer.to_json(),
+        "decisions.jsonl": _audit.to_jsonl(),
+    }
+    paths = {}
+    for name in ARTIFACT_NAMES:
+        path = out / name
+        path.write_text(contents[name])
+        paths[name] = path
+    return paths

@@ -140,7 +140,8 @@ class Orchestrator:
 
     def schedule(self, profile: WorkloadProfile, engine: ClusterEngine) -> MemoryMode:
         """Scenario-compatible scheduler hook."""
-        mode = self.policy.decide(profile, engine)
+        # Route through __call__ so decisions hit the obs audit/metrics.
+        mode = self.policy(profile, engine)
         if profile.kind is not WorkloadKind.INTERFERENCE:
             self.decisions.append((profile.name, mode))
         return mode

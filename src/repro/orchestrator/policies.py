@@ -16,6 +16,7 @@ from typing import Protocol
 
 import numpy as np
 
+from repro import obs
 from repro.cluster.engine import ClusterEngine
 from repro.models.predictor import Predictor
 from repro.workloads.base import MemoryMode, WorkloadKind, WorkloadProfile
@@ -50,7 +51,38 @@ class _BasePolicy:
         raise NotImplementedError
 
     def __call__(self, profile: WorkloadProfile, engine: ClusterEngine) -> MemoryMode:
-        return self.decide(profile, engine)
+        mode = self.decide(profile, engine)
+        if obs.enabled():
+            self._observe(profile, engine, mode)
+        return mode
+
+    # -- observability -----------------------------------------------------
+    def _audit_detail(self) -> dict:
+        """Extra audit fields for the decision just made (consumed once).
+
+        Prediction-driven policies stash their per-mode estimates and
+        margins here from :meth:`decide`; the default is empty.
+        """
+        return {}
+
+    def _observe(
+        self, profile: WorkloadProfile, engine: ClusterEngine, mode: MemoryMode
+    ) -> None:
+        obs.metrics().counter(
+            "orchestrator_decisions_total",
+            "Placement decisions by policy, chosen mode and workload kind",
+            labels=("policy", "mode", "kind"),
+        ).labels(policy=self.name, mode=mode.value, kind=profile.kind.value).inc()
+        if profile.kind is WorkloadKind.INTERFERENCE:
+            return  # the paper's policies only govern BE/LC placement
+        obs.audit().record(
+            engine=engine,
+            policy=self.name,
+            app_name=profile.name,
+            kind=profile.kind.value,
+            chosen_mode=mode.value,
+            **self._audit_detail(),
+        )
 
 
 class RandomPolicy(_BasePolicy):
@@ -117,9 +149,16 @@ class StaticThresholdPolicy(_BasePolicy):
     def decide(self, profile: WorkloadProfile, engine: ClusterEngine) -> MemoryMode:
         if profile.kind is WorkloadKind.INTERFERENCE:
             return MemoryMode.LOCAL
+        self._detail = {
+            "margin": self.threshold - profile.remote_slowdown,
+            "reason": "static-threshold",
+        }
         if profile.remote_slowdown <= self.threshold:
             return MemoryMode.REMOTE
         return MemoryMode.LOCAL
+
+    def _audit_detail(self) -> dict:
+        return self.__dict__.pop("_detail", {})
 
 
 class AdriasPolicy(_BasePolicy):
@@ -170,14 +209,37 @@ class AdriasPolicy(_BasePolicy):
         if not self.predictor.has_signature(profile):
             # First encounter: schedule on remote and capture (§V-C).
             self.predictor.signatures.capture(profile)
+            self._detail = {"reason": "signature-capture"}
             return MemoryMode.REMOTE
         history = self._history(engine)
         estimates = self.predictor.predict_both_modes(profile, history)
+        predicted = {mode.value: float(v) for mode, v in estimates.items()}
         if profile.kind is WorkloadKind.BEST_EFFORT:
+            # Slack > 0 ⇒ local beats β-discounted remote ⇒ stay local.
+            slack = (
+                self.beta * estimates[MemoryMode.REMOTE]
+                - estimates[MemoryMode.LOCAL]
+            )
+            self._detail = {
+                "predicted": predicted,
+                "margin": slack,
+                "beta": self.beta,
+                "reason": "beta-slack",
+            }
             if estimates[MemoryMode.LOCAL] < self.beta * estimates[MemoryMode.REMOTE]:
                 return MemoryMode.LOCAL
             return MemoryMode.REMOTE
         qos = self.qos_p99_ms.get(profile.name, self.default_qos_ms)
+        # Slack > 0 ⇒ predicted remote p99 fits within the QoS budget.
+        self._detail = {
+            "predicted": predicted,
+            "margin": qos - estimates[MemoryMode.REMOTE],
+            "qos_ms": qos,
+            "reason": "qos",
+        }
         if estimates[MemoryMode.REMOTE] <= qos:
             return MemoryMode.REMOTE
         return MemoryMode.LOCAL
+
+    def _audit_detail(self) -> dict:
+        return self.__dict__.pop("_detail", {})

@@ -62,9 +62,17 @@ class MetricStore:
             raise ValueError(f"window {n} exceeds store capacity {self.capacity}")
         take = min(n, self._size)
         rows = np.zeros((n, self._data.shape[1]))
-        for offset in range(take):
-            src = (self._head - take + offset) % self.capacity
-            rows[n - take + offset] = self._data[src]
+        if take:
+            # The window is at most two contiguous slices of the ring:
+            # [start, min(start+take, capacity)) and the wrapped prefix.
+            start = (self._head - take) % self.capacity
+            end = start + take
+            if end <= self.capacity:
+                rows[n - take:] = self._data[start:end]
+            else:
+                split = self.capacity - start
+                rows[n - take : n - take + split] = self._data[start:]
+                rows[n - take + split :] = self._data[: end - self.capacity]
         return rows
 
     def window_mean(self, n: int) -> np.ndarray:

@@ -53,19 +53,47 @@ class Watcher:
     def attach(self, engine: ClusterEngine) -> None:
         """Mirror every new engine trace sample into this Watcher.
 
-        Wraps the engine's ``tick`` so existing simulation drivers need
-        no changes; the Watcher sees exactly what the trace records.
+        The first attach to an engine wraps its ``tick`` once with a
+        shared dispatcher that notifies every registered watcher, so
+        existing simulation drivers need no changes and the Watcher sees
+        exactly what the trace records.  Attaching the same watcher
+        again is a no-op (never double-records), any number of distinct
+        watchers can observe one engine, and attaching after someone
+        else has replaced ``engine.tick`` out from under the dispatcher
+        raises instead of silently double-wrapping.
         """
+        observers = getattr(engine, "_tick_observers", None)
+        if observers is not None:
+            if not getattr(engine.tick, "_is_tick_dispatcher", False):
+                raise RuntimeError(
+                    "engine.tick was re-wrapped after a Watcher attached; "
+                    "refusing to attach (samples would double-record)"
+                )
+            if self in observers:
+                return  # idempotent re-attach
+            observers.append(self)
+            return
+
+        observers = [self]
+        engine._tick_observers = observers
         original_tick = engine.tick
 
         def tick_and_observe():
             pressure = original_tick()
             # The engine just appended its sample; mirror the same values
             # rather than re-synthesizing (which would re-draw noise).
-            self.observe(
-                engine.now,
-                PerfCounters.from_array(engine.trace.metrics[-1]),
-            )
+            # Read the raw row list: the ``metrics`` property re-stacks
+            # the whole history (O(T) per tick).
+            counters = PerfCounters.from_array(engine.trace._counter_rows[-1])
+            for watcher in observers:
+                watcher.observe(engine.now, counters)
             return pressure
 
+        tick_and_observe._is_tick_dispatcher = True
         engine.tick = tick_and_observe
+
+    def detach(self, engine: ClusterEngine) -> None:
+        """Stop observing ``engine``; safe to call when not attached."""
+        observers = getattr(engine, "_tick_observers", None)
+        if observers is not None and self in observers:
+            observers.remove(self)

@@ -1,7 +1,7 @@
 import numpy as np
 import pytest
 
-from repro.analysis import DistributionSummary, relative_change, summarize
+from repro.analysis import relative_change, summarize
 
 
 class TestSummarize:

@@ -4,7 +4,6 @@ When the chosen pool cannot host an arrival the runner falls back to
 the other pool, and drops the arrival only when both are exhausted.
 """
 
-import pytest
 
 from repro.cluster import ScenarioConfig, run_scenario
 from repro.hardware import NodeConfig, TestbedConfig

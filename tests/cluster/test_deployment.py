@@ -2,7 +2,7 @@ import math
 
 import pytest
 
-from repro.cluster import ClusterEngine, Deployment, DeploymentState
+from repro.cluster import ClusterEngine, Deployment
 from repro.hardware import Testbed, TestbedConfig
 from repro.workloads import MEMCACHED, MemoryMode, REDIS, ibench_profile, spark_profile
 

@@ -1,6 +1,5 @@
 """Tests for the training-free experiment drivers (Figs. 2-5, 8)."""
 
-import numpy as np
 import pytest
 
 from repro.experiments import (

@@ -4,7 +4,6 @@ Structural plumbing only — quantitative §VI-B claims are asserted by
 the benchmark harness at real training scale.
 """
 
-import numpy as np
 import pytest
 
 from repro.experiments import (

@@ -10,7 +10,6 @@ import numpy as np
 import pytest
 
 from repro.cluster import ScenarioConfig
-from repro.models import FeatureConfig
 from repro.orchestrator import (
     AdriasPolicy,
     AllLocalPolicy,

@@ -2,7 +2,6 @@ import numpy as np
 import pytest
 
 from repro.models import (
-    FeatureConfig,
     build_performance_dataset,
     build_system_state_dataset,
 )

@@ -2,7 +2,6 @@ import numpy as np
 import pytest
 
 from repro.models import (
-    FeatureConfig,
     PerformancePredictor,
     Predictor,
     SystemStatePredictor,

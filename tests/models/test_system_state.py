@@ -2,7 +2,7 @@ import numpy as np
 import pytest
 
 from repro.hardware import METRIC_NAMES
-from repro.models import FeatureConfig, SystemStateModel, SystemStatePredictor
+from repro.models import SystemStateModel, SystemStatePredictor
 from repro.models.dataset import build_system_state_dataset
 
 

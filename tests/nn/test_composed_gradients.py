@@ -6,7 +6,6 @@ the strongest correctness guarantee the nn substrate offers.
 """
 
 import numpy as np
-import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 

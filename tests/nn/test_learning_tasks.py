@@ -6,7 +6,6 @@ that unit-level checks miss.
 """
 
 import numpy as np
-import pytest
 
 from repro.nn import (
     LSTM,

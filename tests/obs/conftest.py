@@ -1,0 +1,10 @@
+import pytest
+
+from repro import obs
+
+
+@pytest.fixture(autouse=True)
+def _obs_disabled_after_test():
+    """Never leak an enabled observability session into other tests."""
+    yield
+    obs.disable()

@@ -1,0 +1,171 @@
+import json
+
+from repro import obs
+from repro.cluster.engine import ClusterEngine
+from repro.cluster.scenario import ScenarioConfig, run_scenario
+from repro.obs.audit import DecisionAuditLog
+from repro.orchestrator.policies import RandomPolicy, StaticThresholdPolicy
+from repro.workloads import MemoryMode, spark_profile
+
+
+class TestJoinThroughOnFinish:
+    def test_decision_outcome_round_trip(self):
+        log = DecisionAuditLog()
+        engine = ClusterEngine()
+        profile = spark_profile("scan")
+        record = log.record(
+            engine=engine,
+            policy="test",
+            app_name=profile.name,
+            kind=profile.kind.value,
+            chosen_mode="local",
+            predicted={"local": 50.0, "remote": 60.0},
+            margin=10.0,
+            beta=0.8,
+            reason="beta-slack",
+        )
+        engine.deploy(profile, MemoryMode.LOCAL)
+        engine.run_until_idle()
+        assert record.joined
+        assert record.outcome["mode"] == "local"
+        assert record.outcome["fallback"] is False
+        assert record.outcome["performance"] == record.outcome["runtime_s"]
+        assert record.prediction_error == 50.0 - record.outcome["runtime_s"]
+
+    def test_existing_on_finish_hook_is_preserved(self):
+        log = DecisionAuditLog()
+        engine = ClusterEngine()
+        seen = []
+        engine.on_finish = seen.append
+        profile = spark_profile("scan")
+        log.record(
+            engine=engine,
+            policy="test",
+            app_name=profile.name,
+            kind=profile.kind.value,
+            chosen_mode="local",
+        )
+        engine.deploy(profile, MemoryMode.LOCAL)
+        engine.run_until_idle()
+        assert len(seen) == 1  # caller's hook still fires
+        assert log.records[0].joined
+
+    def test_fallback_placement_joins_with_flag(self):
+        # The decision said local but the deploy landed on remote (as the
+        # scenario driver does on CapacityError): the join still works and
+        # the outcome is flagged.
+        log = DecisionAuditLog()
+        engine = ClusterEngine()
+        profile = spark_profile("scan")
+        record = log.record(
+            engine=engine,
+            policy="test",
+            app_name=profile.name,
+            kind=profile.kind.value,
+            chosen_mode="local",
+        )
+        engine.deploy(profile, MemoryMode.REMOTE)
+        engine.run_until_idle()
+        assert record.outcome["fallback"] is True
+        assert record.outcome["mode"] == "remote"
+
+    def test_unlogged_deployment_does_not_join(self):
+        log = DecisionAuditLog()
+        engine = ClusterEngine()
+        profile = spark_profile("scan")
+        log.record(
+            engine=engine,
+            policy="test",
+            app_name=profile.name,
+            kind=profile.kind.value,
+            chosen_mode="local",
+        )
+        engine.deploy(profile, MemoryMode.LOCAL)
+        # A second deployment of the same app at a later instant has no
+        # logged decision; it must not steal the pending join.
+        engine.run_for(5.0)
+        engine.deploy(profile, MemoryMode.LOCAL)
+        engine.run_until_idle()
+        assert len(log.joined()) == 1
+        assert log.records[0].outcome["app_id"] == 0
+
+
+class TestAccuracyAndDrift:
+    def _joined_log(self) -> DecisionAuditLog:
+        log = DecisionAuditLog()
+        engine = ClusterEngine()
+        profile = spark_profile("scan")
+        for i in range(4):
+            log.record(
+                engine=engine,
+                policy="adrias",
+                app_name=profile.name,
+                kind=profile.kind.value,
+                chosen_mode="local",
+                predicted={"local": 40.0 + i, "remote": 90.0},
+            )
+            engine.deploy(profile, MemoryMode.LOCAL)
+            engine.run_until_idle()
+            engine.run_for(1.0)  # separate the arrival instants
+        return log
+
+    def test_accuracy_summary(self):
+        summary = self._joined_log().accuracy()
+        assert summary["adrias"]["count"] == 4
+        assert summary["adrias"]["mae"] > 0
+        assert "bias" in summary["adrias"]
+        assert "mape" in summary["adrias"]
+
+    def test_drift_segments_cover_all_scored_rows(self):
+        segments = self._joined_log().drift(n_segments=2)
+        assert len(segments) == 2
+        assert sum(s["count"] for s in segments) == 4
+
+    def test_jsonl_round_trip(self):
+        log = self._joined_log()
+        rows = [json.loads(line) for line in log.to_jsonl().splitlines()]
+        assert len(rows) == 4
+        for row in rows:
+            assert row["outcome"] is not None
+            assert row["prediction_error"] is not None
+
+
+class TestPolicyIntegration:
+    def test_scenario_replay_joins_every_decision(self):
+        with obs.session() as handles:
+            run_scenario(
+                ScenarioConfig(duration_s=150.0, seed=5),
+                scheduler=RandomPolicy(seed=2),
+            )
+            assert len(handles.audit) > 0
+            assert not handles.audit.unjoined()  # drain joins everything
+            for record in handles.audit.records:
+                assert record.policy == "random"
+                assert record.outcome["performance"] is not None
+
+    def test_static_threshold_records_margin_and_reason(self):
+        with obs.session() as handles:
+            run_scenario(
+                ScenarioConfig(duration_s=150.0, seed=5),
+                scheduler=StaticThresholdPolicy(threshold=1.3),
+            )
+            record = handles.audit.records[0]
+            assert record.reason == "static-threshold"
+            assert record.margin is not None
+
+    def test_decision_metrics_counted_by_policy_and_mode(self):
+        with obs.session() as handles:
+            run_scenario(
+                ScenarioConfig(duration_s=150.0, seed=5),
+                scheduler=RandomPolicy(seed=2),
+            )
+            assert "orchestrator_decisions_total" in handles.metrics
+
+    def test_disabled_records_nothing(self):
+        assert not obs.enabled()
+        run_scenario(
+            ScenarioConfig(duration_s=120.0, seed=5),
+            scheduler=RandomPolicy(seed=2),
+        )
+        assert len(obs.audit()) == 0
+        assert len(obs.metrics()) == 0

@@ -1,0 +1,76 @@
+"""End-to-end: ``--obs-out`` on a real experiment and ``repro obs``."""
+
+import json
+
+import pytest
+
+from repro import obs
+from repro.__main__ import main
+from repro.cluster.scenario import ScenarioConfig, run_scenario
+from repro.obs.report import load_artifacts, summarize_dir
+from repro.orchestrator.policies import RandomPolicy
+
+
+class TestObsOutFlag:
+    def test_run_with_obs_out_dumps_artifacts(self, tmp_path, capsys):
+        out = tmp_path / "dump"
+        assert main(["run", "fig02", "--obs-out", str(out)]) == 0
+        stdout = capsys.readouterr().out
+        assert "observability artifacts" in stdout
+        for name in obs.ARTIFACT_NAMES:
+            assert (out / name).exists(), name
+        # The experiment itself still printed its table.
+        assert "Fig. 2" in stdout
+        metrics = json.loads((out / "metrics.json").read_text())
+        names = {f["name"] for f in metrics["metrics"]}
+        assert "link_resolves_total" in names
+        trace = json.loads((out / "trace.json").read_text())
+        assert isinstance(trace["traceEvents"], list)
+        assert not obs.enabled()  # flag must not leak into the process
+
+    def test_run_without_flag_stays_disabled(self, capsys):
+        assert main(["run", "fig02"]) == 0
+        assert not obs.enabled()
+
+
+class TestObsSubcommand:
+    @pytest.fixture()
+    def dump_dir(self, tmp_path):
+        with obs.session():
+            run_scenario(
+                ScenarioConfig(duration_s=150.0, seed=6),
+                scheduler=RandomPolicy(seed=3),
+            )
+            obs.dump(tmp_path / "dump")
+        return tmp_path / "dump"
+
+    def test_summarize_dump(self, dump_dir, capsys):
+        assert main(["obs", str(dump_dir)]) == 0
+        out = capsys.readouterr().out
+        assert "Metrics" in out
+        assert "Decision audit" in out
+        assert "random" in out
+
+    def test_missing_directory_errors(self, tmp_path, capsys):
+        assert main(["obs", str(tmp_path / "nope")]) == 2
+        assert "not an observability dump" in capsys.readouterr().err
+
+    def test_load_artifacts_requires_some_artifact(self, tmp_path):
+        empty = tmp_path / "empty"
+        empty.mkdir()
+        with pytest.raises(FileNotFoundError):
+            load_artifacts(empty)
+
+    def test_summary_counts_match_jsonl(self, dump_dir):
+        decisions = [
+            json.loads(line)
+            for line in (dump_dir / "decisions.jsonl").read_text().splitlines()
+        ]
+        assert decisions, "replay produced no decisions"
+        assert all(d["outcome"] is not None for d in decisions)
+        report = summarize_dir(dump_dir)
+        decision_lines = [
+            line for line in report.splitlines()
+            if line.startswith("decisions ")
+        ]
+        assert decision_lines and decision_lines[0].endswith(str(len(decisions)))

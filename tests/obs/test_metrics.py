@@ -1,0 +1,159 @@
+import json
+
+import pytest
+
+from repro.obs.metrics import (
+    NULL_REGISTRY,
+    Histogram,
+    MetricsRegistry,
+)
+
+
+class TestCounter:
+    def test_inc_accumulates(self):
+        registry = MetricsRegistry()
+        counter = registry.counter("ticks_total", "ticks")
+        counter.inc()
+        counter.inc(2.5)
+        assert registry.snapshot()[0]["series"][0]["value"] == 3.5
+
+    def test_counter_cannot_decrease(self):
+        registry = MetricsRegistry()
+        with pytest.raises(ValueError):
+            registry.counter("c_total").inc(-1)
+
+    def test_get_or_create_returns_same_family(self):
+        registry = MetricsRegistry()
+        assert registry.counter("c_total") is registry.counter("c_total")
+
+    def test_kind_conflict_raises(self):
+        registry = MetricsRegistry()
+        registry.counter("x_total")
+        with pytest.raises(ValueError):
+            registry.gauge("x_total")
+
+    def test_invalid_name_raises(self):
+        with pytest.raises(ValueError):
+            MetricsRegistry().counter("bad name")
+
+
+class TestLabels:
+    def test_label_sets_are_independent_children(self):
+        registry = MetricsRegistry()
+        family = registry.counter("decisions_total", labels=("policy", "mode"))
+        family.labels(policy="adrias", mode="local").inc()
+        family.labels(policy="adrias", mode="remote").inc(2)
+        family.labels(policy="adrias", mode="local").inc()
+        snapshot = {
+            tuple(sorted(s["labels"].items())): s["value"]
+            for s in registry.snapshot()[0]["series"]
+        }
+        assert snapshot[(("mode", "local"), ("policy", "adrias"))] == 2
+        assert snapshot[(("mode", "remote"), ("policy", "adrias"))] == 2
+
+    def test_missing_label_raises(self):
+        family = MetricsRegistry().counter("c_total", labels=("policy",))
+        with pytest.raises(ValueError):
+            family.labels(mode="local")
+        with pytest.raises(ValueError):
+            family.labels()
+
+    def test_unlabeled_method_on_labeled_family_raises(self):
+        family = MetricsRegistry().counter("c_total", labels=("policy",))
+        with pytest.raises(ValueError):
+            family.inc()
+
+    def test_label_conflict_raises(self):
+        registry = MetricsRegistry()
+        registry.counter("c_total", labels=("a",))
+        with pytest.raises(ValueError):
+            registry.counter("c_total", labels=("b",))
+
+
+class TestGauge:
+    def test_set_inc_dec(self):
+        registry = MetricsRegistry()
+        gauge = registry.gauge("running")
+        gauge.set(4)
+        gauge.inc()
+        gauge.dec(2)
+        assert registry.snapshot()[0]["series"][0]["value"] == 3
+
+
+class TestHistogramBuckets:
+    def test_value_on_bucket_edge_counts_as_le(self):
+        # Prometheus semantics: bucket le=X contains values <= X.
+        histogram = Histogram(buckets=(1.0, 2.0))
+        histogram.observe(1.0)
+        histogram.observe(2.0)
+        histogram.observe(2.0001)
+        assert histogram.counts == [1, 1, 1]
+        assert histogram.cumulative_counts() == [1, 2, 3]
+
+    def test_overflow_goes_to_inf_bucket(self):
+        histogram = Histogram(buckets=(1.0,))
+        histogram.observe(100.0)
+        assert histogram.counts == [0, 1]
+
+    def test_sum_count_min_max_mean(self):
+        histogram = Histogram(buckets=(10.0,))
+        for v in (1.0, 3.0, 8.0):
+            histogram.observe(v)
+        assert histogram.count == 3
+        assert histogram.sum == pytest.approx(12.0)
+        assert histogram.mean == pytest.approx(4.0)
+        assert histogram.min == 1.0
+        assert histogram.max == 8.0
+
+    def test_unsorted_buckets_raise(self):
+        with pytest.raises(ValueError):
+            Histogram(buckets=(2.0, 1.0))
+        with pytest.raises(ValueError):
+            Histogram(buckets=())
+
+
+class TestExport:
+    def _registry(self) -> MetricsRegistry:
+        registry = MetricsRegistry()
+        registry.counter("ticks_total", "Ticks").inc(3)
+        registry.histogram(
+            "lat_seconds", "Latency", labels=("model",), buckets=(0.1, 1.0)
+        ).labels(model="be").observe(0.5)
+        return registry
+
+    def test_json_round_trips(self):
+        parsed = json.loads(self._registry().to_json())
+        by_name = {m["name"]: m for m in parsed["metrics"]}
+        assert by_name["ticks_total"]["series"][0]["value"] == 3
+        histogram = by_name["lat_seconds"]["series"][0]
+        assert histogram["labels"] == {"model": "be"}
+        assert histogram["value"]["count"] == 1
+        assert histogram["value"]["buckets"]["+Inf"] == 1
+
+    def test_prometheus_exposition(self):
+        text = self._registry().to_prometheus()
+        assert "# TYPE ticks_total counter" in text
+        assert "ticks_total 3" in text
+        assert "# TYPE lat_seconds histogram" in text
+        assert 'lat_seconds_bucket{le="0.1",model="be"} 0' in text
+        assert 'lat_seconds_bucket{le="1",model="be"} 1' in text
+        assert 'lat_seconds_bucket{le="+Inf",model="be"} 1' in text
+        assert 'lat_seconds_count{model="be"} 1' in text
+        assert text.endswith("\n")
+
+    def test_reset_clears_families(self):
+        registry = self._registry()
+        registry.reset()
+        assert len(registry) == 0
+        assert registry.snapshot() == []
+
+
+class TestNullRegistry:
+    def test_everything_is_a_noop(self):
+        NULL_REGISTRY.counter("x_total").inc()
+        NULL_REGISTRY.gauge("g").labels(anything="goes").set(1)
+        NULL_REGISTRY.histogram("h").observe(3)
+        assert len(NULL_REGISTRY) == 0
+        assert NULL_REGISTRY.snapshot() == []
+        assert NULL_REGISTRY.to_prometheus() == ""
+        assert json.loads(NULL_REGISTRY.to_json()) == {"metrics": []}

@@ -1,0 +1,106 @@
+import json
+
+from repro.obs.tracing import NULL_TRACER, SpanTracer
+
+
+class FakeClock:
+    """Deterministic monotonic clock for span tests."""
+
+    def __init__(self) -> None:
+        self.now = 0.0
+
+    def __call__(self) -> float:
+        return self.now
+
+    def advance(self, seconds: float) -> None:
+        self.now += seconds
+
+
+class TestSpans:
+    def test_nested_spans_order_and_containment(self):
+        clock = FakeClock()
+        tracer = SpanTracer(clock=clock)
+        with tracer.span("outer"):
+            clock.advance(1.0)
+            with tracer.span("inner"):
+                clock.advance(0.5)
+            clock.advance(1.0)
+        inner, outer = tracer.spans("inner")[0], tracer.spans("outer")[0]
+        # Child closed first, so it is recorded first; depth reflects nesting.
+        assert tracer.events[0]["name"] == "inner"
+        assert inner["args"]["depth"] == 1
+        assert outer["args"]["depth"] == 0
+        # Containment: the viewer reconstructs nesting from ts/dur.
+        assert outer["ts"] <= inner["ts"]
+        assert inner["ts"] + inner["dur"] <= outer["ts"] + outer["dur"]
+        assert outer["dur"] == 2.5e6  # microseconds
+
+    def test_span_args_and_sim_time(self):
+        tracer = SpanTracer(clock=FakeClock())
+        with tracer.span("scenario", sim_time=120.0, seed=7) as span:
+            span.set(arrivals=3)
+        event = tracer.spans("scenario")[0]
+        assert event["args"]["sim_time_s"] == 120.0
+        assert event["args"]["seed"] == 7
+        assert event["args"]["arrivals"] == 3
+
+    def test_exception_is_annotated_and_span_closed(self):
+        tracer = SpanTracer(clock=FakeClock())
+        try:
+            with tracer.span("boom"):
+                raise RuntimeError("nope")
+        except RuntimeError:
+            pass
+        event = tracer.spans("boom")[0]
+        assert event["args"]["error"] == "RuntimeError"
+
+    def test_instant_event(self):
+        tracer = SpanTracer(clock=FakeClock())
+        tracer.instant("marker", note="hi")
+        assert tracer.events[0]["ph"] == "i"
+        assert tracer.events[0]["args"]["note"] == "hi"
+
+
+class TestChromeExport:
+    def test_export_is_valid_chrome_trace_json(self):
+        clock = FakeClock()
+        tracer = SpanTracer(clock=clock)
+        with tracer.span("a"):
+            clock.advance(0.25)
+        parsed = json.loads(tracer.to_json())
+        assert parsed["displayTimeUnit"] == "ms"
+        events = parsed["traceEvents"]
+        assert events[0]["ph"] == "M"  # process-name metadata record
+        spans = [e for e in events if e["ph"] == "X"]
+        assert len(spans) == 1
+        for event in spans:
+            assert {"name", "cat", "ph", "ts", "dur", "pid", "tid"} <= set(event)
+
+    def test_events_sorted_by_timestamp(self):
+        clock = FakeClock()
+        tracer = SpanTracer(clock=clock)
+        with tracer.span("first"):
+            clock.advance(1.0)
+            with tracer.span("nested"):
+                clock.advance(1.0)
+        clock.advance(1.0)
+        with tracer.span("second"):
+            clock.advance(1.0)
+        ts = [e["ts"] for e in tracer.to_chrome_trace()["traceEvents"][1:]]
+        assert ts == sorted(ts)
+
+    def test_reset_clears_events(self):
+        tracer = SpanTracer(clock=FakeClock())
+        with tracer.span("a"):
+            pass
+        tracer.reset()
+        assert len(tracer) == 0
+
+
+class TestNullTracer:
+    def test_null_span_supports_with_and_set(self):
+        with NULL_TRACER.span("whatever", sim_time=1.0, x=2) as span:
+            span.set(y=3)
+        NULL_TRACER.instant("marker")
+        assert len(NULL_TRACER) == 0
+        assert NULL_TRACER.to_chrome_trace()["traceEvents"] == []

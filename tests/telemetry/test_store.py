@@ -81,6 +81,37 @@ class TestLast:
         got = window[n - len(expected):, 0] if len(expected) else window[:0, 0]
         assert np.allclose(got, expected)
 
+    @staticmethod
+    def _last_reference(store: MetricStore, n: int) -> np.ndarray:
+        """The pre-vectorization per-row copy loop, kept as the oracle."""
+        take = min(n, len(store))
+        rows = np.zeros((n, store._data.shape[1]))
+        for offset in range(take):
+            src = (store._head - take + offset) % store.capacity
+            rows[n - take + offset] = store._data[src]
+        return rows
+
+    @given(
+        capacity=st.integers(min_value=1, max_value=16),
+        pushes=st.integers(min_value=0, max_value=48),
+        data=st.data(),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_vectorized_last_matches_reference_loop(self, capacity, pushes, data):
+        store = MetricStore(capacity=capacity)
+        for i in range(pushes):
+            store.push(float(i + 1), sample(i * 1.5 - 3.0))
+        n = data.draw(st.integers(min_value=1, max_value=capacity))
+        assert np.array_equal(store.last(n), self._last_reference(store, n))
+
+    def test_vectorized_last_matches_reference_across_wrap_boundary(self):
+        # Exercise both the contiguous and the two-slice wrapped path.
+        store = MetricStore(capacity=5)
+        for i in range(8):  # head has wrapped: window straddles the seam
+            store.push(float(i + 1), sample(10 * i))
+        for n in range(1, 6):
+            assert np.array_equal(store.last(n), self._last_reference(store, n))
+
 
 class TestWindowMean:
     def test_mean_over_last_n(self):

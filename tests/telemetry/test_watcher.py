@@ -47,3 +47,42 @@ class TestAttach:
         pressure = engine.tick()
         assert pressure.cpu_utilization == 0.0
         assert len(watcher.store) == 1
+
+    def test_double_attach_is_idempotent(self):
+        # Regression: re-attaching used to re-wrap engine.tick, so every
+        # tick double-recorded (and push raised on the duplicate time).
+        engine = ClusterEngine()
+        watcher = Watcher()
+        watcher.attach(engine)
+        watcher.attach(engine)
+        engine.run_for(5.0)
+        assert len(watcher.store) == 5
+
+    def test_two_watchers_each_record_once(self):
+        engine = ClusterEngine()
+        first, second = Watcher(), Watcher()
+        first.attach(engine)
+        second.attach(engine)
+        first.attach(engine)  # re-attach after another watcher joined
+        engine.run_for(4.0)
+        assert len(first.store) == 4
+        assert len(second.store) == 4
+        assert np.allclose(first.history(4.0), second.history(4.0))
+
+    def test_foreign_rewrap_raises(self):
+        engine = ClusterEngine()
+        Watcher().attach(engine)
+        original = engine.tick
+        engine.tick = lambda: original()  # someone re-wraps tick
+        with pytest.raises(RuntimeError):
+            Watcher().attach(engine)
+
+    def test_detach_stops_recording(self):
+        engine = ClusterEngine()
+        watcher = Watcher()
+        watcher.attach(engine)
+        engine.run_for(3.0)
+        watcher.detach(engine)
+        engine.run_for(3.0)
+        assert len(watcher.store) == 3
+        watcher.detach(engine)  # safe when already detached

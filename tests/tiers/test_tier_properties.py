@@ -1,14 +1,12 @@
 """Property-based invariants of the multi-tier extension."""
 
 import numpy as np
-import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.tiers import (
     GreedyTierPolicy,
     MultiTierTestbed,
-    TierAssignment,
     default_tiers,
     place_sequentially,
     tier_slowdown,

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.hardware.config import LinkConfig, NodeConfig
+from repro.hardware.config import LinkConfig
 from repro.tiers import (
     GreedyTierPolicy,
     LOCAL_DRAM,
