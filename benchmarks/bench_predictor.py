@@ -1,0 +1,217 @@
+#!/usr/bin/env python
+"""Microbenchmark for the Predictor inference fast path.
+
+Measures a multi-candidate orchestration tick — every candidate arrival
+needs performance estimates for both memory modes from the same history
+window — and compares:
+
+* **sequential** — the pre-fast-path behaviour: one
+  ``predict_performance`` call per (candidate, mode) with the memo
+  invalidated before each call, so every call re-subsamples the window
+  and re-runs the system-state model;
+* **fast** — ``predict_both_modes``: one batched N=2 performance-model
+  forward per candidate, with the sub-sampled window and Ŝ memoized
+  across all candidates of the tick.
+
+Also times the LSTM inference mode (cache-free forward, one input
+projection GEMM) against the training-mode forward on the system-state
+model.
+
+Outputs are asserted numerically identical (atol=1e-12) between the two
+paths before any timing is reported.  Run::
+
+    PYTHONPATH=src python benchmarks/bench_predictor.py            # full
+    PYTHONPATH=src python benchmarks/bench_predictor.py --smoke    # CI
+
+The benchmark fabricates trained models (random weights, fitted
+scalers): inference cost does not depend on the weight values, and this
+keeps the benchmark free of a multi-minute training phase.
+"""
+
+from __future__ import annotations
+
+import argparse
+import time
+
+import numpy as np
+
+from repro.models.features import FeatureConfig
+from repro.models.performance import PerformancePredictor
+from repro.models.predictor import Predictor
+from repro.models.signatures import SignatureLibrary
+from repro.models.system_state import SystemStatePredictor
+from repro.workloads import MemoryMode, spark_profile
+
+
+def build_predictor(
+    config: FeatureConfig, lstm_hidden: int, seed: int = 0
+) -> Predictor:
+    """A fully wired Predictor with fabricated (untrained) weights."""
+    rng = np.random.default_rng(seed)
+    n_metrics = config.n_metrics
+
+    system_state = SystemStatePredictor(
+        feature_config=config, lstm_hidden=lstm_hidden, seed=seed
+    )
+    sample = rng.uniform(0.5, 2.0, size=(64, config.history_steps, n_metrics))
+    system_state.input_scaler.fit(sample)
+    system_state.target_scaler.fit(sample.mean(axis=1))
+    system_state._trained = True
+
+    be = PerformancePredictor(
+        feature_config=config, lstm_hidden=lstm_hidden, seed=seed + 1
+    )
+    be.metric_scaler.fit(sample.reshape(-1, n_metrics))
+    # A narrow, realistic runtime range: predictions come out of a log
+    # transform, so a wide target scale would exp-amplify 1-ulp GEMM
+    # differences past the 1e-12 identity gate on untrained weights.
+    be.target_scaler.fit(np.log(rng.uniform(30.0, 60.0, size=(64, 1))))
+    be._trained = True
+
+    signatures = SignatureLibrary(feature_config=config)
+    signatures.add(
+        "gmm",
+        rng.uniform(0.5, 2.0, size=(int(config.signature_s), n_metrics)),
+    )
+    return Predictor(
+        system_state=system_state,
+        be_performance=be,
+        signatures=signatures,
+        feature_config=config,
+    )
+
+
+def _time(fn, repeats: int) -> float:
+    """Best-of-``repeats`` wall time of ``fn()`` in seconds."""
+    best = float("inf")
+    for _ in range(repeats):
+        start = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def bench_tick(
+    predictor: Predictor,
+    history: np.ndarray,
+    candidates: int,
+    repeats: int,
+) -> dict[str, float]:
+    profile = spark_profile("gmm")
+    modes = (MemoryMode.LOCAL, MemoryMode.REMOTE)
+
+    def sequential() -> list[dict[MemoryMode, float]]:
+        out = []
+        for _ in range(candidates):
+            estimates = {}
+            for mode in modes:
+                predictor.invalidate_memo()  # pre-fast-path: no reuse at all
+                estimates[mode] = predictor.predict_performance(
+                    profile, history, mode
+                )
+            out.append(estimates)
+        return out
+
+    def fast() -> list[dict[MemoryMode, float]]:
+        predictor.invalidate_memo()  # fresh tick; memo warms on candidate 1
+        return [
+            predictor.predict_both_modes(profile, history)
+            for _ in range(candidates)
+        ]
+
+    # Correctness gate before timing anything.
+    reference = sequential()
+    batched = fast()
+    for seq, bat in zip(reference, batched):
+        for mode in modes:
+            if abs(seq[mode] - bat[mode]) > 1e-12:
+                raise AssertionError(
+                    f"fast path diverged for {mode.value}: "
+                    f"{seq[mode]!r} vs {bat[mode]!r}"
+                )
+
+    t_seq = _time(sequential, repeats)
+    t_fast = _time(fast, repeats)
+    return {"sequential_s": t_seq, "fast_s": t_fast, "speedup": t_seq / t_fast}
+
+
+def bench_lstm_mode(
+    predictor: Predictor, repeats: int
+) -> dict[str, float]:
+    """Training-mode vs inference-mode forward of the system-state model."""
+    model = predictor.system_state.model
+    config = predictor.config
+    x = np.random.default_rng(7).normal(
+        size=(8, config.history_steps, config.n_metrics)
+    )
+
+    model.train()
+    # Dropout/batch-norm noise does not matter for timing; the encoders
+    # dominate the cost.
+    t_train = _time(lambda: model.forward(x), repeats)
+    model.eval()
+    t_infer = _time(lambda: model.forward(x), repeats)
+    model.eval()
+    return {
+        "train_mode_s": t_train,
+        "inference_mode_s": t_infer,
+        "speedup": t_train / t_infer,
+    }
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__.split("\n")[0])
+    parser.add_argument(
+        "--candidates", type=int, default=8,
+        help="candidate arrivals sharing one tick (default 8)",
+    )
+    parser.add_argument(
+        "--repeats", type=int, default=20,
+        help="timing repetitions, best-of (default 20)",
+    )
+    parser.add_argument(
+        "--hidden", type=int, default=32,
+        help="LSTM hidden width (default 32, the paper's size)",
+    )
+    parser.add_argument(
+        "--check-speedup", type=float, default=None, metavar="X",
+        help="exit non-zero unless the tick speedup is >= X",
+    )
+    parser.add_argument(
+        "--smoke", action="store_true",
+        help="CI mode: tiny sizes, single repeat, no thresholds",
+    )
+    args = parser.parse_args()
+    if args.smoke:
+        args.candidates, args.repeats, args.hidden = 4, 2, 8
+        args.check_speedup = None
+
+    config = FeatureConfig()
+    predictor = build_predictor(config, lstm_hidden=args.hidden)
+    history = np.random.default_rng(42).uniform(
+        0.5, 2.0, size=(config.history_raw_steps, config.n_metrics)
+    )
+
+    tick = bench_tick(predictor, history, args.candidates, args.repeats)
+    lstm = bench_lstm_mode(predictor, args.repeats)
+
+    print(f"predict_both_modes tick ({args.candidates} candidates, "
+          f"hidden={args.hidden}, best of {args.repeats}):")
+    print(f"  sequential (per-call, no memo) : {tick['sequential_s'] * 1e3:8.2f} ms")
+    print(f"  batched + memoized fast path   : {tick['fast_s'] * 1e3:8.2f} ms")
+    print(f"  speedup                        : {tick['speedup']:8.2f}x")
+    print("system-state model forward (N=8):")
+    print(f"  training-mode (BPTT caches)    : {lstm['train_mode_s'] * 1e3:8.2f} ms")
+    print(f"  inference-mode (cache-free)    : {lstm['inference_mode_s'] * 1e3:8.2f} ms")
+    print(f"  speedup                        : {lstm['speedup']:8.2f}x")
+    print("outputs: batched/cached identical to sequential (atol=1e-12)")
+
+    if args.check_speedup is not None and tick["speedup"] < args.check_speedup:
+        print(f"FAIL: tick speedup {tick['speedup']:.2f}x < "
+              f"required {args.check_speedup:.2f}x")
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

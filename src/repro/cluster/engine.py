@@ -47,6 +47,23 @@ class ClusterEngine:
         self._next_app_id = 0
         #: Hook invoked with each finished deployment's record.
         self.on_finish: Callable | None = None
+        self._tick_hooks: list[Callable[["ClusterEngine"], None]] = []
+
+    # -- tick hooks ---------------------------------------------------------
+    def add_tick_hook(self, hook: Callable[["ClusterEngine"], None]) -> None:
+        """Register ``hook(engine)`` to run at the end of every tick.
+
+        Registration is idempotent (the same hook is never invoked twice
+        per tick), so callers on per-arrival paths — e.g. a Predictor
+        keeping its per-tick Ŝ memo fresh — can attach unconditionally.
+        """
+        if hook not in self._tick_hooks:
+            self._tick_hooks.append(hook)
+
+    def remove_tick_hook(self, hook: Callable[["ClusterEngine"], None]) -> None:
+        """Unregister a tick hook; safe to call when not registered."""
+        if hook in self._tick_hooks:
+            self._tick_hooks.remove(hook)
 
     # -- deployment -------------------------------------------------------
     @property
@@ -124,6 +141,8 @@ class ClusterEngine:
         self.trace.append(
             self.now, self.testbed.sample_counters(pressure), len(self.running)
         )
+        for hook in tuple(self._tick_hooks):
+            hook(self)
         if obs.enabled():
             metrics = obs.metrics()
             metrics.counter(

@@ -48,6 +48,16 @@ class FeatureConfig:
                 raise ValueError(f"{name} must be positive")
         if self.sample_period_s < self.dt:
             raise ValueError("sample period cannot be finer than dt")
+        # The sub-sampling period must tile both windows exactly, else
+        # the rounded *_steps properties silently disagree with the
+        # sequence lengths a trained model was built for.
+        for name in ("history_s", "signature_s"):
+            ratio = getattr(self, name) / self.sample_period_s
+            if abs(ratio - round(ratio)) > 1e-9:
+                raise ValueError(
+                    f"sample_period_s={self.sample_period_s} must divide "
+                    f"{name}={getattr(self, name)} evenly"
+                )
 
     @property
     def n_metrics(self) -> int:
@@ -72,7 +82,10 @@ def subsample(rows: np.ndarray, period_s: float, dt: float = 1.0) -> np.ndarray:
     """Average ``rows`` (T, M) into buckets of ``period_s`` seconds.
 
     Bucket-averaging (rather than striding) keeps the bandwidth-style
-    metrics unbiased.  ``T`` must be a multiple of the bucket size.
+    metrics unbiased.  When ``T`` is not a multiple of the bucket size
+    (e.g. a Watcher warm-up window shorter than the configured history),
+    the oldest leftover rows are dropped so only the *newest* full
+    buckets survive; a window shorter than one bucket raises.
     """
     if rows.ndim != 2:
         raise ValueError("expected a (T, M) matrix")
@@ -80,9 +93,14 @@ def subsample(rows: np.ndarray, period_s: float, dt: float = 1.0) -> np.ndarray:
     if stride <= 0:
         raise ValueError("period must be positive")
     t, m = rows.shape
+    buckets = t // stride
+    if buckets == 0:
+        raise ValueError(
+            f"window length {t} is shorter than one bucket of {stride} samples"
+        )
     if t % stride != 0:
-        raise ValueError(f"window length {t} not divisible by stride {stride}")
-    return rows.reshape(t // stride, stride, m).mean(axis=1)
+        rows = rows[t - buckets * stride:]
+    return rows.reshape(buckets, stride, m).mean(axis=1)
 
 
 def encode_mode(mode: MemoryMode) -> float:

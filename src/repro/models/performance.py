@@ -245,7 +245,8 @@ class PerformancePredictor:
         else:
             mode = np.asarray(mode, dtype=np.float64).reshape(-1, 1)
         s, k, f = self._scale_inputs(state, np.asarray(signature), future)
-        self.model.eval()
+        if self.model.training:  # avoid the sub-tree walk on the hot path
+            self.model.eval()
         pred = self.model.forward(s, k, mode, f)
         out = np.exp(self.target_scaler.inverse_transform(pred)).ravel()
         return float(out[0]) if single else out

@@ -190,7 +190,8 @@ class SystemStatePredictor:
         single = windows.ndim == 2
         if single:
             windows = windows[None, ...]
-        self.model.eval()
+        if self.model.training:  # avoid the sub-tree walk on the hot path
+            self.model.eval()
         pred = self.model.forward(self.input_scaler.transform(windows))
         out = self.target_scaler.inverse_transform(pred)
         if self.residual:

@@ -44,7 +44,9 @@ class Linear(Module):
             raise ValueError(
                 f"Linear expected last axis {self.in_features}, got {x.shape[-1]}"
             )
-        self._input = x
+        # Inference mode skips the backward cache so repeated online
+        # predictions do not pin the last input batch in memory.
+        self._input = None if self.inference else x
         out = x @ self.weight.value.T
         if self.bias is not None:
             out = out + self.bias.value
@@ -52,6 +54,10 @@ class Linear(Module):
 
     def backward(self, grad: np.ndarray) -> np.ndarray:
         if self._input is None:
+            if self.inference:
+                raise RuntimeError(
+                    "Linear.backward called after an inference-mode forward"
+                )
             raise RuntimeError("backward called before forward")
         x = self._input
         # Collapse leading axes so the same code handles 2-D and 3-D inputs.

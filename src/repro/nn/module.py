@@ -76,15 +76,26 @@ class Module:
         return sum(p.size for p in self.parameters())
 
     # -- mode switching -----------------------------------------------
-    def train(self) -> "Module":
+    def train(self, mode: bool = True) -> "Module":
+        """Switch the whole sub-tree to training (``True``) or inference
+        (``False``) mode.  Inference mode additionally licenses layers to
+        skip their backward caches entirely (see :attr:`inference`)."""
         for module in self.modules():
-            module.training = True
+            module.training = mode
         return self
 
     def eval(self) -> "Module":
-        for module in self.modules():
-            module.training = False
-        return self
+        return self.train(False)
+
+    @property
+    def inference(self) -> bool:
+        """True when the module runs without gradient bookkeeping.
+
+        Layers with an inference fast path (e.g. :class:`~repro.nn.LSTM`)
+        use this to skip allocating their backward caches; calling
+        ``backward`` after an inference-mode forward raises.
+        """
+        return not self.training
 
     def zero_grad(self) -> None:
         for param in self.parameters():

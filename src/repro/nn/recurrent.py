@@ -66,6 +66,7 @@ class LSTM(Module):
         self.w_h = Parameter(w_h, "w_h")
         self.bias = Parameter(bias, "bias")
         self._cache: dict | None = None
+        self._inference_forward = False
 
     # Gate slices into the packed (4H, ·) weight layout: i, f, g, o.
     def _slices(self) -> tuple[slice, slice, slice, slice]:
@@ -83,6 +84,9 @@ class LSTM(Module):
             raise ValueError(
                 f"LSTM expected (N, T, {self.input_size}), got {x.shape}"
             )
+        if self.inference:
+            return self._forward_inference(x)
+        self._inference_forward = False
         n, t, _ = x.shape
         h_dim = self.hidden_size
         s_i, s_f, s_g, s_o = self._slices()
@@ -132,8 +136,51 @@ class LSTM(Module):
             return hiddens.transpose(1, 0, 2)
         return hiddens[-1]
 
+    def _forward_inference(self, x: np.ndarray) -> np.ndarray:
+        """Cache-free forward for inference mode.
+
+        Two wins over the training forward: the input projection
+        ``x @ W_x.T`` for *all* timesteps runs as one GEMM outside the
+        recurrence, and none of the ten per-timestep BPTT tensors is
+        allocated — the loop carries only the (N, H) hidden/cell state.
+        The per-step summation order matches the training path exactly
+        (``xW + hW + b``), keeping outputs numerically identical.
+        """
+        n, t, _ = x.shape
+        h_dim = self.hidden_size
+        s_i, s_f, s_g, s_o = self._slices()
+
+        z_x = (x.reshape(n * t, self.input_size) @ self.w_x.value.T)
+        z_x = z_x.reshape(n, t, 4 * h_dim)
+        w_h_t = self.w_h.value.T
+        bias = self.bias.value
+        h_prev = np.zeros((n, h_dim))
+        c_prev = np.zeros((n, h_dim))
+        hiddens = np.empty((n, t, h_dim)) if self.return_sequences else None
+        for step in range(t):
+            z = z_x[:, step, :] + h_prev @ w_h_t + bias
+            i_g = sigmoid(z[:, s_i])
+            f_g = sigmoid(z[:, s_f])
+            g_g = np.tanh(z[:, s_g])
+            o_g = sigmoid(z[:, s_o])
+            c_prev = f_g * c_prev + i_g * g_g
+            h_prev = o_g * np.tanh(c_prev)
+            if hiddens is not None:
+                hiddens[:, step, :] = h_prev
+        # Release any cache pinned by a previous training forward so a
+        # shared model does not hold O(T·N·H) memory between calls.
+        self._cache = None
+        self._inference_forward = True
+        return hiddens if hiddens is not None else h_prev
+
     def backward(self, grad: np.ndarray) -> np.ndarray:
         if self._cache is None:
+            if self._inference_forward:
+                raise RuntimeError(
+                    "LSTM.backward called after an inference-mode forward; "
+                    "switch the module back with train() and re-run forward "
+                    "to build the BPTT cache"
+                )
             raise RuntimeError("backward called before forward")
         cache = self._cache
         x = cache["x"]

@@ -211,6 +211,11 @@ class AdriasPolicy(_BasePolicy):
             self.predictor.signatures.capture(profile)
             self._detail = {"reason": "signature-capture"}
             return MemoryMode.REMOTE
+        # Keep the predictor's per-tick Ŝ memo fresh: the engine tick
+        # hook invalidates it whenever simulated time advances, so all
+        # candidates evaluated within one tick share a single
+        # system-state forward.  attach() is idempotent.
+        self.predictor.attach(engine)
         history = self._history(engine)
         estimates = self.predictor.predict_both_modes(profile, history)
         predicted = {mode.value: float(v) for mode, v in estimates.items()}

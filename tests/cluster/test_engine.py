@@ -105,3 +105,41 @@ class TestHooks:
         engine.deploy(ibench_profile("cpu"), MemoryMode.LOCAL, duration_s=1e9)
         with pytest.raises(RuntimeError):
             engine.run_until_idle(max_seconds=5.0)
+
+
+class TestTickHooks:
+    def test_hook_runs_at_end_of_every_tick(self, engine):
+        seen = []
+        engine.add_tick_hook(lambda eng: seen.append(eng.now))
+        engine.run_for(3.0)
+        assert seen == [pytest.approx(t) for t in (1.0, 2.0, 3.0)]
+
+    def test_add_is_idempotent(self, engine):
+        calls = []
+
+        def hook(eng):
+            calls.append(eng)
+
+        engine.add_tick_hook(hook)
+        engine.add_tick_hook(hook)
+        engine.tick()
+        assert len(calls) == 1
+
+    def test_remove_stops_and_is_safe(self, engine):
+        calls = []
+
+        def hook(eng):
+            calls.append(eng)
+
+        engine.add_tick_hook(hook)
+        engine.tick()
+        engine.remove_tick_hook(hook)
+        engine.tick()
+        assert len(calls) == 1
+        engine.remove_tick_hook(hook)  # not registered: no-op
+
+    def test_hook_sees_appended_trace_sample(self, engine):
+        lengths = []
+        engine.add_tick_hook(lambda eng: lengths.append(len(eng.trace.times)))
+        engine.run_for(2.0)
+        assert lengths == [1, 2]  # hooks fire after the trace append

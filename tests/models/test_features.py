@@ -25,6 +25,15 @@ class TestFeatureConfig:
         with pytest.raises(ValueError):
             FeatureConfig(sample_period_s=0.5, dt=1.0)
 
+    def test_sample_period_must_divide_windows(self):
+        # 7 s divides neither 120 s history nor 60 s signature; the
+        # rounded *_steps would silently disagree with trained shapes.
+        with pytest.raises(ValueError):
+            FeatureConfig(sample_period_s=7.0)
+        with pytest.raises(ValueError):
+            FeatureConfig(signature_s=63.0)
+        FeatureConfig(history_s=90.0, signature_s=45.0, sample_period_s=3.0)
+
 
 class TestSubsample:
     def test_bucket_averaging(self):
@@ -43,9 +52,17 @@ class TestSubsample:
         out = subsample(rows, 5.0)
         assert np.allclose(out.mean(axis=0), rows.mean(axis=0))
 
-    def test_indivisible_length_raises(self):
+    def test_indivisible_length_keeps_newest_full_buckets(self):
+        # 7 rows with stride 2: the oldest row is dropped, the newest
+        # 6 form 3 full buckets (early-arrival windows must not crash).
+        rows = np.arange(14.0).reshape(7, 2)
+        out = subsample(rows, 2.0)
+        assert out.shape == (3, 2)
+        assert np.allclose(out, rows[1:].reshape(3, 2, 2).mean(axis=1))
+
+    def test_window_shorter_than_one_bucket_raises(self):
         with pytest.raises(ValueError):
-            subsample(np.zeros((7, 2)), 2.0)
+            subsample(np.zeros((3, 2)), 5.0)
 
     def test_requires_2d(self):
         with pytest.raises(ValueError):

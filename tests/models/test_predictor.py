@@ -102,3 +102,108 @@ class TestPerformanceAPI:
             service.predict_performance(
                 ibench_profile("cpu"), history, MemoryMode.LOCAL
             )
+
+
+class TestFastPath:
+    """Batched dual-mode inference and the per-tick Ŝ memo."""
+
+    def _count_system_state(self, service, monkeypatch):
+        calls = {"n": 0}
+        real = service.system_state.predict
+
+        def counting(window):
+            calls["n"] += 1
+            return real(window)
+
+        monkeypatch.setattr(service.system_state, "predict", counting)
+        return calls
+
+    def test_batched_matches_sequential(self, service, history):
+        profile = spark_profile("gmm")
+        sequential = {}
+        for mode in (MemoryMode.LOCAL, MemoryMode.REMOTE):
+            service.invalidate_memo()  # each call recomputes Ŝ from scratch
+            sequential[mode] = service.predict_performance(profile, history, mode)
+        service.invalidate_memo()
+        batched = service.predict_both_modes(profile, history)
+        assert set(batched) == set(sequential)
+        for mode, value in sequential.items():
+            assert batched[mode] == pytest.approx(value, abs=1e-12)
+
+    def test_memoized_s_hat_identical_to_fresh(self, service, history):
+        service.invalidate_memo()
+        fresh = service.predict_system_state(history)
+        memoized = service.predict_system_state(history)
+        assert np.array_equal(fresh, memoized)
+        # Returned arrays are copies: mutating one must not poison the memo.
+        memoized[:] = -1.0
+        assert np.array_equal(service.predict_system_state(history), fresh)
+
+    def test_one_system_state_forward_per_window(
+        self, service, history, monkeypatch
+    ):
+        calls = self._count_system_state(service, monkeypatch)
+        service.invalidate_memo()
+        service.predict_both_modes(spark_profile("gmm"), history)
+        service.predict_both_modes(spark_profile("scan"), history)
+        service.predict_system_state(history)
+        assert calls["n"] == 1  # all candidates share the memoized Ŝ
+
+    def test_tick_boundary_invalidates_memo(self, service, history, monkeypatch):
+        from repro.cluster import ClusterEngine
+
+        calls = self._count_system_state(service, monkeypatch)
+        engine = ClusterEngine()
+        service.attach(engine)
+        service.attach(engine)  # idempotent
+        try:
+            service.invalidate_memo()
+            service.predict_system_state(history)
+            service.predict_system_state(history)
+            assert calls["n"] == 1
+            engine.tick()
+            memoized_then_fresh = service.predict_system_state(history)
+            assert calls["n"] == 2  # same content, but the tick moved time on
+            assert np.all(memoized_then_fresh >= 0)
+        finally:
+            service.detach(engine)
+        engine.tick()  # detached: no hook left behind
+        service.detach(engine)  # safe when already detached
+
+    def test_different_window_misses_memo(self, service, history, monkeypatch):
+        calls = self._count_system_state(service, monkeypatch)
+        service.invalidate_memo()
+        service.predict_system_state(history)
+        service.predict_system_state(history + 1.0)
+        assert calls["n"] == 2
+
+    def test_obs_counters_match_forward_counts(self, service, history):
+        from repro import obs
+
+        profile = spark_profile("gmm")
+        service.invalidate_memo()
+        try:
+            obs.enable()
+            service.predict_both_modes(profile, history)
+            service.predict_both_modes(profile, history)
+            service.predict_system_state(history)
+            inferences = obs.metrics().counter(
+                "predictor_inferences_total",
+                "Predictor forward passes",
+                labels=("model",),
+            )
+            # One true system-state forward, recorded under the nested
+            # label (regression: it used to double-count under both the
+            # outer timing and "system_state").
+            assert inferences.labels(model="system_state_nested").value == 1.0
+            assert inferences.labels(model="system_state").value == 0.0
+            assert inferences.labels(model="be").value == 2.0
+            memo_hits = obs.metrics().counter(
+                "predictor_memo_hits_total",
+                "Inference-memo hits that skipped recomputation",
+                labels=("entry",),
+            )
+            assert memo_hits.labels(entry="system_state").value == 2.0
+            assert memo_hits.labels(entry="window").value == 2.0
+        finally:
+            obs.disable()

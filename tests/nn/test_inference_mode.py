@@ -1,0 +1,107 @@
+"""Inference-mode fast path: train(False) semantics, cache-free LSTM.
+
+The Predictor serves online decisions through eval-mode forwards; these
+tests pin down the contract the fast path relies on: numerically
+identical outputs (atol=1e-12), no BPTT cache allocation, and a loud
+error if someone tries to backprop through an inference forward.
+"""
+
+import numpy as np
+import pytest
+
+from repro.nn import LSTM, Linear, ReLU, Sequential, StackedLSTM
+
+
+class TestModuleModeSwitch:
+    def test_train_false_equals_eval(self):
+        model = Sequential(Linear(4, 8), ReLU(), Linear(8, 2))
+        model.train(False)
+        assert all(not m.training for m in model.modules())
+        assert model.inference
+        model.train()
+        assert all(m.training for m in model.modules())
+        assert not model.inference
+
+
+class TestLSTMInference:
+    @pytest.mark.parametrize("return_sequences", [True, False])
+    def test_matches_training_forward(self, return_sequences):
+        lstm = LSTM(5, 7, return_sequences=return_sequences,
+                    rng=np.random.default_rng(1))
+        x = np.random.default_rng(0).normal(size=(3, 11, 5))
+        reference = lstm.forward(x)
+        lstm.eval()
+        fast = lstm.forward(x)
+        assert fast.shape == reference.shape
+        assert np.allclose(fast, reference, atol=1e-12, rtol=0.0)
+
+    def test_inference_forward_clears_cache(self):
+        lstm = LSTM(3, 4, rng=np.random.default_rng(2))
+        x = np.random.default_rng(3).normal(size=(2, 6, 3))
+        lstm.forward(x)
+        assert lstm._cache is not None  # training forward builds BPTT cache
+        lstm.eval()
+        lstm.forward(x)
+        assert lstm._cache is None  # a shared model pins no O(T·N·H) memory
+
+    def test_backward_after_inference_raises(self):
+        lstm = LSTM(3, 4, return_sequences=False, rng=np.random.default_rng(2))
+        x = np.random.default_rng(3).normal(size=(2, 6, 3))
+        lstm.eval()
+        out = lstm.forward(x)
+        with pytest.raises(RuntimeError, match="inference"):
+            lstm.backward(np.ones_like(out))
+
+    def test_train_restores_bptt(self):
+        lstm = LSTM(3, 4, return_sequences=False, rng=np.random.default_rng(2))
+        x = np.random.default_rng(3).normal(size=(2, 6, 3))
+        lstm.eval()
+        lstm.forward(x)
+        lstm.train()
+        out = lstm.forward(x)
+        grad_in = lstm.backward(np.ones_like(out))
+        assert grad_in.shape == x.shape
+
+    def test_backward_before_any_forward_still_clear(self):
+        lstm = LSTM(3, 4, rng=np.random.default_rng(2))
+        with pytest.raises(RuntimeError, match="before forward"):
+            lstm.backward(np.ones((2, 6, 4)))
+
+    @pytest.mark.parametrize("return_sequences", [True, False])
+    def test_stacked_lstm_matches(self, return_sequences):
+        stack = StackedLSTM(4, 6, num_layers=2,
+                            return_sequences=return_sequences,
+                            rng=np.random.default_rng(4))
+        x = np.random.default_rng(5).normal(size=(2, 9, 4))
+        reference = stack.forward(x)
+        stack.eval()
+        fast = stack.forward(x)
+        assert np.allclose(fast, reference, atol=1e-12, rtol=0.0)
+
+    def test_batched_rows_match_single_rows(self):
+        # The Predictor batches local/remote as N=2; each row must equal
+        # the corresponding single-sample forward.
+        stack = StackedLSTM(4, 6, return_sequences=False,
+                            rng=np.random.default_rng(6)).eval()
+        x = np.random.default_rng(7).normal(size=(2, 9, 4))
+        batched = stack.forward(x)
+        for row in range(2):
+            single = stack.forward(x[row : row + 1])
+            assert np.allclose(batched[row], single[0], atol=1e-12, rtol=0.0)
+
+
+class TestLinearInference:
+    def test_eval_skips_input_cache(self):
+        layer = Linear(3, 2)
+        layer.eval()
+        layer.forward(np.ones((4, 3)))
+        assert layer._input is None
+        with pytest.raises(RuntimeError, match="inference"):
+            layer.backward(np.ones((4, 2)))
+
+    def test_eval_output_matches_train(self):
+        layer = Linear(3, 2, rng=np.random.default_rng(8))
+        x = np.random.default_rng(9).normal(size=(4, 3))
+        reference = layer.forward(x)
+        layer.eval()
+        assert np.allclose(layer.forward(x), reference, atol=0.0, rtol=0.0)
