@@ -31,6 +31,7 @@ keeps the benchmark free of a multi-minute training phase.
 from __future__ import annotations
 
 import argparse
+import json
 import time
 
 import numpy as np
@@ -119,6 +120,16 @@ def bench_tick(
             for _ in range(candidates)
         ]
 
+    def fast_per_candidate() -> list[float]:
+        """Best-of-1 latency of each candidate within one fast tick."""
+        predictor.invalidate_memo()
+        latencies = []
+        for _ in range(candidates):
+            start = time.perf_counter()
+            predictor.predict_both_modes(profile, history)
+            latencies.append(time.perf_counter() - start)
+        return latencies
+
     # Correctness gate before timing anything.
     reference = sequential()
     batched = fast()
@@ -132,7 +143,13 @@ def bench_tick(
 
     t_seq = _time(sequential, repeats)
     t_fast = _time(fast, repeats)
-    return {"sequential_s": t_seq, "fast_s": t_fast, "speedup": t_seq / t_fast}
+    per_candidate = fast_per_candidate()
+    return {
+        "sequential_s": t_seq,
+        "fast_s": t_fast,
+        "speedup": t_seq / t_fast,
+        "per_candidate_s": per_candidate,
+    }
 
 
 def bench_lstm_mode(
@@ -181,6 +198,11 @@ def main() -> int:
         "--smoke", action="store_true",
         help="CI mode: tiny sizes, single repeat, no thresholds",
     )
+    parser.add_argument(
+        "--json", metavar="PATH", default=None,
+        help="also write the results as a JSON report (e.g. "
+             "BENCH_predictor.json, uploaded as a CI artifact)",
+    )
     args = parser.parse_args()
     if args.smoke:
         args.candidates, args.repeats, args.hidden = 4, 2, 8
@@ -205,6 +227,20 @@ def main() -> int:
     print(f"  inference-mode (cache-free)    : {lstm['inference_mode_s'] * 1e3:8.2f} ms")
     print(f"  speedup                        : {lstm['speedup']:8.2f}x")
     print("outputs: batched/cached identical to sequential (atol=1e-12)")
+
+    if args.json is not None:
+        report = {
+            "candidates": args.candidates,
+            "hidden": args.hidden,
+            "repeats": args.repeats,
+            "smoke": args.smoke,
+            "tick": tick,
+            "lstm": lstm,
+        }
+        with open(args.json, "w", encoding="utf-8") as handle:
+            json.dump(report, handle, indent=2)
+            handle.write("\n")
+        print(f"json report: {args.json}")
 
     if args.check_speedup is not None and tick["speedup"] < args.check_speedup:
         print(f"FAIL: tick speedup {tick['speedup']:.2f}x < "

@@ -164,10 +164,27 @@ def main(argv: list[str] | None = None) -> int:
         help="enable observability and dump metrics.json/metrics.prom/"
              "trace.json/decisions.jsonl to DIR after the run",
     )
-    obs_cmd = sub.add_parser(
-        "obs", help="summarize an observability dump directory"
+    run.add_argument(
+        "--obs-stream", action="store_true",
+        help="also stream per-tick telemetry to DIR/stream.jsonl and "
+             "DIR/stream.prom while the run executes (requires --obs-out)",
     )
-    obs_cmd.add_argument("directory", help="directory written by --obs-out")
+    obs_cmd = sub.add_parser(
+        "obs", help="summarize an observability dump, or watch a stream"
+    )
+    obs_cmd.add_argument(
+        "target", nargs="+",
+        help="directory written by --obs-out, or 'watch STREAM.jsonl' to "
+             "render the live dashboard from a telemetry stream",
+    )
+    obs_cmd.add_argument(
+        "--once", action="store_true",
+        help="watch: print a single frame and exit (non-interactive/CI)",
+    )
+    obs_cmd.add_argument(
+        "--interval", type=float, default=1.0,
+        help="watch: seconds between dashboard refreshes (default: 1)",
+    )
     args = parser.parse_args(argv)
 
     if args.command == "list":
@@ -177,10 +194,20 @@ def main(argv: list[str] | None = None) -> int:
         return 0
 
     if args.command == "obs":
+        if args.target[0] == "watch":
+            if len(args.target) != 2:
+                print("usage: python -m repro obs watch STREAM.jsonl",
+                      file=sys.stderr)
+                return 2
+            from repro.obs.live.watch import watch
+
+            return watch(
+                args.target[1], interval=args.interval, once=args.once
+            )
         from repro.obs.report import summarize_dir
 
         try:
-            print(summarize_dir(args.directory))
+            print(summarize_dir(args.target[0]))
         except FileNotFoundError as error:
             print(str(error), file=sys.stderr)
             return 2
@@ -199,8 +226,13 @@ def main(argv: list[str] | None = None) -> int:
               file=sys.stderr)
         return 2
 
+    if args.obs_stream and args.obs_out is None:
+        parser.error("--obs-stream requires --obs-out DIR")
     if args.obs_out is not None:
-        obs.enable()
+        if args.obs_stream:
+            obs.enable_live(args.obs_out)
+        else:
+            obs.enable()
     try:
         for target in targets:
             description, runner = EXPERIMENTS[target]

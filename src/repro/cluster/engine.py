@@ -48,6 +48,11 @@ class ClusterEngine:
         #: Hook invoked with each finished deployment's record.
         self.on_finish: Callable | None = None
         self._tick_hooks: list[Callable[["ClusterEngine"], None]] = []
+        # Stream this engine when a live observability session is active
+        # (obs.live_session() is None on the disabled path — one read, no hooks).
+        live = obs.live_session()
+        if live is not None:
+            live.attach(self)
 
     # -- tick hooks ---------------------------------------------------------
     def add_tick_hook(self, hook: Callable[["ClusterEngine"], None]) -> None:

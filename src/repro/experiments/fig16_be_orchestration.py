@@ -18,6 +18,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro import obs
 from repro.analysis.reporting import format_table
 from repro.experiments.common import (
     ExperimentScale,
@@ -33,6 +34,7 @@ from repro.orchestrator.policies import (
     RoundRobinPolicy,
 )
 from repro.workloads.base import WorkloadKind
+from repro.workloads.registry import lc_profiles
 
 __all__ = ["Fig16Result", "run", "BETAS"]
 
@@ -90,6 +92,11 @@ def run(
 ) -> Fig16Result:
     scale = scale if scale is not None else scale_from_env()
     predictor = get_predictor(scale)
+    live = obs.live_session()
+    if live is not None:
+        # Stream SLO burn for the LC side-traffic against the same
+        # generous QoS the experiment holds it to.
+        live.slo.set_targets({name: _LC_QOS_MS for name in lc_profiles()})
     policies = {
         "random": RandomPolicy(seed=scale.seed + 1),
         "round-robin": RoundRobinPolicy(),

@@ -16,6 +16,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro import obs
 from repro.analysis.reporting import format_table
 from repro.experiments.common import (
     ExperimentScale,
@@ -108,8 +109,15 @@ def run(
     predictor = get_predictor(scale)
     qos_levels = derive_qos_levels(scale)
     configs = eval_scenario_configs(scale)
+    live = obs.live_session()
 
-    # Baselines are QoS-independent: replay them once.
+    # Baselines are QoS-independent: replay them once.  Stream their SLO
+    # burn against the loosest level (the one the paper expects them to
+    # violate least).
+    if live is not None:
+        live.slo.set_targets(
+            {name: values[0] for name, values in qos_levels.items()}
+        )
     baseline_policies = {
         "random": RandomPolicy(seed=scale.seed + 2),
         "round-robin": RoundRobinPolicy(),
@@ -120,6 +128,8 @@ def run(
     by_level: dict[int, dict[str, dict[str, dict[str, int]]]] = {}
     for level in levels:
         qos = {name: values[level] for name, values in qos_levels.items()}
+        if live is not None:
+            live.slo.set_targets(qos)
         adrias = AdriasPolicy(predictor, beta=0.9, qos_p99_ms=qos)
         adrias_result = compare_policies({"adrias": adrias}, configs)["adrias"]
         level_summary: dict[str, dict[str, dict[str, int]]] = {}

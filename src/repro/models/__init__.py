@@ -14,7 +14,12 @@ from repro.models.dataset import (
 from repro.models.features import FeatureConfig, encode_mode, subsample
 from repro.models.performance import PerformanceModel, PerformancePredictor
 from repro.models.predictor import Predictor
-from repro.models.retraining import evaluate_onboarding, onboard_application, retrain
+from repro.models.retraining import (
+    evaluate_onboarding,
+    onboard_application,
+    retrain,
+    retrain_on_drift,
+)
 from repro.models.signatures import SignatureLibrary
 from repro.models.system_state import SystemStateModel, SystemStatePredictor
 
@@ -34,5 +39,6 @@ __all__ = [
     "evaluate_onboarding",
     "onboard_application",
     "retrain",
+    "retrain_on_drift",
     "subsample",
 ]

@@ -130,6 +130,9 @@ class Predictor:
         start = obs.wall_time()
         self._memo_future = self.system_state.predict(window)
         self._observe_inference(label, start)
+        live = obs.live_session()
+        if live is not None:
+            live.note_state_forecast(self._memo_future, self.config.horizon_s)
         return window, self._memo_future
 
     # -- inference -------------------------------------------------------------

@@ -17,8 +17,11 @@ implements that loop:
 
 from __future__ import annotations
 
+from typing import Callable
+
 import numpy as np
 
+from repro import obs
 from repro.cluster.trace import Trace
 from repro.models.dataset import build_performance_dataset
 from repro.models.performance import PerformancePredictor
@@ -26,7 +29,12 @@ from repro.models.predictor import Predictor
 from repro.nn.metrics import r2_score
 from repro.workloads.base import WorkloadKind, WorkloadProfile
 
-__all__ = ["onboard_application", "retrain", "evaluate_onboarding"]
+__all__ = [
+    "onboard_application",
+    "retrain",
+    "evaluate_onboarding",
+    "retrain_on_drift",
+]
 
 
 def onboard_application(
@@ -88,6 +96,45 @@ def retrain(
         signatures=predictor.signatures,
         feature_config=predictor.config,
     )
+
+
+def retrain_on_drift(
+    policy,
+    traces: list[Trace],
+    *,
+    kinds: tuple[WorkloadKind, ...] = (
+        WorkloadKind.BEST_EFFORT,
+        WorkloadKind.LATENCY_CRITICAL,
+    ),
+    epochs: int = 50,
+    seed: int = 0,
+) -> Callable:
+    """Build an ``on_drift`` callback that closes the retraining loop.
+
+    Wire the result into :func:`repro.obs.enable_live` (``on_drift=...``)
+    and a live drift alarm triggers :func:`retrain` on ``traces`` and
+    swaps the fresh :class:`Predictor` into ``policy.predictor`` — the
+    "continuous retraining is crucial" loop of Fig. 15, driven by the
+    online Page–Hinkley detector instead of a human.  The stale
+    predictor's engine tick hooks stay registered (they only invalidate
+    its now-unused memo); the policy re-attaches the fresh one on its
+    next decision.
+    """
+
+    def _on_alarm(alarm) -> None:
+        policy.predictor = retrain(
+            policy.predictor, traces, kinds=kinds, epochs=epochs, seed=seed
+        )
+        if obs.enabled():
+            obs.metrics().counter(
+                "predictor_retrains_total",
+                "Performance-model retrains triggered by drift alarms",
+            ).inc()
+            obs.tracer().instant(
+                "drift_retrain", category="obs.live", stream=alarm.stream
+            )
+
+    return _on_alarm
 
 
 def evaluate_onboarding(

@@ -22,6 +22,7 @@ from repro.obs.metrics import (
     MetricsRegistry,
     NullRegistry,
 )
+from repro.obs.fsio import atomic_write_text
 from repro.obs.runtime import (
     ARTIFACT_NAMES,
     ObsHandles,
@@ -29,7 +30,9 @@ from repro.obs.runtime import (
     disable,
     dump,
     enable,
+    enable_live,
     enabled,
+    live_session,
     metrics,
     reset,
     session,
@@ -47,11 +50,14 @@ __all__ = [
     "metrics",
     "tracer",
     "audit",
+    "live_session",
+    "enable_live",
     "wall_time",
     "session",
     "dump",
     "ObsHandles",
     "ARTIFACT_NAMES",
+    "atomic_write_text",
     # metrics
     "MetricsRegistry",
     "NullRegistry",

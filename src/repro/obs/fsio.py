@@ -1,0 +1,43 @@
+"""Crash-safe file helpers shared by :func:`repro.obs.dump` and the
+live streaming exporters.
+
+Every artifact writer in the observability layer funnels through
+:func:`atomic_write_text`, so a run killed mid-write can never leave a
+truncated ``metrics.json`` / ``trace.json`` / OpenMetrics snapshot —
+readers see either the previous complete contents or the new ones.
+"""
+
+from __future__ import annotations
+
+import os
+import tempfile
+from pathlib import Path
+
+__all__ = ["atomic_write_text"]
+
+
+def atomic_write_text(path: str | Path, text: str) -> Path:
+    """Write ``text`` to ``path`` atomically.
+
+    The text is written to a temporary file in the *same* directory and
+    then :func:`os.replace`-d over the target, which is atomic on POSIX
+    filesystems.  On any failure the temporary file is removed and the
+    previous contents of ``path`` survive untouched.
+    """
+    path = Path(path)
+    fd, tmp = tempfile.mkstemp(
+        dir=str(path.parent), prefix=f".{path.name}.", suffix=".tmp"
+    )
+    try:
+        try:
+            os.write(fd, text.encode("utf-8"))
+        finally:
+            os.close(fd)
+        os.replace(tmp, path)
+    except BaseException:
+        try:
+            os.unlink(tmp)
+        except OSError:
+            pass
+        raise
+    return path

@@ -1,0 +1,208 @@
+"""Multi-window SLO burn-rate engine for LC applications.
+
+Evaluates the same per-application ``qos_p99_ms`` thresholds the Fig. 17
+experiment counts post-hoc, but *during* the run:
+
+* every finished LC deployment is classified good/bad against its QoS
+  target (identical predicate to
+  :func:`repro.orchestrator.evaluation.qos_violations`);
+* per application, the trailing bad-fraction over several time windows
+  is divided by the error budget ``1 - objective`` — the standard SRE
+  **burn rate** (burn 1 = exactly consuming budget; burn 2 = consuming
+  it twice as fast);
+* an **alert** fires when every window burns above ``alert_burn``
+  simultaneously (the multi-window policy that suppresses both
+  short-blip and stale-long-window false positives).
+
+Windows are measured on the live session's monotonically increasing
+clock (cumulative simulated seconds across scenarios), so replaying many
+one-hour scenarios back to back cannot confuse the window arithmetic
+when each scenario's own clock restarts at zero.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Iterable
+
+from repro.obs import runtime
+
+__all__ = ["SloEngine", "peak_burn_rate"]
+
+
+def peak_burn_rate(
+    events: Iterable[tuple[float, bool]],
+    window_s: float,
+    objective: float = 0.99,
+) -> float:
+    """Highest trailing-window burn rate over a completed event stream.
+
+    ``events`` are ``(time, violated)`` pairs sorted by time; the burn
+    at each event time is the bad-fraction of the trailing window
+    divided by the error budget.  This is the exact post-hoc counterpart
+    of the live engine's per-tick gauge, shared with
+    :func:`repro.orchestrator.evaluation.burn_rate_summary`.
+    """
+    if window_s <= 0:
+        raise ValueError("window_s must be positive")
+    if not 0 < objective < 1:
+        raise ValueError("objective must be in (0, 1)")
+    budget = 1.0 - objective
+    events = list(events)
+    peak = 0.0
+    start = 0
+    bad_in_window = 0
+    for i, (time, bad) in enumerate(events):
+        bad_in_window += bool(bad)
+        while events[start][0] <= time - window_s:
+            bad_in_window -= bool(events[start][1])
+            start += 1
+        total = i - start + 1
+        peak = max(peak, (bad_in_window / total) / budget)
+    return peak
+
+
+class SloEngine:
+    """Streaming per-application QoS compliance and burn rates."""
+
+    def __init__(
+        self,
+        targets: dict[str, float] | None = None,
+        objective: float = 0.99,
+        windows: tuple[float, ...] = (60.0, 600.0),
+        alert_burn: float = 2.0,
+        min_events: int = 5,
+    ) -> None:
+        if not 0 < objective < 1:
+            raise ValueError("objective must be in (0, 1)")
+        if not windows or any(w <= 0 for w in windows):
+            raise ValueError("windows must be positive")
+        if alert_burn <= 0:
+            raise ValueError("alert_burn must be positive")
+        self.objective = objective
+        self.windows = tuple(sorted(windows))
+        self.alert_burn = alert_burn
+        self.min_events = min_events
+        self._targets: dict[str, float] = {}
+        if targets:
+            self.set_targets(targets)
+        #: app -> deque[(clock, violated)] trimmed to the longest window.
+        self._events: dict[str, deque[tuple[float, bool]]] = {}
+        self._violations: dict[str, int] = {}
+        self._totals: dict[str, int] = {}
+        self._alerting: set[str] = set()
+        self.alerts: list[dict] = []
+
+    # -- configuration -------------------------------------------------------
+    @property
+    def targets(self) -> dict[str, float]:
+        return dict(self._targets)
+
+    def set_targets(self, qos_p99_ms: dict[str, float]) -> None:
+        """Replace the QoS thresholds (the Fig. 17 per-app dict)."""
+        for name, qos in qos_p99_ms.items():
+            if qos <= 0:
+                raise ValueError(f"QoS for {name!r} must be positive")
+        self._targets = dict(qos_p99_ms)
+
+    # -- ingestion -----------------------------------------------------------
+    def record(self, app: str, p99_ms: float, clock: float) -> bool | None:
+        """Classify one finished LC deployment; ``None`` without a target."""
+        qos = self._targets.get(app)
+        if qos is None:
+            return None
+        violated = p99_ms > qos
+        self._events.setdefault(app, deque()).append((clock, violated))
+        self._totals[app] = self._totals.get(app, 0) + 1
+        if violated:
+            self._violations[app] = self._violations.get(app, 0) + 1
+            runtime.metrics().counter(
+                "slo_violations_total",
+                "Finished LC deployments whose measured p99 missed the QoS",
+                labels=("app",),
+            ).labels(app=app).inc()
+        return violated
+
+    # -- evaluation ----------------------------------------------------------
+    def _trim(self, app: str, clock: float) -> None:
+        horizon = self.windows[-1]
+        events = self._events[app]
+        while events and events[0][0] <= clock - horizon:
+            events.popleft()
+
+    def burn_rates(self, app: str, clock: float) -> dict[float, float]:
+        """Current burn rate per window for one application."""
+        events = self._events.get(app)
+        budget = 1.0 - self.objective
+        rates = {}
+        for window in self.windows:
+            if not events:
+                rates[window] = 0.0
+                continue
+            inside = [bad for t, bad in events if t > clock - window]
+            rates[window] = (
+                (sum(inside) / len(inside)) / budget if inside else 0.0
+            )
+        return rates
+
+    def advance(self, clock: float) -> list[dict]:
+        """Refresh gauges at a tick; returns newly fired alert events.
+
+        Alerts are edge-triggered: an application re-alerts only after
+        its shortest-window burn dropped back below 1.
+        """
+        metrics = runtime.metrics()
+        burn_gauge = metrics.gauge(
+            "slo_burn_rate",
+            "Error-budget burn rate per application and trailing window",
+            labels=("app", "window"),
+        )
+        fired = []
+        for app in self._events:
+            self._trim(app, clock)
+            rates = self.burn_rates(app, clock)
+            for window, rate in rates.items():
+                burn_gauge.labels(app=app, window=f"{window:g}s").set(rate)
+            short = self.windows[0]
+            n_recent = sum(
+                1 for t, _ in self._events[app] if t > clock - short
+            )
+            if all(r >= self.alert_burn for r in rates.values()) and (
+                n_recent >= self.min_events
+            ):
+                if app not in self._alerting:
+                    self._alerting.add(app)
+                    alert = {
+                        "app": app,
+                        "clock": clock,
+                        "burn": {f"{w:g}": round(r, 4)
+                                 for w, r in rates.items()},
+                        "violations": self._violations.get(app, 0),
+                    }
+                    self.alerts.append(alert)
+                    fired.append(alert)
+                    metrics.counter(
+                        "slo_alerts_total",
+                        "Multi-window SLO burn alerts fired",
+                        labels=("app",),
+                    ).labels(app=app).inc()
+                    runtime.tracer().instant(
+                        "slo_alert", category="obs.live", **alert
+                    )
+            elif rates[self.windows[0]] < 1.0:
+                self._alerting.discard(app)
+        return fired
+
+    # -- views ---------------------------------------------------------------
+    def snapshot(self, clock: float) -> dict[str, dict]:
+        """Per-app burn/violation state for the tick record / dashboard."""
+        out = {}
+        for app in sorted(self._events):
+            rates = self.burn_rates(app, clock)
+            out[app] = {
+                "burn": {f"{w:g}": round(r, 4) for w, r in rates.items()},
+                "violations": self._violations.get(app, 0),
+                "total": self._totals.get(app, 0),
+                "alerting": app in self._alerting,
+            }
+        return out

@@ -1,0 +1,251 @@
+"""``repro obs watch`` — terminal dashboard over a live JSONL stream.
+
+Tails the ``stream.jsonl`` written by :class:`LiveSession` and renders a
+refreshing plain-text dashboard: tick rate, link saturation regime,
+per-policy decision mix, drift scores, SLO burn and profiler hot spots.
+Works on a finished stream too (post-mortem), and in ``--once`` mode
+renders a single frame and exits — the non-interactive path CI uses.
+
+The reader is deliberately forgiving: a run killed mid-flush can leave a
+torn final line, which is skipped (and counted) rather than fatal, so
+``watch`` can follow a stream that is still being written.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+import time
+from collections import defaultdict
+from pathlib import Path
+
+from repro.analysis.reporting import format_kv, format_table
+
+__all__ = ["read_stream", "render_frame", "watch"]
+
+#: Ticks used for the instantaneous tick-rate estimate.
+_RATE_WINDOW = 50
+
+
+def read_stream(path: str | Path) -> tuple[list[dict], int]:
+    """Parse a JSONL stream; returns ``(records, skipped_lines)``.
+
+    Lines that fail to parse (a torn tail from a killed run) are
+    skipped, never fatal.
+    """
+    path = Path(path)
+    if not path.exists():
+        raise FileNotFoundError(f"no stream at {path}")
+    records, skipped = [], 0
+    with path.open("r", encoding="utf-8") as handle:
+        for line in handle:
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                records.append(json.loads(line))
+            except json.JSONDecodeError:
+                skipped += 1
+    return records, skipped
+
+
+def _tick_rate(ticks: list[dict]) -> float:
+    """Simulated ticks per wall-second over the trailing rate window."""
+    recent = ticks[-_RATE_WINDOW:]
+    if len(recent) < 2:
+        return float("nan")
+    dw = recent[-1].get("wall", 0.0) - recent[0].get("wall", 0.0)
+    dn = recent[-1].get("n", 0) - recent[0].get("n", 0)
+    return dn / dw if dw > 0 else float("nan")
+
+
+def render_frame(records: list[dict], skipped: int = 0) -> str:
+    """One dashboard frame from the records parsed so far."""
+    ticks = [r for r in records if r.get("t") == "tick"]
+    events = [r for r in records if r.get("t") == "event"]
+    profiles = [r for r in records if r.get("t") == "profile"]
+    ended = any(r.get("t") == "end" for r in records)
+    if not ticks:
+        return "live stream: no tick records yet"
+    last = ticks[-1]
+
+    sections = []
+    header = {
+        "status": "finished" if ended else "running",
+        "ticks": last.get("n", len(ticks)),
+        "session clock s": f"{last.get('clock', 0.0):.0f}",
+        "engine / sim s": f"#{last.get('engine', 0)} @ {last.get('sim', 0.0):.0f}",
+        "tick rate /s": f"{_tick_rate(ticks):.0f}",
+        "running apps": last.get("running", 0),
+        "link util": f"{last.get('link_util', 0.0):.3f}",
+    }
+    if skipped:
+        header["torn lines skipped"] = skipped
+    sections.append(format_kv(header, title="Live observability"))
+
+    regimes: dict[str, int] = defaultdict(int)
+    decisions: dict[str, dict[str, int]] = defaultdict(lambda: defaultdict(int))
+    for tick in ticks:
+        for regime, count in tick.get("regimes", {}).items():
+            regimes[regime] += count
+        for policy, modes in tick.get("decisions", {}).items():
+            for mode, count in modes.items():
+                decisions[policy][mode] += count
+    if regimes:
+        total = sum(regimes.values())
+        sections.append(
+            format_table(
+                ["regime", "resolves", "share"],
+                [
+                    (name, count, f"{count / total * 100:.1f}%")
+                    for name, count in sorted(regimes.items())
+                ],
+                title="Link saturation regime",
+            )
+        )
+    if decisions:
+        sections.append(
+            format_table(
+                ["policy", "local", "remote", "total"],
+                [
+                    (
+                        policy,
+                        modes.get("local", 0),
+                        modes.get("remote", 0),
+                        sum(modes.values()),
+                    )
+                    for policy, modes in sorted(decisions.items())
+                ],
+                title="Decision mix",
+            )
+        )
+
+    drift = last.get("drift") or _last_value(ticks, "drift")
+    if drift:
+        sections.append(
+            format_table(
+                ["stream", "score", "ewma |rel err|", "joins", "alarms"],
+                [
+                    (
+                        stream,
+                        f"{state.get('score', 0.0):.3f}",
+                        f"{state.get('ewma', 0.0):.3f}",
+                        state.get("n", 0),
+                        state.get("alarms", 0),
+                    )
+                    for stream, state in sorted(drift.items())
+                ],
+                title="Predictor drift",
+            )
+        )
+
+    slo = last.get("slo") or _last_value(ticks, "slo")
+    if slo:
+        windows = sorted(
+            {w for state in slo.values() for w in state.get("burn", {})},
+            key=float,
+        )
+        rows = []
+        for app, state in sorted(slo.items()):
+            rows.append(
+                (
+                    app,
+                    *(
+                        f"{state.get('burn', {}).get(w, 0.0):.2f}"
+                        for w in windows
+                    ),
+                    state.get("violations", 0),
+                    state.get("total", 0),
+                    "ALERT" if state.get("alerting") else "-",
+                )
+            )
+        sections.append(
+            format_table(
+                ["app", *(f"burn {w}s" for w in windows),
+                 "violations", "total", "state"],
+                rows,
+                title="SLO burn",
+            )
+        )
+
+    if events:
+        rows = [
+            (
+                event.get("kind", "?"),
+                f"{event.get('clock', 0.0):.0f}",
+                event.get("stream") or event.get("app") or "-",
+                f"{event.get('score', event.get('violations', 0)):.2f}"
+                if isinstance(
+                    event.get("score", event.get("violations", 0)), float
+                )
+                else str(event.get("score", event.get("violations", 0))),
+            )
+            for event in events[-8:]
+        ]
+        sections.append(
+            format_table(
+                ["event", "clock s", "subject", "score"],
+                rows,
+                title="Recent events",
+            )
+        )
+
+    if profiles:
+        top = profiles[-1].get("top", [])
+        if top:
+            sections.append(
+                format_table(
+                    ["function", "samples", "share"],
+                    [
+                        (
+                            entry["fn"],
+                            entry["n"],
+                            f"{entry.get('share', 0.0) * 100:.1f}%",
+                        )
+                        for entry in top[:8]
+                    ],
+                    title=(
+                        f"Hot functions "
+                        f"({profiles[-1].get('samples', 0)} samples)"
+                    ),
+                )
+            )
+
+    return "\n\n".join(sections)
+
+
+def _last_value(ticks: list[dict], key: str):
+    for tick in reversed(ticks):
+        if tick.get(key):
+            return tick[key]
+    return None
+
+
+def watch(
+    path: str | Path,
+    interval: float = 1.0,
+    once: bool = False,
+    max_frames: int | None = None,
+    out=None,
+) -> int:
+    """Render the dashboard; refresh until the stream ends.
+
+    ``once`` renders a single frame without clearing the screen (the CI
+    mode); otherwise the terminal is redrawn every ``interval`` seconds
+    until an ``end`` record appears (or ``max_frames`` is reached).
+    """
+    out = out if out is not None else sys.stdout
+    frames = 0
+    while True:
+        records, skipped = read_stream(path)
+        frame = render_frame(records, skipped)
+        if once:
+            print(frame, file=out)
+            return 0
+        print("\x1b[2J\x1b[H" + frame, file=out, flush=True)
+        frames += 1
+        if any(r.get("t") == "end" for r in records):
+            return 0
+        if max_frames is not None and frames >= max_frames:
+            return 0
+        time.sleep(interval)

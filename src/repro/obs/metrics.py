@@ -262,6 +262,17 @@ class MetricsRegistry:
                 f"metric {name!r} already declared as {family.kind} with "
                 f"labels {family.label_names}"
             )
+        if buckets is not None and kind == "histogram":
+            effective = (
+                family._buckets if family._buckets is not None
+                else DEFAULT_BUCKETS
+            )
+            if tuple(float(b) for b in buckets) != effective:
+                raise ValueError(
+                    f"histogram {name!r} already declared with buckets "
+                    f"{effective}; redeclaring with {tuple(buckets)} would "
+                    f"be silently ignored"
+                )
         return family
 
     def counter(
@@ -284,6 +295,10 @@ class MetricsRegistry:
         return self._family(name, "histogram", help, labels, buckets)
 
     # -- lifecycle -----------------------------------------------------------
+    def get(self, name: str) -> MetricFamily | None:
+        """The declared family for ``name``, or ``None`` (read-only peek)."""
+        return self._families.get(name)
+
     def __contains__(self, name: str) -> bool:
         return name in self._families
 
@@ -402,6 +417,9 @@ class NullRegistry:
         buckets: Sequence[float] | None = None,
     ):
         return _NULL_INSTRUMENT
+
+    def get(self, name: str) -> None:
+        return None
 
     def __contains__(self, name: str) -> bool:
         return False

@@ -26,11 +26,15 @@ import time
 from contextlib import contextmanager
 from dataclasses import dataclass
 from pathlib import Path
-from typing import Iterator
+from typing import TYPE_CHECKING, Iterator
 
 from repro.obs.audit import NULL_AUDIT, DecisionAuditLog, NullAuditLog
+from repro.obs.fsio import atomic_write_text
 from repro.obs.metrics import NULL_REGISTRY, MetricsRegistry, NullRegistry
 from repro.obs.tracing import NULL_TRACER, NullTracer, SpanTracer
+
+if TYPE_CHECKING:  # pragma: no cover - the live layer imports lazily
+    from repro.obs.live.session import LiveSession
 
 __all__ = [
     "ObsHandles",
@@ -41,6 +45,8 @@ __all__ = [
     "metrics",
     "tracer",
     "audit",
+    "live_session",
+    "enable_live",
     "wall_time",
     "session",
     "dump",
@@ -69,6 +75,7 @@ _enabled: bool = False
 _metrics: MetricsRegistry | NullRegistry = NULL_REGISTRY
 _tracer: SpanTracer | NullTracer = NULL_TRACER
 _audit: DecisionAuditLog | NullAuditLog = NULL_AUDIT
+_live: "LiveSession | None" = None
 
 
 def enabled() -> bool:
@@ -86,6 +93,36 @@ def tracer() -> SpanTracer | NullTracer:
 
 def audit() -> DecisionAuditLog | NullAuditLog:
     return _audit
+
+
+def live_session() -> "LiveSession | None":
+    """The active live-streaming session, or ``None``.
+
+    Integration points (engine construction, predictor forecasts,
+    policy decisions) gate on this returning non-``None`` — a single
+    attribute read on the disabled path.  (Named ``live_session`` rather
+    than ``live`` so the accessor cannot be shadowed by the
+    :mod:`repro.obs.live` subpackage binding on import.)
+    """
+    return _live
+
+
+def enable_live(out_dir: str | Path, **kwargs) -> "LiveSession":
+    """Start streaming telemetry to ``out_dir`` (idempotent).
+
+    Implies :func:`enable` — the live layer reads the shared metrics
+    registry and audit log.  Keyword arguments are forwarded to
+    :class:`repro.obs.live.session.LiveSession` (SLO targets, drift
+    thresholds, profiler cadence, ...).  The session is torn down by
+    :func:`disable`.
+    """
+    global _live
+    enable()
+    if _live is None:
+        from repro.obs.live.session import LiveSession
+
+        _live = LiveSession(out_dir, **kwargs)
+    return _live
 
 
 def wall_time() -> float:
@@ -112,8 +149,15 @@ def enable() -> ObsHandles:
 
 
 def disable() -> None:
-    """Switch collection off and drop the collectors."""
-    global _enabled, _metrics, _tracer, _audit
+    """Switch collection off and drop the collectors.
+
+    An active live session is closed first (final flush + ``end``
+    record), so its stream is complete on disk.
+    """
+    global _enabled, _metrics, _tracer, _audit, _live
+    if _live is not None:
+        _live.close()
+        _live = None
     _enabled = False
     _metrics = NULL_REGISTRY
     _tracer = NULL_TRACER
@@ -150,9 +194,17 @@ def dump(out_dir: str | Path) -> dict[str, Path]:
     (Prometheus text exposition), ``trace.json`` (Chrome trace-event
     JSON, loadable in Perfetto) and ``decisions.jsonl`` (one decision
     per line, outcomes joined).  Returns ``{artifact name: path}``.
+
+    Each artifact is written atomically (same-directory temp file +
+    ``os.replace``), so a crash mid-dump leaves either the previous
+    complete artifact or the new one — never a truncated file.  When a
+    live session is active its stream is flushed first and its artifact
+    paths are included in the returned mapping.
     """
     out = Path(out_dir)
     out.mkdir(parents=True, exist_ok=True)
+    if _live is not None:
+        _live.flush()
     contents = {
         "metrics.json": _metrics.to_json(),
         "metrics.prom": _metrics.to_prometheus(),
@@ -162,6 +214,8 @@ def dump(out_dir: str | Path) -> dict[str, Path]:
     paths = {}
     for name in ARTIFACT_NAMES:
         path = out / name
-        path.write_text(contents[name])
+        atomic_write_text(path, contents[name])
         paths[name] = path
+    if _live is not None:
+        paths.update(_live.artifact_paths())
     return paths

@@ -156,6 +156,7 @@ class SpanTracer:
             {
                 "name": "process_name",
                 "ph": "M",
+                "ts": 0,
                 "pid": 1,
                 "tid": 0,
                 "args": {"name": self.process_name},

@@ -8,6 +8,7 @@ arrival sequences under competing policies.
 
 from repro.orchestrator.evaluation import (
     PolicyResult,
+    burn_rate_summary,
     compare_policies,
     qos_violations,
 )
@@ -38,6 +39,7 @@ __all__ = [
     "RoundRobinPolicy",
     "StaticThresholdPolicy",
     "TrainingBudget",
+    "burn_rate_summary",
     "collect_traces",
     "compare_policies",
     "qos_violations",

@@ -18,9 +18,15 @@ import numpy as np
 
 from repro.cluster.scenario import ScenarioConfig, Scheduler, run_scenario
 from repro.cluster.trace import Trace
+from repro.obs.live.slo import peak_burn_rate
 from repro.workloads.base import MemoryMode, WorkloadKind
 
-__all__ = ["PolicyResult", "compare_policies", "qos_violations"]
+__all__ = [
+    "PolicyResult",
+    "compare_policies",
+    "qos_violations",
+    "burn_rate_summary",
+]
 
 
 @dataclass
@@ -133,5 +139,49 @@ def qos_violations(
             "violations": violations,
             "offloads": offloads,
             "total": total,
+        }
+    return summary
+
+
+def burn_rate_summary(
+    result: PolicyResult,
+    qos_p99_ms: dict[str, float],
+    objective: float = 0.99,
+    windows: tuple[float, ...] = (60.0, 600.0),
+) -> dict[str, dict]:
+    """Post-hoc SLO burn-rate view of a policy result.
+
+    For each LC benchmark, classifies every finished deployment against
+    its QoS (the :func:`qos_violations` predicate) and reports the *peak*
+    error-budget burn rate per trailing window — the offline counterpart
+    of the live ``slo_burn_rate`` gauge, computed with the same
+    :func:`repro.obs.live.slo.peak_burn_rate` arithmetic.  Scenario sim
+    clocks restart at zero between replays, so the peak is taken per
+    trace and the maximum across traces is reported.
+    """
+    summary: dict[str, dict] = {}
+    for name, qos in qos_p99_ms.items():
+        if qos <= 0:
+            raise ValueError(f"QoS for {name!r} must be positive")
+        violations = total = 0
+        peaks = {f"{w:g}": 0.0 for w in windows}
+        for trace in result.traces:
+            events = sorted(
+                (r.finish_time, r.p99_ms > qos)
+                for r in trace.records_for(name)
+            )
+            if not events:
+                continue
+            total += len(events)
+            violations += sum(1 for _, bad in events if bad)
+            for window in windows:
+                rate = peak_burn_rate(events, window, objective)
+                key = f"{window:g}"
+                if rate > peaks[key]:
+                    peaks[key] = rate
+        summary[name] = {
+            "violations": violations,
+            "total": total,
+            "peak_burn": peaks,
         }
     return summary

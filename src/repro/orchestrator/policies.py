@@ -73,6 +73,9 @@ class _BasePolicy:
             "Placement decisions by policy, chosen mode and workload kind",
             labels=("policy", "mode", "kind"),
         ).labels(policy=self.name, mode=mode.value, kind=profile.kind.value).inc()
+        live = obs.live_session()
+        if live is not None:
+            live.note_decision(self.name, mode.value, profile.kind.value)
         if profile.kind is WorkloadKind.INTERFERENCE:
             return  # the paper's policies only govern BE/LC placement
         obs.audit().record(

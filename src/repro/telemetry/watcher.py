@@ -50,6 +50,20 @@ class Watcher:
         steps = int(round(window_s / self.dt))
         return self.store.last(steps)
 
+    def horizon_mean(self, window_s: float) -> np.ndarray:
+        """Realized mean metric vector over the trailing ``window_s``.
+
+        The measurement counterpart of the system-state model's Ŝ: once
+        a forecast's horizon has fully elapsed, the trailing horizon
+        window covers exactly the interval the forecast predicted, and
+        this mean is what the live drift detector joins it against.
+        Unlike :meth:`history` this never zero-pads — a short warm-up
+        store averages only the samples that exist.
+        """
+        if window_s <= 0:
+            raise ValueError("window must be positive")
+        return self.store.window_mean(int(round(window_s / self.dt)))
+
     def attach(self, engine: ClusterEngine) -> None:
         """Mirror every new engine trace sample into this Watcher.
 

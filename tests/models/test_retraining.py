@@ -1,8 +1,11 @@
 """Continual-retraining workflow tests (§V-C / Fig. 15 loop)."""
 
+from types import SimpleNamespace
+
 import numpy as np
 import pytest
 
+from repro import obs
 from repro.models import (
     PerformancePredictor,
     Predictor,
@@ -12,6 +15,7 @@ from repro.models import (
     evaluate_onboarding,
     onboard_application,
     retrain,
+    retrain_on_drift,
 )
 from repro.workloads import MemoryMode, WorkloadKind, spark_profile
 
@@ -87,6 +91,54 @@ class TestRetrain:
                          feature_config=feature_config)
         with pytest.raises(ValueError):
             retrain(bare, tiny_traces, epochs=1)
+
+
+class TestRetrainOnDrift:
+    """The drift-alarm callback closes the Fig. 15 retraining loop."""
+
+    def _policy_and_callback(self, monkeypatch):
+        policy = SimpleNamespace(predictor=object())
+        fresh = object()
+        calls = []
+
+        def fake_retrain(predictor, traces, *, kinds, epochs, seed):
+            calls.append((predictor, traces, kinds, epochs, seed))
+            return fresh
+
+        monkeypatch.setattr("repro.models.retraining.retrain", fake_retrain)
+        callback = retrain_on_drift(
+            policy, ["corpus"],
+            kinds=(WorkloadKind.BEST_EFFORT,), epochs=3, seed=9,
+        )
+        return policy, fresh, calls, callback
+
+    def test_alarm_swaps_in_the_fresh_predictor(self, monkeypatch):
+        policy, fresh, calls, callback = self._policy_and_callback(monkeypatch)
+        stale = policy.predictor
+        callback(SimpleNamespace(stream="be"))
+        assert policy.predictor is fresh
+        assert calls == [
+            (stale, ["corpus"], (WorkloadKind.BEST_EFFORT,), 3, 9)
+        ]
+
+    def test_retrain_is_counted_and_traced_when_obs_enabled(self, monkeypatch):
+        _, _, _, callback = self._policy_and_callback(monkeypatch)
+        obs.enable()
+        try:
+            callback(SimpleNamespace(stream="lc"))
+            counter = obs.metrics().get("predictor_retrains_total")
+            assert counter.labels().snapshot() == 1.0
+            instants = [
+                e for e in obs.tracer().events if e["name"] == "drift_retrain"
+            ]
+            assert instants and instants[0]["args"]["stream"] == "lc"
+        finally:
+            obs.disable()
+
+    def test_works_silently_with_obs_disabled(self, monkeypatch):
+        policy, fresh, _, callback = self._policy_and_callback(monkeypatch)
+        callback(SimpleNamespace(stream="be"))
+        assert policy.predictor is fresh
 
 
 class TestEvaluateOnboarding:

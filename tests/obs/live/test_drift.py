@@ -1,0 +1,130 @@
+"""Drift detection: EWMA, Page–Hinkley and the multi-stream detector."""
+
+import pytest
+
+from repro import obs
+from repro.obs.live.drift import DriftDetector, Ewma, PageHinkley
+
+
+class TestEwma:
+    def test_first_sample_is_exact(self):
+        ewma = Ewma(alpha=0.2)
+        assert ewma.update(3.0) == 3.0
+
+    def test_moves_toward_new_values(self):
+        ewma = Ewma(alpha=0.5)
+        ewma.update(0.0)
+        assert ewma.update(4.0) == 2.0
+        assert ewma.update(4.0) == 3.0
+
+    def test_alpha_validation(self):
+        with pytest.raises(ValueError):
+            Ewma(alpha=0.0)
+        with pytest.raises(ValueError):
+            Ewma(alpha=1.5)
+
+
+class TestPageHinkley:
+    def test_constant_stream_never_alarms(self):
+        ph = PageHinkley(delta=0.1, threshold=8.0, min_samples=4)
+        assert not any(ph.update(5.0) for _ in range(500))
+
+    def test_mean_jump_alarms(self):
+        ph = PageHinkley(delta=0.05, threshold=2.0, min_samples=4)
+        for _ in range(50):
+            assert not ph.update(0.1)
+        fired_after = None
+        for i in range(20):
+            if ph.update(2.0):
+                fired_after = i + 1
+                break
+        assert fired_after is not None
+        assert fired_after <= 5  # detection within a handful of samples
+
+    def test_min_samples_gates_early_alarms(self):
+        ph = PageHinkley(delta=0.0, threshold=0.001, min_samples=10)
+        # Huge immediate excursion, but fewer than min_samples seen.
+        assert not ph.update(0.0)
+        assert not ph.update(100.0)
+
+    def test_score_normalizes_by_threshold(self):
+        ph = PageHinkley(delta=0.0, threshold=4.0, min_samples=1)
+        ph.update(0.0)
+        ph.update(2.0)
+        assert ph.score == pytest.approx(ph.statistic / 4.0)
+
+    def test_reset_clears_state(self):
+        ph = PageHinkley(min_samples=1)
+        for _ in range(5):
+            ph.update(3.0)
+        ph.reset()
+        assert ph.n == 0
+        assert ph.statistic == 0.0
+
+    def test_parameter_validation(self):
+        with pytest.raises(ValueError):
+            PageHinkley(delta=-0.1)
+        with pytest.raises(ValueError):
+            PageHinkley(threshold=0.0)
+        with pytest.raises(ValueError):
+            PageHinkley(min_samples=0)
+
+
+class TestDriftDetector:
+    def _drive_alarm(self, detector, stream="be"):
+        for i in range(30):
+            detector.observe(stream, 0.05, sim_time=float(i), clock=float(i))
+        alarm = None
+        for i in range(30, 60):
+            alarm = detector.observe(
+                stream, 3.0, sim_time=float(i), clock=float(i)
+            )
+            if alarm is not None:
+                break
+        return alarm
+
+    def test_alarm_fires_on_error_jump(self):
+        detector = DriftDetector(threshold=4.0, min_samples=4)
+        alarm = self._drive_alarm(detector)
+        assert alarm is not None
+        assert alarm.stream == "be"
+        assert alarm.score >= 1.0
+        assert detector.alarms == [alarm]
+
+    def test_on_alarm_callback_invoked(self):
+        seen = []
+        detector = DriftDetector(
+            threshold=4.0, min_samples=4, on_alarm=seen.append
+        )
+        alarm = self._drive_alarm(detector)
+        assert seen == [alarm]
+
+    def test_statistic_resets_after_alarm(self):
+        detector = DriftDetector(threshold=4.0, min_samples=4)
+        self._drive_alarm(detector)
+        assert detector.score("be") == 0.0
+
+    def test_streams_are_independent(self):
+        detector = DriftDetector(threshold=4.0, min_samples=4)
+        self._drive_alarm(detector, stream="lc")
+        assert detector.score("be") == 0.0
+        assert detector.snapshot()["lc"]["alarms"] == 1
+        assert "be" not in detector.snapshot()
+
+    def test_metrics_exported_when_enabled(self):
+        obs.enable()
+        detector = DriftDetector(threshold=4.0, min_samples=4)
+        self._drive_alarm(detector)
+        registry = obs.metrics()
+        counter = registry.get("predictor_drift_alarms_total")
+        assert counter is not None
+        assert counter.labels(stream="be").snapshot() == 1.0
+        assert registry.get("predictor_drift_score") is not None
+        assert registry.get("predictor_drift_ewma_abs_error") is not None
+
+    def test_alarm_to_dict_round_trips(self):
+        detector = DriftDetector(threshold=4.0, min_samples=4)
+        alarm = self._drive_alarm(detector)
+        as_dict = alarm.to_dict()
+        assert as_dict["stream"] == "be"
+        assert as_dict["n"] == alarm.n_observations

@@ -1,0 +1,118 @@
+"""SLO burn-rate engine: classification, windows, multi-window alerts."""
+
+import pytest
+
+from repro import obs
+from repro.obs.live.slo import SloEngine, peak_burn_rate
+
+
+class TestPeakBurnRate:
+    def test_all_good_is_zero(self):
+        events = [(float(t), False) for t in range(10)]
+        assert peak_burn_rate(events, window_s=5.0, objective=0.99) == 0.0
+
+    def test_all_bad_is_inverse_budget(self):
+        events = [(float(t), True) for t in range(10)]
+        # bad fraction 1.0 over an error budget of 0.01 -> burn 100.
+        assert peak_burn_rate(events, 5.0, objective=0.99) == pytest.approx(100.0)
+
+    def test_peak_is_worst_window_not_average(self):
+        # A burst of violations inside an otherwise clean stream.
+        events = [(float(t), 10 <= t < 13) for t in range(40)]
+        peak = peak_burn_rate(events, window_s=3.0, objective=0.9)
+        assert peak == pytest.approx(1.0 / 0.1)
+
+    def test_empty_stream_is_zero(self):
+        assert peak_burn_rate([], 5.0) == 0.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            peak_burn_rate([], 0.0)
+        with pytest.raises(ValueError):
+            peak_burn_rate([], 5.0, objective=1.0)
+
+
+class TestSloEngine:
+    def engine(self, **kwargs):
+        kwargs.setdefault("targets", {"redis": 2.0})
+        kwargs.setdefault("objective", 0.9)
+        kwargs.setdefault("windows", (10.0, 40.0))
+        kwargs.setdefault("alert_burn", 2.0)
+        kwargs.setdefault("min_events", 3)
+        return SloEngine(**kwargs)
+
+    def test_record_without_target_returns_none(self):
+        slo = self.engine()
+        assert slo.record("unknown-app", 99.0, clock=1.0) is None
+
+    def test_record_classifies_against_target(self):
+        slo = self.engine()
+        assert slo.record("redis", 1.5, clock=1.0) is False
+        assert slo.record("redis", 2.5, clock=2.0) is True
+
+    def test_violation_counter_increments_when_enabled(self):
+        obs.enable()
+        slo = self.engine()
+        slo.record("redis", 5.0, clock=1.0)
+        slo.record("redis", 5.0, clock=2.0)
+        counter = obs.metrics().get("slo_violations_total")
+        assert counter.labels(app="redis").snapshot() == 2.0
+
+    def test_burn_rates_per_window(self):
+        slo = self.engine()
+        # 2 bad of 4 inside 10 s; all 4 inside 40 s.
+        for clock, bad in ((1.0, True), (3.0, True), (5.0, False), (7.0, False)):
+            slo.record("redis", 5.0 if bad else 1.0, clock=clock)
+        rates = slo.burn_rates("redis", clock=8.0)
+        assert rates[10.0] == pytest.approx(0.5 / 0.1)
+        assert rates[40.0] == pytest.approx(0.5 / 0.1)
+
+    def test_alert_requires_every_window_burning(self):
+        slo = self.engine(windows=(5.0, 100.0), min_events=1)
+        # One old violation burns the long window but not the short one.
+        slo.record("redis", 5.0, clock=1.0)
+        assert slo.advance(clock=50.0) == []
+
+    def test_alert_fires_and_is_edge_triggered(self):
+        obs.enable()
+        slo = self.engine()
+        for clock in (1.0, 2.0, 3.0):
+            slo.record("redis", 5.0, clock=clock)
+        fired = slo.advance(clock=4.0)
+        assert [a["app"] for a in fired] == ["redis"]
+        # Still burning: no duplicate alert.
+        assert slo.advance(clock=5.0) == []
+        # Burn recovers (events age out of every window), then violates
+        # again -> re-alert.
+        assert slo.advance(clock=200.0) == []
+        for clock in (201.0, 202.0, 203.0):
+            slo.record("redis", 5.0, clock=clock)
+        assert [a["app"] for a in slo.advance(clock=204.0)] == ["redis"]
+        assert obs.metrics().get("slo_alerts_total").labels(
+            app="redis"
+        ).snapshot() == 2.0
+
+    def test_min_events_suppresses_sparse_alerts(self):
+        slo = self.engine(min_events=5)
+        for clock in (1.0, 2.0, 3.0):
+            slo.record("redis", 5.0, clock=clock)
+        assert slo.advance(clock=4.0) == []
+
+    def test_snapshot_shape(self):
+        slo = self.engine()
+        slo.record("redis", 5.0, clock=1.0)
+        snap = slo.snapshot(clock=2.0)
+        assert snap["redis"]["violations"] == 1
+        assert snap["redis"]["total"] == 1
+        assert snap["redis"]["alerting"] is False
+        assert set(snap["redis"]["burn"]) == {"10", "40"}
+
+    def test_target_validation(self):
+        with pytest.raises(ValueError, match="positive"):
+            SloEngine(targets={"redis": 0.0})
+        with pytest.raises(ValueError):
+            SloEngine(objective=1.0)
+        with pytest.raises(ValueError):
+            SloEngine(windows=())
+        with pytest.raises(ValueError):
+            SloEngine(alert_burn=0.0)

@@ -1,0 +1,107 @@
+"""StreamExporter: bounded buffering, whole-line flushes, atomicity."""
+
+import json
+import os
+
+import pytest
+
+from repro.obs.live.stream import StreamExporter
+
+
+class TestBuffering:
+    def test_emit_buffers_until_flush_every(self, tmp_path):
+        path = tmp_path / "s.jsonl"
+        exporter = StreamExporter(path, flush_every=4)
+        for i in range(3):
+            exporter.emit({"i": i})
+        assert exporter.pending == 3
+        assert path.read_text() == ""  # nothing flushed yet
+
+    def test_auto_flush_at_bound(self, tmp_path):
+        path = tmp_path / "s.jsonl"
+        exporter = StreamExporter(path, flush_every=4)
+        for i in range(4):
+            exporter.emit({"i": i})
+        assert exporter.pending == 0
+        lines = path.read_text().splitlines()
+        assert [json.loads(line)["i"] for line in lines] == [0, 1, 2, 3]
+
+    def test_emitted_counts_buffered_and_flushed(self, tmp_path):
+        exporter = StreamExporter(tmp_path / "s.jsonl", flush_every=2)
+        for i in range(5):
+            exporter.emit({"i": i})
+        assert exporter.emitted == 5
+
+    def test_flush_every_must_be_positive(self, tmp_path):
+        with pytest.raises(ValueError, match="flush_every"):
+            StreamExporter(tmp_path / "s.jsonl", flush_every=0)
+
+
+class TestCrashSafety:
+    def test_every_flushed_line_is_complete_json(self, tmp_path):
+        """A kill between flushes loses only the buffer, never tears a
+        line: whatever is on disk parses line by line."""
+        path = tmp_path / "s.jsonl"
+        exporter = StreamExporter(path, flush_every=3)
+        for i in range(8):  # two full flushes + 2 buffered
+            exporter.emit({"i": i, "payload": "x" * 100})
+        # Simulate the kill: drop the exporter without close/flush.
+        del exporter
+        lines = path.read_text().splitlines()
+        assert len(lines) == 6
+        for line in lines:
+            json.loads(line)  # must not raise
+
+    def test_append_reopens_existing_stream(self, tmp_path):
+        path = tmp_path / "s.jsonl"
+        first = StreamExporter(path, flush_every=1)
+        first.emit({"run": 1})
+        first.close()
+        second = StreamExporter(path, flush_every=1)
+        second.emit({"run": 2})
+        second.close()
+        runs = [json.loads(line)["run"] for line in path.read_text().splitlines()]
+        assert runs == [1, 2]
+
+
+class TestOpenMetricsSnapshot:
+    def test_snapshot_written_on_flush(self, tmp_path):
+        prom = tmp_path / "s.prom"
+        exporter = StreamExporter(
+            tmp_path / "s.jsonl",
+            flush_every=64,
+            openmetrics_path=prom,
+            openmetrics_source=lambda: "metric_a 1\n",
+        )
+        exporter.emit({"i": 0})
+        assert not prom.exists()
+        exporter.flush()
+        assert prom.read_text() == "metric_a 1\n"
+
+    def test_no_tmp_files_left_behind(self, tmp_path):
+        exporter = StreamExporter(
+            tmp_path / "s.jsonl",
+            openmetrics_path=tmp_path / "s.prom",
+            openmetrics_source=lambda: "x 1\n",
+        )
+        exporter.emit({"i": 0})
+        exporter.close()
+        leftovers = [p for p in os.listdir(tmp_path) if p.endswith(".tmp")]
+        assert leftovers == []
+
+
+class TestLifecycle:
+    def test_close_flushes_and_is_idempotent(self, tmp_path):
+        path = tmp_path / "s.jsonl"
+        exporter = StreamExporter(path, flush_every=64)
+        exporter.emit({"i": 0})
+        exporter.close()
+        exporter.close()
+        assert exporter.closed
+        assert json.loads(path.read_text()) == {"i": 0}
+
+    def test_emit_after_close_raises(self, tmp_path):
+        exporter = StreamExporter(tmp_path / "s.jsonl")
+        exporter.close()
+        with pytest.raises(ValueError, match="closed"):
+            exporter.emit({"i": 0})

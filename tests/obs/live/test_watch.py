@@ -1,0 +1,123 @@
+"""Dashboard rendering and the ``repro obs watch`` CLI path."""
+
+import io
+import json
+
+import pytest
+
+from repro import obs
+from repro.__main__ import main
+from repro.cluster.engine import ClusterEngine
+from repro.obs.live.watch import read_stream, render_frame, watch
+from repro.orchestrator.policies import RandomPolicy
+from repro.workloads.registry import be_profiles
+
+
+@pytest.fixture()
+def stream_path(tmp_path):
+    """A small recorded stream with ticks, decisions and an end record."""
+    live = obs.enable_live(tmp_path / "live", flush_every=1, profile=False)
+    for i in range(10):
+        live.drift.observe("be", 0.1 * i, clock=float(i))
+    engine = ClusterEngine()
+    policy = RandomPolicy(seed=4)
+    for profile in list(be_profiles().values())[:3]:
+        engine.deploy(profile, policy(profile, engine), duration_s=20.0)
+        engine.run_for(5.0)
+    engine.run_until_idle()
+    path = live.exporter.path
+    obs.disable()  # writes the end record
+    return path
+
+
+class TestReadStream:
+    def test_missing_file_raises(self, tmp_path):
+        with pytest.raises(FileNotFoundError):
+            read_stream(tmp_path / "nope.jsonl")
+
+    def test_torn_tail_is_skipped_not_fatal(self, stream_path):
+        with stream_path.open("a", encoding="utf-8") as handle:
+            handle.write('{"t": "tick", "n": 99')
+        records, skipped = read_stream(stream_path)
+        assert skipped == 1
+        assert all(r.get("n") != 99 for r in records)
+
+
+class TestRenderFrame:
+    def test_sections_present(self, stream_path):
+        records, _ = read_stream(stream_path)
+        frame = render_frame(records)
+        assert "Live observability" in frame
+        assert "status" in frame and "finished" in frame
+        assert "Decision mix" in frame
+        assert "random" in frame
+        assert "Link saturation regime" in frame
+        assert "Predictor drift" in frame
+
+    def test_no_ticks_yet(self):
+        assert "no tick records" in render_frame([{"t": "meta"}])
+
+    def test_running_status_without_end_record(self, stream_path):
+        records, _ = read_stream(stream_path)
+        alive = [r for r in records if r.get("t") != "end"]
+        assert "running" in render_frame(alive)
+
+    def test_torn_line_count_shown(self, stream_path):
+        records, _ = read_stream(stream_path)
+        assert "torn lines skipped" in render_frame(records, skipped=2)
+
+
+class TestWatch:
+    def test_once_renders_single_frame(self, stream_path):
+        out = io.StringIO()
+        assert watch(stream_path, once=True, out=out) == 0
+        assert "Live observability" in out.getvalue()
+
+    def test_loop_exits_on_end_record(self, stream_path):
+        out = io.StringIO()
+        assert watch(stream_path, interval=0.01, out=out) == 0
+
+    def test_max_frames_bounds_the_loop(self, tmp_path):
+        path = tmp_path / "s.jsonl"
+        path.write_text(json.dumps({"t": "tick", "n": 1, "clock": 1.0}) + "\n")
+        out = io.StringIO()
+        assert watch(path, interval=0.01, max_frames=2, out=out) == 0
+
+
+class TestCli:
+    def test_obs_watch_once(self, stream_path, capsys):
+        assert main(["obs", "watch", str(stream_path), "--once"]) == 0
+        assert "Live observability" in capsys.readouterr().out
+
+    def test_obs_watch_usage_error(self, capsys):
+        assert main(["obs", "watch"]) == 2
+        assert "usage" in capsys.readouterr().err
+
+    def test_obs_summarize_still_works(self, stream_path, capsys):
+        # `obs DIR` (no watch) keeps summarizing dumps.
+        obs.enable()
+        obs.dump(stream_path.parent)
+        obs.disable()
+        assert main(["obs", str(stream_path.parent)]) == 0
+        assert "Metrics" in capsys.readouterr().out
+
+    def test_obs_stream_requires_obs_out(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["run", "fig02", "--obs-stream"])
+        assert excinfo.value.code == 2
+        assert "--obs-out" in capsys.readouterr().err
+
+    def test_run_with_obs_stream_writes_stream(self, tmp_path, capsys):
+        out = tmp_path / "dump"
+        assert main(
+            ["run", "fig08", "--obs-out", str(out), "--obs-stream"]
+        ) == 0
+        stdout = capsys.readouterr().out
+        assert "stream.jsonl" in stdout
+        records, skipped = read_stream(out / "stream.jsonl")
+        assert skipped == 0
+        assert records[0]["t"] == "meta"
+        assert any(r["t"] == "tick" for r in records)
+        assert records[-1]["t"] == "end"
+        assert (out / "stream.prom").exists()
+        assert not obs.enabled()  # no leak into the process

@@ -111,6 +111,43 @@ class TestHistogramBuckets:
         with pytest.raises(ValueError):
             Histogram(buckets=())
 
+    def test_override_round_trips_through_json(self):
+        registry = MetricsRegistry()
+        registry.histogram(
+            "qos_p99_ms", "LC p99", buckets=(0.5, 2.0, 8.0)
+        ).observe(1.5)
+        parsed = json.loads(registry.to_json())
+        series = parsed["metrics"][0]["series"][0]
+        assert list(series["value"]["buckets"]) == ["0.5", "2.0", "8.0", "+Inf"]
+        assert series["value"]["buckets"]["2.0"] == 1
+
+    def test_override_round_trips_through_prometheus(self):
+        registry = MetricsRegistry()
+        registry.histogram(
+            "qos_p99_ms", "LC p99", buckets=(0.5, 2.0, 8.0)
+        ).observe(1.5)
+        text = registry.to_prometheus()
+        assert 'qos_p99_ms_bucket{le="0.5"} 0' in text
+        assert 'qos_p99_ms_bucket{le="2"} 1' in text
+        assert 'qos_p99_ms_bucket{le="+Inf"} 1' in text
+        # No default-bucket edges leak into the exposition.
+        assert 'le="30"' not in text
+
+    def test_conflicting_redeclaration_raises(self):
+        registry = MetricsRegistry()
+        family = registry.histogram("lat_seconds", buckets=(1.0, 2.0))
+        # Same buckets or unspecified buckets return the same family.
+        assert registry.histogram("lat_seconds", buckets=(1.0, 2.0)) is family
+        assert registry.histogram("lat_seconds") is family
+        with pytest.raises(ValueError, match="already declared"):
+            registry.histogram("lat_seconds", buckets=(1.0, 4.0))
+
+    def test_default_buckets_conflict_with_explicit_override(self):
+        registry = MetricsRegistry()
+        registry.histogram("tick_seconds")  # implicit DEFAULT_BUCKETS
+        with pytest.raises(ValueError, match="already declared"):
+            registry.histogram("tick_seconds", buckets=(1.0,))
+
 
 class TestExport:
     def _registry(self) -> MetricsRegistry:

@@ -1,6 +1,7 @@
 import json
 
 import numpy as np
+import pytest
 
 from repro import obs
 from repro.cluster.engine import ClusterEngine
@@ -75,6 +76,25 @@ class TestEngineInstrumentation:
 
 
 class TestDump:
+    def test_dump_is_atomic_under_write_failure(self, tmp_path, monkeypatch):
+        """An injected os.replace failure must leave the previous dump
+        intact and no temporary files behind."""
+        out = tmp_path / "out"
+        with obs.session():
+            run_scenario(ScenarioConfig(duration_s=60.0, seed=4))
+            obs.dump(out)
+            before = (out / "metrics.json").read_text()
+
+            def boom(src, dst):
+                raise OSError("disk full")
+
+            monkeypatch.setattr("repro.obs.fsio.os.replace", boom)
+            with pytest.raises(OSError, match="disk full"):
+                obs.dump(out)
+        assert (out / "metrics.json").read_text() == before
+        json.loads(before)  # still a complete, parseable artifact
+        assert not list(out.glob("*.tmp"))
+
     def test_dump_writes_all_artifacts(self, tmp_path):
         with obs.session():
             run_scenario(ScenarioConfig(duration_s=120.0, seed=4))

@@ -97,6 +97,46 @@ class TestChromeExport:
         assert len(tracer) == 0
 
 
+class TestEdgeCases:
+    def test_empty_tracer_exports_valid_trace(self):
+        parsed = json.loads(SpanTracer(clock=FakeClock()).to_json())
+        assert parsed["displayTimeUnit"] == "ms"
+        assert [e["ph"] for e in parsed["traceEvents"]] == ["M"]
+
+    def test_out_of_order_close_does_not_corrupt_the_trace(self):
+        # Spans entered manually can be exited in the wrong order (outer
+        # before inner); both must still be recorded as complete events.
+        clock = FakeClock()
+        tracer = SpanTracer(clock=clock)
+        outer = tracer.span("outer").__enter__()
+        clock.advance(1.0)
+        inner = tracer.span("inner").__enter__()
+        clock.advance(1.0)
+        outer.__exit__(None, None, None)
+        clock.advance(1.0)
+        inner.__exit__(None, None, None)
+        assert len(tracer.spans()) == 2
+        assert tracer.spans("outer")[0]["args"]["depth"] == 0
+        # Orphaned inner falls back to depth 0 rather than crashing.
+        assert tracer.spans("inner")[0]["args"]["depth"] == 0
+        json.loads(tracer.to_json())  # export still well-formed
+
+    def test_every_event_has_ph_ts_and_name(self):
+        clock = FakeClock()
+        tracer = SpanTracer(clock=clock)
+        with tracer.span("outer", sim_time=1.0):
+            clock.advance(0.5)
+            tracer.instant("marker")
+        parsed = json.loads(tracer.to_json())
+        for event in parsed["traceEvents"]:
+            assert isinstance(event["name"], str) and event["name"]
+            assert event["ph"] in {"M", "X", "i"}
+            assert isinstance(event["ts"], (int, float))
+            assert event["ts"] >= 0
+            if event["ph"] == "X":
+                assert event["dur"] >= 0
+
+
 class TestNullTracer:
     def test_null_span_supports_with_and_set(self):
         with NULL_TRACER.span("whatever", sim_time=1.0, x=2) as span:

@@ -7,6 +7,7 @@ from repro.orchestrator import (
     AllRemotePolicy,
     PolicyResult,
     RandomPolicy,
+    burn_rate_summary,
     compare_policies,
     qos_violations,
 )
@@ -94,3 +95,34 @@ class TestQosViolations:
     def test_invalid_qos(self, results):
         with pytest.raises(ValueError):
             qos_violations(results["random"], {"redis": 0.0})
+
+
+class TestBurnRateSummary:
+    def test_peaks_track_violation_density(self, results):
+        result = results["all-remote"]
+        # No violations -> zero burn in every window.
+        clean = burn_rate_summary(
+            result, {"redis": 1e9}, objective=0.9, windows=(60.0, 600.0)
+        )["redis"]
+        assert clean["violations"] == 0
+        assert set(clean["peak_burn"]) == {"60", "600"}
+        assert all(v == 0.0 for v in clean["peak_burn"].values())
+        # Every deployment violates -> burn saturates at 1 / error budget.
+        burnt = burn_rate_summary(
+            result, {"redis": 1e-9}, objective=0.9, windows=(60.0, 600.0)
+        )["redis"]
+        assert burnt["violations"] == burnt["total"] > 0
+        assert burnt["peak_burn"]["60"] == pytest.approx(1.0 / 0.1)
+
+    def test_matches_qos_violation_counts(self, results):
+        result = results["random"]
+        qos = {"redis": 2.0, "memcached": 2.0}
+        offline = qos_violations(result, qos)
+        burn = burn_rate_summary(result, qos)
+        for name in qos:
+            assert burn[name]["violations"] == offline[name]["violations"]
+            assert burn[name]["total"] == offline[name]["total"]
+
+    def test_invalid_qos(self, results):
+        with pytest.raises(ValueError):
+            burn_rate_summary(results["random"], {"redis": -1.0})
