@@ -8,6 +8,8 @@ Usage::
     python -m repro run all --scale quick      # everything (slow)
     python -m repro run fig16 --obs-out out/   # + observability dump
     python -m repro obs out/                   # summarize a dump
+    python -m repro faults sample --out plan.json   # seeded fault plan
+    python -m repro run fig16 --faults plan.json    # inject it
 
 Each experiment prints the same rows/series the paper reports.  The
 training-based experiments honour ``--scale`` (quick | default | paper).
@@ -39,6 +41,7 @@ from repro.experiments import (
     fig17_lc_orchestration,
     table1_system_state,
     traffic_reduction,
+    under_faults,
 )
 from repro.experiments.common import ExperimentScale, scale_from_env
 from repro.workloads import WorkloadKind
@@ -123,6 +126,10 @@ EXPERIMENTS: dict[str, tuple[str, Callable[[ExperimentScale], str]]] = {
               _scaled(fig17_lc_orchestration.run)),
     "traffic": ("Link data-traffic accounting (§VI-B)",
                 _scaled(traffic_reduction.run)),
+    "fig16-faults": ("BE orchestration under fault injection",
+                     _scaled(under_faults.run_fig16)),
+    "fig17-faults": ("LC QoS retention under fault injection",
+                     _scaled(under_faults.run_fig17)),
     "ablation-window": (
         "History-window ablation",
         _ablation(ablations.window_ablation, ["history s", "avg R2"],
@@ -160,6 +167,11 @@ def main(argv: list[str] | None = None) -> int:
              "(default: $ADRIAS_SCALE or quick)",
     )
     run.add_argument(
+        "--faults", metavar="PLAN.json", default=None,
+        help="inject faults: run every scheduled scenario under the "
+             "FaultPlan loaded from PLAN.json (see 'repro faults sample')",
+    )
+    run.add_argument(
         "--obs-out", metavar="DIR", default=None,
         help="enable observability and dump metrics.json/metrics.prom/"
              "trace.json/decisions.jsonl to DIR after the run",
@@ -168,6 +180,28 @@ def main(argv: list[str] | None = None) -> int:
         "--obs-stream", action="store_true",
         help="also stream per-tick telemetry to DIR/stream.jsonl and "
              "DIR/stream.prom while the run executes (requires --obs-out)",
+    )
+    faults_cmd = sub.add_parser(
+        "faults", help="validate or generate fault-injection plans"
+    )
+    faults_sub = faults_cmd.add_subparsers(dest="faults_command", required=True)
+    validate = faults_sub.add_parser(
+        "validate", help="check a plan file and print its schedule"
+    )
+    validate.add_argument("plan", help="path to a FaultPlan JSON file")
+    sample = faults_sub.add_parser(
+        "sample", help="emit a representative seeded plan"
+    )
+    sample.add_argument(
+        "--seed", type=int, default=0, help="derivation seed (default: 0)"
+    )
+    sample.add_argument(
+        "--duration", type=float, default=900.0,
+        help="scenario runway in simulated seconds (default: 900)",
+    )
+    sample.add_argument(
+        "--out", metavar="PLAN.json", default=None,
+        help="write the plan here instead of stdout",
     )
     obs_cmd = sub.add_parser(
         "obs", help="summarize an observability dump, or watch a stream"
@@ -191,6 +225,39 @@ def main(argv: list[str] | None = None) -> int:
         width = max(len(k) for k in EXPERIMENTS)
         for key, (description, _) in EXPERIMENTS.items():
             print(f"{key.ljust(width)}  {description}")
+        return 0
+
+    if args.command == "faults":
+        from repro.faults.errors import FaultPlanError
+        from repro.faults.plan import FaultPlan
+
+        if args.faults_command == "sample":
+            try:
+                plan = FaultPlan.sample(seed=args.seed, duration_s=args.duration)
+            except FaultPlanError as error:
+                print(str(error), file=sys.stderr)
+                return 2
+            if args.out is not None:
+                plan.to_file(args.out)
+                print(f"wrote {args.out}: {len(plan)} fault windows, "
+                      f"horizon {plan.horizon_s:.0f}s")
+            else:
+                print(plan.to_json(), end="")
+            return 0
+        try:
+            plan = FaultPlan.from_file(args.plan)
+        except FileNotFoundError:
+            print(f"no such plan file: {args.plan}", file=sys.stderr)
+            return 2
+        except FaultPlanError as error:
+            print(f"invalid plan: {error}", file=sys.stderr)
+            return 2
+        print(f"{args.plan}: valid (seed={plan.seed}, "
+              f"{len(plan)} windows, horizon {plan.horizon_s:.0f}s)")
+        for spec in plan.faults:
+            params = ", ".join(f"{k}={v}" for k, v in sorted(spec.params.items()))
+            print(f"  {spec.start_s:8.1f}s +{spec.duration_s:6.1f}s  "
+                  f"{spec.kind}  {params}")
         return 0
 
     if args.command == "obs":
@@ -228,24 +295,45 @@ def main(argv: list[str] | None = None) -> int:
 
     if args.obs_stream and args.obs_out is None:
         parser.error("--obs-stream requires --obs-out DIR")
+
+    fault_plan = None
+    if args.faults is not None:
+        from repro.faults.errors import FaultPlanError
+        from repro.faults.plan import FaultPlan
+
+        try:
+            fault_plan = FaultPlan.from_file(args.faults)
+        except (FileNotFoundError, FaultPlanError) as error:
+            print(f"--faults: {error}", file=sys.stderr)
+            return 2
+
     if args.obs_out is not None:
         if args.obs_stream:
             obs.enable_live(args.obs_out)
         else:
             obs.enable()
-    try:
-        for target in targets:
-            description, runner = EXPERIMENTS[target]
-            print(f"== {target}: {description} (scale={scale.name}) ==")
-            print(runner(scale))
-            print()
-    finally:
-        if args.obs_out is not None:
-            paths = obs.dump(args.obs_out)
-            obs.disable()
-            print("observability artifacts:")
-            for name in sorted(paths):
-                print(f"  {paths[name]}")
+    import contextlib
+
+    with contextlib.ExitStack() as stack:
+        if fault_plan is not None:
+            from repro.faults.runtime import active_plan
+
+            stack.enter_context(active_plan(fault_plan))
+            print(f"fault injection: {args.faults} "
+                  f"(seed={fault_plan.seed}, {len(fault_plan)} windows)")
+        try:
+            for target in targets:
+                description, runner = EXPERIMENTS[target]
+                print(f"== {target}: {description} (scale={scale.name}) ==")
+                print(runner(scale))
+                print()
+        finally:
+            if args.obs_out is not None:
+                paths = obs.dump(args.obs_out)
+                obs.disable()
+                print("observability artifacts:")
+                for name in sorted(paths):
+                    print(f"  {paths[name]}")
     return 0
 
 

@@ -40,6 +40,9 @@ class Deployment:
     arrival_time: float
     #: Wall-clock duration override for interference workloads.
     duration_s: float | None = None
+    #: Time of the placement decision when it precedes the deployment —
+    #: outage-parked workloads retry later, but audit joins key on this.
+    decided_s: float | None = None
     state: DeploymentState = DeploymentState.RUNNING
     finish_time: float | None = None
     progress_s: float = 0.0
@@ -156,6 +159,7 @@ class Deployment:
             p999_ms=p999,
             mean_slowdown=self.mean_slowdown,
             link_traffic_gb=self.link_traffic_gb,
+            decided_s=self.decided_s,
         )
 
 
@@ -174,6 +178,7 @@ class DeploymentRecord:
     p999_ms: float
     mean_slowdown: float
     link_traffic_gb: float
+    decided_s: float | None = None
 
     @property
     def performance(self) -> float:

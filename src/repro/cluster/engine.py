@@ -22,11 +22,21 @@ from repro.cluster.trace import Trace
 from repro.hardware.testbed import SystemPressure, Testbed
 from repro.workloads.base import MemoryMode, WorkloadProfile
 
-__all__ = ["ClusterEngine", "CapacityError"]
+__all__ = ["ClusterEngine", "CapacityError", "RemoteUnavailableError"]
 
 
 class CapacityError(RuntimeError):
     """A deployment does not fit in the requested memory pool."""
+
+
+class RemoteUnavailableError(CapacityError):
+    """The remote pool is unreachable (link outage); retry or re-route."""
+
+
+#: Retry-queue backoff parameters: first retry after one tick, doubling
+#: up to the cap, dropped after the attempt limit.
+_RETRY_BACKOFF_CAP_S = 64.0
+_RETRY_MAX_ATTEMPTS = 8
 
 
 class ClusterEngine:
@@ -48,6 +58,14 @@ class ClusterEngine:
         #: Hook invoked with each finished deployment's record.
         self.on_finish: Callable | None = None
         self._tick_hooks: list[Callable[["ClusterEngine"], None]] = []
+        #: While True (a fault injector flags a link outage) new remote
+        #: placements raise :class:`RemoteUnavailableError` instead of
+        #: being placed onto an unreachable pool.
+        self.remote_blocked = False
+        #: Deployments waiting out a remote outage: dicts with profile,
+        #: duration_s, next_attempt_s, backoff_s and attempts, retried
+        #: with exponential backoff at the start of each tick.
+        self._retry_queue: list[dict] = []
         # Stream this engine when a live observability session is active
         # (obs.live_session() is None on the disabled path — one read, no hooks).
         live = obs.live_session()
@@ -93,8 +111,19 @@ class ClusterEngine:
         profile: WorkloadProfile,
         mode: MemoryMode,
         duration_s: float | None = None,
+        decided_s: float | None = None,
     ) -> Deployment:
-        """Place a workload; raises :class:`CapacityError` if it cannot fit."""
+        """Place a workload; raises :class:`CapacityError` if it cannot fit.
+
+        While the remote pool is blocked by a link outage, remote
+        placements raise :class:`RemoteUnavailableError` (a
+        :class:`CapacityError`) — callers either fall back to local or
+        park the workload via :meth:`queue_remote`.
+        """
+        if mode is MemoryMode.REMOTE and self.remote_blocked:
+            raise RemoteUnavailableError(
+                f"{profile.name}: remote pool unavailable (link outage)"
+            )
         if not self.fits(profile, mode):
             raise CapacityError(
                 f"{profile.name} ({profile.footprint_gb} GB) does not fit in "
@@ -106,10 +135,76 @@ class ClusterEngine:
             mode=mode,
             arrival_time=self.now,
             duration_s=duration_s,
+            decided_s=decided_s,
         )
         self._next_app_id += 1
         self.deployments.append(deployment)
         return deployment
+
+    # -- outage retry queue --------------------------------------------------
+    def queue_remote(
+        self, profile: WorkloadProfile, duration_s: float | None = None
+    ) -> None:
+        """Park a remote deployment until the link outage clears.
+
+        The entry is retried at the start of each tick once its backoff
+        expires; backoff doubles per failed attempt (capped) and the
+        entry is dropped after the attempt limit.
+        """
+        self._retry_queue.append(
+            {
+                "profile": profile,
+                "duration_s": duration_s,
+                "decided_s": self.now,
+                "next_attempt_s": self.now + self.dt,
+                "backoff_s": self.dt,
+                "attempts": 0,
+            }
+        )
+        if obs.enabled():
+            obs.metrics().counter(
+                "engine_remote_queued_total",
+                "Remote deployments parked during link outages",
+            ).inc()
+
+    @property
+    def queued_remote(self) -> int:
+        """Deployments currently parked in the outage retry queue."""
+        return len(self._retry_queue)
+
+    def _drain_retry_queue(self) -> None:
+        keep: list[dict] = []
+        for entry in self._retry_queue:
+            if entry["next_attempt_s"] > self.now + 1e-9:
+                keep.append(entry)
+                continue
+            try:
+                self.deploy(
+                    entry["profile"], MemoryMode.REMOTE,
+                    duration_s=entry["duration_s"],
+                    decided_s=entry.get("decided_s"),
+                )
+            except CapacityError:
+                entry["attempts"] += 1
+                if entry["attempts"] >= _RETRY_MAX_ATTEMPTS:
+                    if obs.enabled():
+                        obs.metrics().counter(
+                            "engine_remote_retries_dropped_total",
+                            "Parked deployments dropped after the retry limit",
+                        ).inc()
+                    continue
+                entry["backoff_s"] = min(
+                    entry["backoff_s"] * 2.0, _RETRY_BACKOFF_CAP_S
+                )
+                entry["next_attempt_s"] = self.now + entry["backoff_s"]
+                keep.append(entry)
+            else:
+                if obs.enabled():
+                    obs.metrics().counter(
+                        "engine_remote_retries_succeeded_total",
+                        "Parked deployments placed after an outage cleared",
+                    ).inc()
+        self._retry_queue = keep
 
     # -- simulation ---------------------------------------------------------
     def current_pressure(self) -> SystemPressure:
@@ -132,6 +227,9 @@ class ClusterEngine:
     def tick(self) -> SystemPressure:
         """Advance the simulation by one step."""
         start = obs.wall_time()
+        if self._retry_queue:
+            # Retried placements contribute demand from this tick on.
+            self._drain_retry_queue()
         pressure = self.current_pressure()
         self.now += self.dt
         finished = 0
@@ -183,15 +281,15 @@ class ClusterEngine:
             self.tick()
 
     def run_until_idle(self, max_seconds: float = 86400.0) -> None:
-        """Run until every deployment has finished (drain phase)."""
+        """Run until every deployment (and the retry queue) has drained."""
         waited = 0.0
-        while self.running and waited < max_seconds:
+        while (self.running or self._retry_queue) and waited < max_seconds:
             self.tick()
             waited += self.dt
-        if self.running:
+        if self.running or self._retry_queue:
             raise RuntimeError(
-                f"{len(self.running)} deployments still running after "
-                f"{max_seconds} s drain"
+                f"{len(self.running)} deployments still running and "
+                f"{len(self._retry_queue)} queued after {max_seconds} s drain"
             )
 
     # -- measurement helpers -------------------------------------------------

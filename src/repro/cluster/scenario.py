@@ -16,7 +16,11 @@ from typing import Callable, Sequence
 import numpy as np
 
 from repro import obs
-from repro.cluster.engine import CapacityError, ClusterEngine
+from repro.cluster.engine import (
+    CapacityError,
+    ClusterEngine,
+    RemoteUnavailableError,
+)
 from repro.cluster.trace import Trace
 from repro.hardware.config import TestbedConfig
 from repro.hardware.testbed import Testbed
@@ -114,12 +118,29 @@ def generate_arrivals(
     return arrivals
 
 
+def _place(engine: ClusterEngine, arrival: Arrival, mode: MemoryMode) -> bool:
+    """Try one placement; park remote arrivals blocked by an outage.
+
+    Returns ``True`` when the arrival was either deployed or queued for
+    retry, ``False`` when the pool is genuinely full.
+    """
+    try:
+        engine.deploy(arrival.profile, mode, duration_s=arrival.duration_s)
+    except RemoteUnavailableError:
+        engine.queue_remote(arrival.profile, duration_s=arrival.duration_s)
+    except CapacityError:
+        return False
+    return True
+
+
 def run_scenario(
     config: ScenarioConfig,
     scheduler: Scheduler | None = None,
     pool: Sequence[WorkloadProfile] | None = None,
     testbed_config: TestbedConfig | None = None,
     engine: ClusterEngine | None = None,
+    checkpoint_path=None,
+    checkpoint_every_s: float | None = None,
 ) -> Trace:
     """Simulate one scenario end to end and return its trace.
 
@@ -129,6 +150,19 @@ def run_scenario(
     Deployments that do not fit the chosen pool fall back to the other
     pool; if neither fits the arrival is dropped (real orchestrators
     would queue, but the paper's scenarios never exhaust 1.2 TB).
+    Remote arrivals that hit a link outage *are* queued (with
+    exponential-backoff retry inside the engine) because the outage is
+    transient, unlike capacity exhaustion.
+
+    When a fault plan is armed (``repro.faults.runtime.activate``) and
+    ``scheduler`` is not ``None``, a fresh
+    :class:`~repro.faults.injector.FaultInjector` drives the plan
+    against this engine for the duration of the replay.  Injection is
+    deliberately scoped to policy-driven replays so offline trace
+    collection (``scheduler=None``) stays pristine.
+
+    ``checkpoint_path`` + ``checkpoint_every_s`` write a crash-safe
+    resume point at arrival boundaries (see ``repro.faults.checkpoint``).
     """
     if engine is None:
         testbed = Testbed(testbed_config) if testbed_config else Testbed(
@@ -137,36 +171,86 @@ def run_scenario(
         engine = ClusterEngine(testbed=testbed)
     arrivals = generate_arrivals(config, pool=pool, random_modes=scheduler is None)
 
-    with obs.tracer().span(
-        "scenario",
-        seed=config.seed,
-        duration_s=config.duration_s,
-        arrivals=len(arrivals),
-        scheduler=getattr(scheduler, "name", None)
-        or (scheduler.__class__.__name__ if scheduler is not None else "random"),
-    ):
-        for arrival in arrivals:
-            # Advance the clock to the arrival instant.
-            gap = arrival.time - engine.now
-            if gap > 0:
-                engine.run_for(gap)
-            if scheduler is not None:
-                mode = scheduler(arrival.profile, engine)
-            else:
-                mode = arrival.mode if arrival.mode is not None else MemoryMode.LOCAL
-            try:
-                engine.deploy(arrival.profile, mode, duration_s=arrival.duration_s)
-            except CapacityError:
-                try:
-                    engine.deploy(
-                        arrival.profile, mode.other, duration_s=arrival.duration_s
-                    )
-                except CapacityError:
-                    continue  # drop: both pools exhausted
+    injector = None
+    if scheduler is not None:
+        from repro.faults import runtime as faults_runtime
 
-        remaining = config.duration_s - engine.now
-        if remaining > 0:
-            engine.run_for(remaining)
-        if config.drain:
-            engine.run_until_idle()
+        plan = faults_runtime.current_plan()
+        if plan is not None:
+            from repro.faults.injector import FaultInjector
+
+            injector = FaultInjector(plan, scenario_seed=config.seed)
+            injector.attach(
+                engine, predictor=getattr(scheduler, "predictor", None)
+            )
+    return _replay(
+        config,
+        scheduler,
+        engine,
+        arrivals,
+        start_index=0,
+        injector=injector,
+        checkpoint_path=checkpoint_path,
+        checkpoint_every_s=checkpoint_every_s,
+    )
+
+
+def _replay(
+    config: ScenarioConfig,
+    scheduler: Scheduler | None,
+    engine: ClusterEngine,
+    arrivals: list[Arrival],
+    start_index: int = 0,
+    injector=None,
+    checkpoint_path=None,
+    checkpoint_every_s: float | None = None,
+) -> Trace:
+    """Drive ``arrivals[start_index:]`` through the engine (resumable)."""
+    try:
+        with obs.tracer().span(
+            "scenario",
+            seed=config.seed,
+            duration_s=config.duration_s,
+            arrivals=len(arrivals),
+            scheduler=getattr(scheduler, "name", None)
+            or (scheduler.__class__.__name__ if scheduler is not None else "random"),
+        ):
+            last_checkpoint_s = engine.now
+            for index in range(start_index, len(arrivals)):
+                arrival = arrivals[index]
+                # Advance the clock to the arrival instant.
+                gap = arrival.time - engine.now
+                if gap > 0:
+                    engine.run_for(gap)
+                if (
+                    checkpoint_path is not None
+                    and checkpoint_every_s is not None
+                    and engine.now - last_checkpoint_s >= checkpoint_every_s
+                ):
+                    from repro.faults.checkpoint import save_checkpoint
+
+                    save_checkpoint(
+                        checkpoint_path,
+                        config=config,
+                        engine=engine,
+                        arrivals_done=index,
+                        injector=injector,
+                        policy=scheduler,
+                    )
+                    last_checkpoint_s = engine.now
+                if scheduler is not None:
+                    mode = scheduler(arrival.profile, engine)
+                else:
+                    mode = arrival.mode if arrival.mode is not None else MemoryMode.LOCAL
+                if not _place(engine, arrival, mode):
+                    _place(engine, arrival, mode.other)  # drop if both full
+
+            remaining = config.duration_s - engine.now
+            if remaining > 0:
+                engine.run_for(remaining)
+            if config.drain:
+                engine.run_until_idle()
+    finally:
+        if injector is not None:
+            injector.detach()
     return engine.trace

@@ -1,0 +1,303 @@
+"""Crash-safe checkpoint/resume for scenario replays.
+
+A checkpoint captures everything a resumed process needs to reproduce
+the remainder of a replay *bit-identically*: the engine (clock,
+deployments, trace, outage retry queue, counter-noise RNG), the fault
+injector (plan + RNG + open windows) and the policy (circuit breaker,
+RNG, captured signatures).  Arrivals are NOT stored — they are
+regenerated from the scenario config's seed, and only the index of the
+next arrival is recorded.
+
+Checkpoints are JSON written through
+:func:`repro.obs.fsio.atomic_write_text`, so a crash mid-write leaves
+the previous checkpoint intact.  Floats survive exactly (``repr``-based
+JSON round-trips IEEE doubles, including the NaNs that telemetry faults
+plant in counter rows).
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import numpy as np
+
+from repro.cluster.deployment import Deployment, DeploymentRecord, DeploymentState
+from repro.cluster.engine import ClusterEngine
+from repro.cluster.scenario import (
+    ScenarioConfig,
+    _replay,
+    default_pool,
+    generate_arrivals,
+)
+from repro.faults.errors import CheckpointError
+from repro.hardware.config import TestbedConfig
+from repro.hardware.testbed import Testbed
+from repro.obs.fsio import atomic_write_text
+from repro.workloads.base import MemoryMode, WorkloadKind
+
+__all__ = ["save_checkpoint", "load_checkpoint", "resume_scenario"]
+
+CHECKPOINT_VERSION = 1
+
+
+# -- serialization helpers ----------------------------------------------------
+def _scenario_to_dict(config: ScenarioConfig) -> dict:
+    return {
+        "duration_s": config.duration_s,
+        "spawn_interval": list(config.spawn_interval),
+        "seed": config.seed,
+        "interference_duration": list(config.interference_duration),
+        "drain": config.drain,
+    }
+
+
+def _scenario_from_dict(data: dict) -> ScenarioConfig:
+    return ScenarioConfig(
+        duration_s=data["duration_s"],
+        spawn_interval=tuple(data["spawn_interval"]),
+        seed=data["seed"],
+        interference_duration=tuple(data["interference_duration"]),
+        drain=data["drain"],
+    )
+
+
+def _deployment_to_dict(d: Deployment) -> dict:
+    return {
+        "app_id": d.app_id,
+        "profile": d.profile.name,
+        "mode": d.mode.value,
+        "arrival_time": d.arrival_time,
+        "duration_s": d.duration_s,
+        "decided_s": d.decided_s,
+        "state": d.state.value,
+        "finish_time": d.finish_time,
+        "progress_s": d.progress_s,
+        "served_ops": d.served_ops,
+        "slowdown_sum": d._slowdown_sum,
+        "slowdown_ticks": d._slowdown_ticks,
+        "p99_samples": list(d.p99_samples),
+        "p999_samples": list(d.p999_samples),
+        "link_traffic_gb": d.link_traffic_gb,
+    }
+
+
+def _deployment_from_dict(data: dict, profiles: dict) -> Deployment:
+    try:
+        profile = profiles[data["profile"]]
+    except KeyError:
+        raise CheckpointError(
+            f"checkpoint references unknown workload {data['profile']!r}; "
+            "resume with the pool the original run used"
+        ) from None
+    deployment = Deployment(
+        app_id=data["app_id"],
+        profile=profile,
+        mode=MemoryMode(data["mode"]),
+        arrival_time=data["arrival_time"],
+        duration_s=data["duration_s"],
+        decided_s=data.get("decided_s"),
+    )
+    deployment.state = DeploymentState(data["state"])
+    deployment.finish_time = data["finish_time"]
+    deployment.progress_s = data["progress_s"]
+    deployment.served_ops = data["served_ops"]
+    deployment._slowdown_sum = data["slowdown_sum"]
+    deployment._slowdown_ticks = data["slowdown_ticks"]
+    deployment.p99_samples = list(data["p99_samples"])
+    deployment.p999_samples = list(data["p999_samples"])
+    deployment.link_traffic_gb = data["link_traffic_gb"]
+    return deployment
+
+
+def _record_to_dict(r: DeploymentRecord) -> dict:
+    return {
+        "app_id": r.app_id,
+        "name": r.name,
+        "kind": r.kind.value,
+        "mode": r.mode.value,
+        "arrival_time": r.arrival_time,
+        "finish_time": r.finish_time,
+        "runtime_s": r.runtime_s,
+        "p99_ms": r.p99_ms,
+        "p999_ms": r.p999_ms,
+        "mean_slowdown": r.mean_slowdown,
+        "link_traffic_gb": r.link_traffic_gb,
+        "decided_s": r.decided_s,
+    }
+
+
+def _record_from_dict(data: dict) -> DeploymentRecord:
+    return DeploymentRecord(
+        app_id=data["app_id"],
+        name=data["name"],
+        kind=WorkloadKind(data["kind"]),
+        mode=MemoryMode(data["mode"]),
+        arrival_time=data["arrival_time"],
+        finish_time=data["finish_time"],
+        runtime_s=data["runtime_s"],
+        p99_ms=data["p99_ms"],
+        p999_ms=data["p999_ms"],
+        mean_slowdown=data["mean_slowdown"],
+        link_traffic_gb=data["link_traffic_gb"],
+        decided_s=data.get("decided_s"),
+    )
+
+
+def _engine_to_dict(engine: ClusterEngine) -> dict:
+    return {
+        "now": engine.now,
+        "dt": engine.dt,
+        "next_app_id": engine._next_app_id,
+        "remote_blocked": engine.remote_blocked,
+        "retry_queue": [
+            {**entry, "profile": entry["profile"].name}
+            for entry in engine._retry_queue
+        ],
+        "counter_rng": engine.testbed.counters._rng.bit_generator.state,
+        "deployments": [_deployment_to_dict(d) for d in engine.deployments],
+        "trace": {
+            "times": list(engine.trace.times),
+            "rows": [row.tolist() for row in engine.trace._counter_rows],
+            "concurrency": list(engine.trace.concurrency),
+            "records": [_record_to_dict(r) for r in engine.trace.records],
+        },
+    }
+
+
+def _engine_from_dict(
+    data: dict, testbed_config: TestbedConfig, profiles: dict
+) -> ClusterEngine:
+    engine = ClusterEngine(testbed=Testbed(testbed_config), dt=data["dt"])
+    engine.now = data["now"]
+    engine._next_app_id = data["next_app_id"]
+    engine.remote_blocked = data["remote_blocked"]
+    for entry in data["retry_queue"]:
+        name = entry["profile"]
+        if name not in profiles:
+            raise CheckpointError(
+                f"retry queue references unknown workload {name!r}"
+            )
+        engine._retry_queue.append({**entry, "profile": profiles[name]})
+    engine.testbed.counters._rng.bit_generator.state = data["counter_rng"]
+    engine.deployments = [
+        _deployment_from_dict(d, profiles) for d in data["deployments"]
+    ]
+    trace = data["trace"]
+    engine.trace.times = list(trace["times"])
+    engine.trace._counter_rows = [
+        np.asarray(row, dtype=np.float64) for row in trace["rows"]
+    ]
+    engine.trace.concurrency = list(trace["concurrency"])
+    engine.trace.records = [_record_from_dict(r) for r in trace["records"]]
+    return engine
+
+
+# -- public API ---------------------------------------------------------------
+def save_checkpoint(
+    path,
+    *,
+    config: ScenarioConfig,
+    engine: ClusterEngine,
+    arrivals_done: int,
+    injector=None,
+    policy=None,
+) -> Path:
+    """Atomically write a resume point covering engine, injector, policy.
+
+    ``arrivals_done`` is the index of the next arrival to process; the
+    arrival list itself is regenerated from ``config`` on resume.
+    """
+    policy_state = None
+    if policy is not None and hasattr(policy, "state_dict"):
+        policy_state = policy.state_dict()
+    payload = {
+        "version": CHECKPOINT_VERSION,
+        "scenario": _scenario_to_dict(config),
+        "arrivals_done": arrivals_done,
+        "engine": _engine_to_dict(engine),
+        "injector": injector.state_dict() if injector is not None else None,
+        "policy": policy_state,
+    }
+    return atomic_write_text(path, json.dumps(payload) + "\n")
+
+
+def load_checkpoint(path) -> dict:
+    """Read and structurally validate a checkpoint file."""
+    path = Path(path)
+    if not path.exists():
+        raise CheckpointError(f"no checkpoint at {path}")
+    try:
+        data = json.loads(path.read_text(encoding="utf-8"))
+    except json.JSONDecodeError as error:
+        raise CheckpointError(f"corrupt checkpoint {path}: {error}") from None
+    if not isinstance(data, dict) or data.get("version") != CHECKPOINT_VERSION:
+        raise CheckpointError(
+            f"unsupported checkpoint version {data.get('version')!r} "
+            f"(expected {CHECKPOINT_VERSION})"
+        )
+    missing = {"scenario", "arrivals_done", "engine"} - set(data)
+    if missing:
+        raise CheckpointError(f"checkpoint missing fields {sorted(missing)}")
+    return data
+
+
+def resume_scenario(
+    path,
+    scheduler=None,
+    pool=None,
+    testbed_config: TestbedConfig | None = None,
+    checkpoint_path=None,
+    checkpoint_every_s: float | None = None,
+):
+    """Resume a replay from a checkpoint; returns the completed trace.
+
+    The caller supplies the same ``scheduler`` (policy object) and
+    ``pool`` the original run used; the policy's saved state (breaker,
+    RNG, captured signatures) is restored via ``load_state_dict`` when
+    the policy exposes one.  The resumed run's final trace is
+    bit-identical to the uninterrupted run's.
+    """
+    data = load_checkpoint(path)
+    config = _scenario_from_dict(data["scenario"])
+    workload_pool = list(pool) if pool is not None else default_pool()
+    profiles = {p.name: p for p in workload_pool}
+    if testbed_config is None:
+        testbed_config = TestbedConfig(seed=config.seed)
+    engine = _engine_from_dict(data["engine"], testbed_config, profiles)
+
+    injector = None
+    if data.get("injector") is not None:
+        from repro.faults.injector import FaultInjector
+        from repro.faults.plan import FaultPlan
+
+        saved = data["injector"]
+        injector = FaultInjector(
+            FaultPlan.from_dict(saved["plan"]),
+            scenario_seed=saved["scenario_seed"],
+        )
+        injector.attach(
+            engine, predictor=getattr(scheduler, "predictor", None)
+        )
+        injector.load_state_dict(saved)
+
+    if (
+        scheduler is not None
+        and data.get("policy") is not None
+        and hasattr(scheduler, "load_state_dict")
+    ):
+        scheduler.load_state_dict(data["policy"])
+
+    arrivals = generate_arrivals(
+        config, pool=pool, random_modes=scheduler is None
+    )
+    return _replay(
+        config,
+        scheduler,
+        engine,
+        arrivals,
+        start_index=data["arrivals_done"],
+        injector=injector,
+        checkpoint_path=checkpoint_path,
+        checkpoint_every_s=checkpoint_every_s,
+    )

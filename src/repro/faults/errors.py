@@ -1,0 +1,45 @@
+"""Exception taxonomy of the fault-injection subsystem.
+
+The degradation contract between the Predictor and the policies is
+expressed through :class:`InferenceFault`: any inference-path failure —
+injected or organic — surfaces as a subclass, which the AdriasPolicy
+catches, counts against its circuit breaker and converts into a
+fallback decision instead of crashing the replay.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "FaultPlanError",
+    "InferenceFault",
+    "InferenceTimeout",
+    "CorruptPrediction",
+    "CheckpointError",
+]
+
+
+class FaultPlanError(ValueError):
+    """A fault plan failed validation (unknown kind, bad parameters)."""
+
+
+class InferenceFault(RuntimeError):
+    """Base class for recoverable Predictor inference failures."""
+
+
+class InferenceTimeout(InferenceFault):
+    """An inference call exceeded the caller's decision deadline."""
+
+    def __init__(self, latency_s: float, deadline_s: float) -> None:
+        super().__init__(
+            f"inference took {latency_s:.3f}s > deadline {deadline_s:.3f}s"
+        )
+        self.latency_s = latency_s
+        self.deadline_s = deadline_s
+
+
+class CorruptPrediction(InferenceFault):
+    """The Predictor produced non-finite (NaN/inf) estimates."""
+
+
+class CheckpointError(RuntimeError):
+    """A checkpoint file is unreadable or inconsistent with the run."""

@@ -1,0 +1,330 @@
+"""Fault plans: declarative, seeded, JSON-serializable fault schedules.
+
+A :class:`FaultPlan` is a validated list of :class:`FaultSpec` windows on
+the *simulated* clock of one scenario engine (every engine starts at
+t = 0, so a plan applies identically to each scenario replay of an
+evaluation — the policies face the same degraded conditions on the same
+schedule).  Plans serialize to plain JSON so they can be versioned next
+to experiment outputs, and :meth:`FaultPlan.sample` derives a
+representative plan deterministically from an experiment seed, keeping
+faulted runs bit-reproducible end to end.
+
+Fault kinds
+-----------
+
+``link_degrade``
+    Remote-link throughput cap scaled by ``capacity_factor`` ∈ (0, 1]
+    and channel latency stretched by ``latency_factor`` ≥ 1.
+``link_outage``
+    Full link flap: the channel delivers only the FPGA back-pressure
+    drain trickle (see ``LinkConfig.outage_drain_fraction``) and new
+    remote deployments are blocked (the engine re-queues them).
+``telemetry_dropout``
+    The Watcher loses whole samples: each tick's counter row is dropped
+    (recorded as an all-NaN gap) with probability ``probability``.
+``telemetry_corrupt``
+    Counter corruption: each metric value is independently replaced by
+    NaN with probability ``probability``.
+``predictor_nan``
+    Performance estimates are replaced by ``value`` (``"nan"`` or
+    ``"inf"``) with probability ``probability`` per inference call.
+``predictor_delay``
+    Every inference call takes an extra ``latency_s`` seconds; callers
+    that pass a decision deadline below it observe a timeout.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+
+import numpy as np
+
+from repro.faults.errors import FaultPlanError
+
+__all__ = ["FAULT_KINDS", "FaultSpec", "FaultPlan"]
+
+PLAN_VERSION = 1
+
+#: kind -> {param: (required, validator, doc)}
+_PARAM_SCHEMAS: dict[str, dict[str, tuple[bool, str]]] = {
+    "link_degrade": {
+        "capacity_factor": (True, "fraction"),
+        "latency_factor": (False, "stretch"),
+    },
+    "link_outage": {
+        "latency_factor": (False, "stretch"),
+    },
+    "telemetry_dropout": {
+        "probability": (True, "probability"),
+    },
+    "telemetry_corrupt": {
+        "probability": (True, "probability"),
+    },
+    "predictor_nan": {
+        "probability": (True, "probability"),
+        "value": (False, "nan_or_inf"),
+    },
+    "predictor_delay": {
+        "latency_s": (True, "positive"),
+    },
+}
+
+FAULT_KINDS: tuple[str, ...] = tuple(_PARAM_SCHEMAS)
+
+#: Fault kinds grouped by the subsystem they target.
+LINK_KINDS = ("link_degrade", "link_outage")
+TELEMETRY_KINDS = ("telemetry_dropout", "telemetry_corrupt")
+PREDICTOR_KINDS = ("predictor_nan", "predictor_delay")
+
+
+def _check_param(kind: str, name: str, rule: str, value) -> None:
+    if rule == "fraction":
+        if not (isinstance(value, (int, float)) and 0 < value <= 1):
+            raise FaultPlanError(
+                f"{kind}.{name} must be a fraction in (0, 1], got {value!r}"
+            )
+    elif rule == "probability":
+        if not (isinstance(value, (int, float)) and 0 < value <= 1):
+            raise FaultPlanError(
+                f"{kind}.{name} must be a probability in (0, 1], got {value!r}"
+            )
+    elif rule == "stretch":
+        if not (isinstance(value, (int, float)) and value >= 1):
+            raise FaultPlanError(
+                f"{kind}.{name} must be a stretch factor >= 1, got {value!r}"
+            )
+    elif rule == "positive":
+        if not (isinstance(value, (int, float)) and value > 0):
+            raise FaultPlanError(
+                f"{kind}.{name} must be positive, got {value!r}"
+            )
+    elif rule == "nan_or_inf":
+        if value not in ("nan", "inf"):
+            raise FaultPlanError(
+                f"{kind}.{name} must be 'nan' or 'inf', got {value!r}"
+            )
+    else:  # pragma: no cover - schema typo guard
+        raise AssertionError(f"unknown validation rule {rule!r}")
+
+
+@dataclass(frozen=True)
+class FaultSpec:
+    """One fault window on the simulated clock of an engine run."""
+
+    kind: str
+    start_s: float
+    duration_s: float
+    params: dict = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.kind not in _PARAM_SCHEMAS:
+            raise FaultPlanError(
+                f"unknown fault kind {self.kind!r}; known: {list(FAULT_KINDS)}"
+            )
+        if not (isinstance(self.start_s, (int, float)) and self.start_s >= 0):
+            raise FaultPlanError(f"{self.kind}.start_s must be >= 0")
+        if not (isinstance(self.duration_s, (int, float)) and self.duration_s > 0):
+            raise FaultPlanError(f"{self.kind}.duration_s must be positive")
+        schema = _PARAM_SCHEMAS[self.kind]
+        for name, value in self.params.items():
+            if name not in schema:
+                raise FaultPlanError(
+                    f"{self.kind} does not accept parameter {name!r}; "
+                    f"allowed: {sorted(schema)}"
+                )
+            _check_param(self.kind, name, schema[name][1], value)
+        for name, (required, _) in schema.items():
+            if required and name not in self.params:
+                raise FaultPlanError(f"{self.kind} requires parameter {name!r}")
+
+    @property
+    def end_s(self) -> float:
+        return self.start_s + self.duration_s
+
+    def active(self, now: float) -> bool:
+        """Whether this window covers simulated time ``now``."""
+        return self.start_s <= now < self.end_s
+
+    def param(self, name: str, default=None):
+        return self.params.get(name, default)
+
+    def to_dict(self) -> dict:
+        return {
+            "kind": self.kind,
+            "start_s": self.start_s,
+            "duration_s": self.duration_s,
+            "params": dict(self.params),
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "FaultSpec":
+        if not isinstance(data, dict):
+            raise FaultPlanError(f"fault spec must be an object, got {data!r}")
+        unknown = set(data) - {"kind", "start_s", "duration_s", "params"}
+        if unknown:
+            raise FaultPlanError(f"fault spec has unknown fields {sorted(unknown)}")
+        try:
+            return cls(
+                kind=data["kind"],
+                start_s=data["start_s"],
+                duration_s=data["duration_s"],
+                params=dict(data.get("params", {})),
+            )
+        except KeyError as missing:
+            raise FaultPlanError(f"fault spec missing field {missing}") from None
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """A validated, seeded schedule of fault windows."""
+
+    faults: tuple[FaultSpec, ...] = ()
+    seed: int = 0
+    description: str = ""
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.seed, int):
+            raise FaultPlanError("plan seed must be an integer")
+        object.__setattr__(self, "faults", tuple(self.faults))
+
+    def __len__(self) -> int:
+        return len(self.faults)
+
+    # -- queries -------------------------------------------------------------
+    def active(self, kinds, now: float) -> FaultSpec | None:
+        """The first active fault of one of ``kinds`` at time ``now``."""
+        for spec in self.faults:
+            if spec.kind in kinds and spec.active(now):
+                return spec
+        return None
+
+    def of_kind(self, kind: str) -> tuple[FaultSpec, ...]:
+        return tuple(s for s in self.faults if s.kind == kind)
+
+    @property
+    def horizon_s(self) -> float:
+        """Simulated time at which the last fault window closes."""
+        return max((s.end_s for s in self.faults), default=0.0)
+
+    # -- serialization -------------------------------------------------------
+    def to_dict(self) -> dict:
+        return {
+            "version": PLAN_VERSION,
+            "seed": self.seed,
+            "description": self.description,
+            "faults": [s.to_dict() for s in self.faults],
+        }
+
+    def to_json(self) -> str:
+        return json.dumps(self.to_dict(), indent=2) + "\n"
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "FaultPlan":
+        if not isinstance(data, dict):
+            raise FaultPlanError("fault plan must be a JSON object")
+        version = data.get("version", PLAN_VERSION)
+        if version != PLAN_VERSION:
+            raise FaultPlanError(
+                f"unsupported plan version {version!r} (expected {PLAN_VERSION})"
+            )
+        unknown = set(data) - {"version", "seed", "description", "faults"}
+        if unknown:
+            raise FaultPlanError(f"fault plan has unknown fields {sorted(unknown)}")
+        faults = data.get("faults", [])
+        if not isinstance(faults, list):
+            raise FaultPlanError("'faults' must be a list")
+        return cls(
+            faults=tuple(FaultSpec.from_dict(entry) for entry in faults),
+            seed=data.get("seed", 0),
+            description=data.get("description", ""),
+        )
+
+    @classmethod
+    def from_json(cls, text: str) -> "FaultPlan":
+        try:
+            data = json.loads(text)
+        except json.JSONDecodeError as error:
+            raise FaultPlanError(f"invalid plan JSON: {error}") from None
+        return cls.from_dict(data)
+
+    @classmethod
+    def from_file(cls, path: str | Path) -> "FaultPlan":
+        return cls.from_json(Path(path).read_text(encoding="utf-8"))
+
+    def to_file(self, path: str | Path) -> Path:
+        from repro.obs.fsio import atomic_write_text
+
+        return atomic_write_text(path, self.to_json())
+
+    # -- derivation ----------------------------------------------------------
+    @classmethod
+    def sample(cls, seed: int = 0, duration_s: float = 900.0) -> "FaultPlan":
+        """A representative plan derived deterministically from ``seed``.
+
+        Exercises every subsystem the injector targets: a 60 s full link
+        outage, a throughput/latency degradation window, telemetry
+        dropouts and NaN corruption, and a predictor NaN + delay phase —
+        staggered across the first ``duration_s`` seconds of each
+        scenario run.  Same seed ⇒ bit-identical plan.
+        """
+        if duration_s < 300.0:
+            raise FaultPlanError("sample plans need at least 300 s of runway")
+        rng = np.random.default_rng(seed)
+        third = duration_s / 3.0
+
+        def jitter(low: float, high: float) -> float:
+            return float(np.round(rng.uniform(low, high), 1))
+
+        outage_start = jitter(third, third + 60.0)
+        faults = (
+            FaultSpec(
+                kind="telemetry_dropout",
+                start_s=jitter(30.0, 60.0),
+                duration_s=jitter(45.0, 90.0),
+                params={"probability": 0.5},
+            ),
+            FaultSpec(
+                kind="telemetry_corrupt",
+                start_s=jitter(120.0, 180.0),
+                duration_s=jitter(60.0, 120.0),
+                params={"probability": 0.25},
+            ),
+            FaultSpec(
+                kind="link_degrade",
+                start_s=jitter(200.0, 260.0),
+                duration_s=jitter(60.0, 120.0),
+                params={"capacity_factor": 0.5, "latency_factor": 1.5},
+            ),
+            FaultSpec(
+                kind="link_outage",
+                start_s=outage_start,
+                duration_s=60.0,
+                params={"latency_factor": 1.0},
+            ),
+            # The predictor phase ends by ~0.8 · duration so the circuit
+            # breaker's cooldown (default 120 s) and a successful
+            # half-open probe fit inside the run — sampled plans should
+            # demonstrate recovery, not just degradation.
+            FaultSpec(
+                kind="predictor_nan",
+                start_s=jitter(0.60 * duration_s, 0.65 * duration_s),
+                duration_s=jitter(0.05 * duration_s, 0.08 * duration_s),
+                params={"probability": 1.0, "value": "nan"},
+            ),
+            FaultSpec(
+                kind="predictor_delay",
+                start_s=jitter(0.70 * duration_s, 0.73 * duration_s),
+                duration_s=jitter(0.04 * duration_s, 0.06 * duration_s),
+                params={"latency_s": 5.0},
+            ),
+        )
+        return cls(
+            faults=faults,
+            seed=seed,
+            description=(
+                f"sample plan (seed={seed}): link outage + degradation, "
+                "telemetry dropouts/corruption, predictor NaNs and delays"
+            ),
+        )

@@ -1,0 +1,53 @@
+"""Global fault-plan activation (mirrors the ``repro.obs`` runtime).
+
+``activate(plan)`` arms a plan process-wide; :func:`current_plan` is the
+single predicate the integration points read (``run_scenario`` attaches
+a fresh :class:`~repro.faults.injector.FaultInjector` per evaluation
+engine while a plan is armed).  Injection is scoped to *policy-driven*
+replays — offline trace collection and signature capture run with
+``scheduler=None`` and stay pristine, so a faulted evaluation exercises
+a predictor trained on healthy data, which is the scenario §VII argues
+the orchestrator must survive.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from typing import TYPE_CHECKING, Iterator
+
+if TYPE_CHECKING:  # pragma: no cover - annotation-only import
+    from repro.faults.plan import FaultPlan
+
+__all__ = ["activate", "deactivate", "current_plan", "active_plan"]
+
+_plan: "FaultPlan | None" = None
+
+
+def current_plan() -> "FaultPlan | None":
+    """The armed fault plan, or ``None`` (the zero-cost default)."""
+    return _plan
+
+
+def activate(plan: "FaultPlan") -> "FaultPlan":
+    """Arm ``plan`` for every subsequent policy-driven scenario replay."""
+    global _plan
+    _plan = plan
+    return plan
+
+
+def deactivate() -> None:
+    """Disarm fault injection."""
+    global _plan
+    _plan = None
+
+
+@contextmanager
+def active_plan(plan: "FaultPlan") -> Iterator["FaultPlan"]:
+    """Arm ``plan`` for a ``with`` block, restoring the previous plan."""
+    global _plan
+    previous = _plan
+    _plan = plan
+    try:
+        yield plan
+    finally:
+        _plan = previous

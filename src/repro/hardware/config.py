@@ -33,10 +33,18 @@ class LinkConfig:
     saturation_sharpness: float = 12.0
     #: Flit size of the OpenCAPI transport in bytes (§IV-B: 32 B flits).
     flit_bytes: int = 32
+    #: Fraction of capacity that still trickles through during a full
+    #: link outage: the FPGA back-pressure FIFOs keep draining in-flight
+    #: transactions, so delivered throughput never drops to exactly zero
+    #: (which also keeps the back-pressure stretch finite-but-huge
+    #: instead of degenerate).
+    outage_drain_fraction: float = 0.02
 
     def __post_init__(self) -> None:
         if self.capacity_gbps <= 0:
             raise ValueError("link capacity must be positive")
+        if not 0 < self.outage_drain_fraction < 1:
+            raise ValueError("outage_drain_fraction must be in (0, 1)")
         if self.base_latency_cycles <= 0:
             raise ValueError("base latency must be positive")
         if self.saturated_latency_cycles < self.base_latency_cycles:

@@ -56,7 +56,12 @@ class ThymesisFlowLink:
     def __init__(self, config: LinkConfig | None = None) -> None:
         self.config = config if config is not None else LinkConfig()
 
-    def resolve(self, offered_gbps: float) -> LinkState:
+    def resolve(
+        self,
+        offered_gbps: float,
+        capacity_factor: float = 1.0,
+        latency_factor: float = 1.0,
+    ) -> LinkState:
         """Compute delivered throughput, latency and back-pressure.
 
         Parameters
@@ -64,18 +69,38 @@ class ThymesisFlowLink:
         offered_gbps:
             Aggregate remote-memory bandwidth demanded by all
             applications currently in remote mode.
+        capacity_factor:
+            Health of the channel in [0, 1]: 1 is the nominal capacity,
+            fractions model partial degradation and 0 a full outage —
+            the channel then delivers only the FPGA drain trickle
+            (``LinkConfig.outage_drain_fraction``), so back-pressure
+            stays finite while everything remote crawls.
+        latency_factor:
+            Multiplier (>= 1) on the resolved channel latency, modelling
+            retransmission-induced latency spikes.
         """
         if offered_gbps < 0:
             raise ValueError("offered bandwidth cannot be negative")
+        if not 0.0 <= capacity_factor <= 1.0:
+            raise ValueError("capacity_factor must be in [0, 1]")
+        if latency_factor < 1.0:
+            raise ValueError("latency_factor must be >= 1")
         cfg = self.config
-        delivered = min(offered_gbps, cfg.capacity_gbps)
-        utilization = offered_gbps / cfg.capacity_gbps
-        latency = self.latency_at(utilization)
+        healthy = capacity_factor == 1.0
+        effective_fraction = (
+            1.0 if healthy else max(capacity_factor, cfg.outage_drain_fraction)
+        )
+        capacity = cfg.capacity_gbps * effective_fraction
+        delivered = min(offered_gbps, capacity)
+        utilization = offered_gbps / capacity
+        latency = self.latency_at(utilization) * latency_factor
         backpressure = 1.0 if delivered == 0 else max(1.0, offered_gbps / delivered)
         if obs.enabled():
             metrics = obs.metrics()
             regime = (
-                "idle" if offered_gbps == 0
+                "outage" if capacity_factor == 0.0
+                else "degraded" if not healthy or latency_factor > 1.0
+                else "idle" if offered_gbps == 0
                 else "saturated" if utilization >= 1.0
                 else "linear"
             )

@@ -24,7 +24,7 @@ import numpy as np
 from repro.hardware.counters import METRIC_NAMES
 from repro.workloads.base import MemoryMode
 
-__all__ = ["FeatureConfig", "subsample", "encode_mode"]
+__all__ = ["FeatureConfig", "subsample", "impute_gaps", "encode_mode"]
 
 
 @dataclass(frozen=True)
@@ -101,6 +101,35 @@ def subsample(rows: np.ndarray, period_s: float, dt: float = 1.0) -> np.ndarray:
     if t % stride != 0:
         rows = rows[t - buckets * stride:]
     return rows.reshape(buckets, stride, m).mean(axis=1)
+
+
+def impute_gaps(rows: np.ndarray) -> tuple[np.ndarray, int]:
+    """Forward-fill NaN telemetry gaps in a ``(T, M)`` window.
+
+    Telemetry faults (Watcher sample dropouts, corrupted counters)
+    surface as NaN entries; LSTM inputs must be finite.  Each NaN cell
+    is replaced by the most recent finite value of the same metric;
+    leading NaNs (no earlier sample to carry) become 0, matching the
+    zero-padding convention of warm-up windows.
+
+    Returns ``(filled, n_imputed)``.  A window without gaps is returned
+    *unchanged* (the same object, no copy) so the healthy path stays
+    bit-identical.
+    """
+    if rows.ndim != 2:
+        raise ValueError("expected a (T, M) matrix")
+    gaps = np.isnan(rows)
+    n_imputed = int(gaps.sum())
+    if n_imputed == 0:
+        return rows, 0
+    # Vectorized forward fill: for each cell, the row index of the most
+    # recent finite value in its column (0 when there is none yet).
+    idx = np.where(~gaps, np.arange(rows.shape[0])[:, None], 0)
+    np.maximum.accumulate(idx, axis=0, out=idx)
+    filled = rows[idx, np.arange(rows.shape[1])[None, :]]
+    # Leading gaps point at row 0, which may itself be NaN.
+    filled = np.where(np.isnan(filled), 0.0, filled)
+    return filled, n_imputed
 
 
 def encode_mode(mode: MemoryMode) -> float:

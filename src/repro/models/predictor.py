@@ -30,7 +30,7 @@ import hashlib
 import numpy as np
 
 from repro import obs
-from repro.models.features import FeatureConfig, encode_mode, subsample
+from repro.models.features import FeatureConfig, encode_mode, impute_gaps, subsample
 from repro.models.performance import PerformancePredictor
 from repro.models.signatures import SignatureLibrary
 from repro.models.system_state import SystemStatePredictor
@@ -63,6 +63,10 @@ class Predictor:
         self._memo_key: tuple | None = None
         self._memo_window: np.ndarray | None = None
         self._memo_future: np.ndarray | None = None
+        #: Inference-path fault hook (``before_inference`` /
+        #: ``corrupt_output``), installed by a FaultInjector while a
+        #: plan targets the predictor; ``None`` on the healthy path.
+        self.chaos = None
 
     # -- signature management ------------------------------------------------
     def has_signature(self, profile: WorkloadProfile) -> bool:
@@ -102,14 +106,26 @@ class Predictor:
         return (history_raw.shape, digest)
 
     def _window(self, history_raw: np.ndarray) -> np.ndarray:
-        """Sub-sampled history window, memoized per distinct raw window."""
+        """Sub-sampled history window, memoized per distinct raw window.
+
+        NaN gaps (telemetry dropouts/corruption) are forward-filled
+        before sub-sampling — the LSTMs require finite inputs.  The memo
+        key is taken over the *raw* window, so two identical faulted
+        windows still share one fill + forward.
+        """
         key = self._window_key(history_raw)
         if key == self._memo_key and self._memo_window is not None:
             self._observe_memo_hit("window")
             return self._memo_window
         self._memo_key = key
+        filled, n_imputed = impute_gaps(history_raw)
+        if n_imputed and obs.enabled():
+            obs.metrics().counter(
+                "predictor_imputed_values_total",
+                "NaN history values forward-filled before inference",
+            ).inc(n_imputed)
         self._memo_window = subsample(
-            history_raw, self.config.sample_period_s, self.config.dt
+            filled, self.config.sample_period_s, self.config.dt
         )
         self._memo_future = None
         return self._memo_window
@@ -146,14 +162,20 @@ class Predictor:
         profile: WorkloadProfile,
         history_raw: np.ndarray,
         mode: MemoryMode,
+        deadline_s: float | None = None,
     ) -> float:
         """Predicted performance of deploying ``profile`` in ``mode`` now.
 
         Raises :class:`KeyError` when no signature exists — the caller
         (the Orchestrator) must then fall back to the capture-first
-        policy of §V-C.
+        policy of §V-C.  ``deadline_s`` is the caller's decision
+        deadline: an installed chaos hook raises
+        :class:`~repro.faults.errors.InferenceTimeout` when injected
+        inference latency exceeds it.
         """
         model = self._model_for(profile.kind)
+        if self.chaos is not None:
+            self.chaos.before_inference(profile.kind.value, deadline_s)
         history_raw = np.asarray(history_raw, dtype=np.float64)
         signature = self.signatures.get(profile.name)
         # Ŝ is produced (and observed) before the performance-model
@@ -176,18 +198,30 @@ class Predictor:
                 future=future,
             )
         self._observe_inference(profile.kind.value, start)
+        if self.chaos is not None:
+            estimate = float(
+                self.chaos.corrupt_output(
+                    profile.kind.value, np.asarray(estimate, dtype=np.float64)
+                )
+            )
         return estimate
 
     def predict_both_modes(
-        self, profile: WorkloadProfile, history_raw: np.ndarray
+        self,
+        profile: WorkloadProfile,
+        history_raw: np.ndarray,
+        deadline_s: float | None = None,
     ) -> dict[MemoryMode, float]:
         """Performance estimates for local and remote deployment.
 
         Both candidate modes are encoded as an N=2 batch and run through
         a single performance-model forward; outputs are numerically
         identical to two sequential :meth:`predict_performance` calls.
+        ``deadline_s`` behaves as in :meth:`predict_performance`.
         """
         model = self._model_for(profile.kind)
+        if self.chaos is not None:
+            self.chaos.before_inference(profile.kind.value, deadline_s)
         history_raw = np.asarray(history_raw, dtype=np.float64)
         signature = self.signatures.get(profile.name)
         modes = (MemoryMode.LOCAL, MemoryMode.REMOTE)
@@ -207,6 +241,8 @@ class Predictor:
                 future=future,
             )
         self._observe_inference(profile.kind.value, start)
+        if self.chaos is not None:
+            estimates = self.chaos.corrupt_output(profile.kind.value, estimates)
         return {m: float(estimates[i]) for i, m in enumerate(modes)}
 
     def _observe_memo_hit(self, entry: str) -> None:

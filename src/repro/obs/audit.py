@@ -53,6 +53,10 @@ class DecisionRecord:
     beta: float | None = None
     qos_ms: float | None = None
     reason: str = ""
+    #: For degraded (fallback-ladder) decisions: the exception class or
+    #: condition that sidelined the predictor, and the circuit state.
+    cause: str | None = None
+    circuit: str | None = None
     outcome: dict | None = None
 
     # -- post-hoc queries ---------------------------------------------------
@@ -90,6 +94,8 @@ class DecisionRecord:
             "beta": self.beta,
             "qos_ms": _json_safe(self.qos_ms),
             "reason": self.reason,
+            "cause": self.cause,
+            "circuit": self.circuit,
             "chosen_mode": self.chosen_mode,
             "outcome": self.outcome,
             "prediction_error": self.prediction_error,
@@ -127,6 +133,8 @@ class DecisionAuditLog:
         beta: float | None = None,
         qos_ms: float | None = None,
         reason: str = "",
+        cause: str | None = None,
+        circuit: str | None = None,
     ) -> DecisionRecord:
         """Log one decision and arm its outcome join on ``engine``."""
         record = DecisionRecord(
@@ -141,6 +149,8 @@ class DecisionAuditLog:
             beta=beta,
             qos_ms=qos_ms,
             reason=reason,
+            cause=cause,
+            circuit=circuit,
         )
         self.records.append(record)
         self._attach(engine)
@@ -169,8 +179,12 @@ class DecisionAuditLog:
 
     def _join(self, engine: "ClusterEngine", deployment_record) -> None:
         pending: dict = getattr(engine, _PENDING_ATTR, {})
+        # Outage-parked deployments start later than they were decided;
+        # the decision row is keyed on the decision time.
+        decided = getattr(deployment_record, "decided_s", None)
         key = self._key(
-            deployment_record.name, deployment_record.arrival_time
+            deployment_record.name,
+            decided if decided is not None else deployment_record.arrival_time,
         )
         queue = pending.get(key)
         if not queue:

@@ -165,8 +165,21 @@ class DriftDetector:
         self, stream: str, error: float, sim_time: float = 0.0,
         clock: float = 0.0,
     ) -> DriftAlarm | None:
-        """Feed one (relative) forecast error; returns the alarm if fired."""
+        """Feed one (relative) forecast error; returns the alarm if fired.
+
+        Non-finite errors (a NaN forecast joined against a real
+        measurement under fault injection) are counted and dropped — a
+        single poisoned observation would otherwise wedge the EWMA and
+        Page–Hinkley statistics at NaN forever.
+        """
         magnitude = abs(float(error))
+        if magnitude != magnitude or magnitude == float("inf"):
+            runtime.metrics().counter(
+                "predictor_drift_dropped_observations_total",
+                "Non-finite forecast errors dropped by the drift detector",
+                labels=("stream",),
+            ).labels(stream=stream).inc()
+            return None
         state = self._stream(stream)
         state.n += 1
         ewma = state.ewma.update(magnitude)

@@ -168,6 +168,17 @@ class LiveSession:
         return self._engines.get(engine)
 
     # -- notes from instrumented call sites ----------------------------------
+    def note_event(self, kind: str, **fields) -> None:
+        """Emit an ad-hoc event record onto the stream.
+
+        Used by the fault injector (window begin/end) and the policy
+        circuit breaker (state transitions) so degradation episodes are
+        visible in ``repro obs watch`` next to drift and SLO alerts.
+        """
+        if self._closed:
+            return
+        self.exporter.emit({"t": "event", "kind": kind, **fields})
+
     def note_decision(self, policy: str, mode: str, kind: str) -> None:
         """Count one placement decision into the current tick record."""
         per_policy = self._tick_decisions.setdefault(policy, {})

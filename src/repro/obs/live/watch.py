@@ -8,7 +8,11 @@ renders a single frame and exits — the non-interactive path CI uses.
 
 The reader is deliberately forgiving: a run killed mid-flush can leave a
 torn final line, which is skipped (and counted) rather than fatal, so
-``watch`` can follow a stream that is still being written.
+``watch`` can follow a stream that is still being written.  A stream
+file that vanishes *mid-watch* (log rotation, a fresh ``--obs-out`` run
+replacing the directory) is likewise survivable: the watcher waits for
+it to reappear with bounded exponential backoff, printing a reconnect
+notice, and only gives up after the attempt budget is exhausted.
 """
 
 from __future__ import annotations
@@ -25,6 +29,10 @@ __all__ = ["read_stream", "render_frame", "watch"]
 
 #: Ticks used for the instantaneous tick-rate estimate.
 _RATE_WINDOW = 50
+
+#: Reconnect budget when the stream file vanishes mid-watch.
+_RECONNECT_ATTEMPTS = 5
+_RECONNECT_MAX_DELAY_S = 10.0
 
 
 def read_stream(path: str | Path) -> tuple[list[dict], int]:
@@ -221,23 +229,53 @@ def _last_value(ticks: list[dict], key: str):
     return None
 
 
+def _await_stream(path: Path, interval: float, out, sleep) -> bool:
+    """Bounded-backoff wait for a vanished stream file to reappear."""
+    delay = max(interval, 0.1)
+    for attempt in range(1, _RECONNECT_ATTEMPTS + 1):
+        print(
+            f"watch: stream {path} vanished (rotated?); "
+            f"retry {attempt}/{_RECONNECT_ATTEMPTS} in {delay:.1f}s",
+            file=out, flush=True,
+        )
+        sleep(delay)
+        if path.exists():
+            print(f"watch: stream {path} is back; reconnecting",
+                  file=out, flush=True)
+            return True
+        delay = min(delay * 2, _RECONNECT_MAX_DELAY_S)
+    return False
+
+
 def watch(
     path: str | Path,
     interval: float = 1.0,
     once: bool = False,
     max_frames: int | None = None,
     out=None,
+    sleep=time.sleep,
 ) -> int:
     """Render the dashboard; refresh until the stream ends.
 
     ``once`` renders a single frame without clearing the screen (the CI
     mode); otherwise the terminal is redrawn every ``interval`` seconds
-    until an ``end`` record appears (or ``max_frames`` is reached).
+    until an ``end`` record appears (or ``max_frames`` is reached).  A
+    stream file deleted mid-watch triggers the reconnect loop instead of
+    a crash; in ``once`` mode a missing stream fails fast with exit
+    code 2.  ``sleep`` is injectable so tests can drive the reconnect
+    path without waiting out the backoff.
     """
     out = out if out is not None else sys.stdout
+    path = Path(path)
     frames = 0
     while True:
-        records, skipped = read_stream(path)
+        try:
+            records, skipped = read_stream(path)
+        except FileNotFoundError:
+            if once or not _await_stream(path, interval, out, sleep):
+                print(f"watch: no stream at {path}", file=out, flush=True)
+                return 2
+            continue
         frame = render_frame(records, skipped)
         if once:
             print(frame, file=out)
@@ -248,4 +286,4 @@ def watch(
             return 0
         if max_frames is not None and frames >= max_frames:
             return 0
-        time.sleep(interval)
+        sleep(interval)

@@ -12,12 +12,14 @@ Baselines: Random, Round-Robin, All-Local and All-Remote.
 
 from __future__ import annotations
 
-from typing import Protocol
+from typing import Protocol, Sequence
 
 import numpy as np
 
 from repro import obs
 from repro.cluster.engine import ClusterEngine
+from repro.faults.breaker import CircuitBreaker
+from repro.faults.errors import CorruptPrediction, InferenceFault
 from repro.models.predictor import Predictor
 from repro.workloads.base import MemoryMode, WorkloadKind, WorkloadProfile
 
@@ -28,6 +30,7 @@ __all__ = [
     "AllLocalPolicy",
     "AllRemotePolicy",
     "StaticThresholdPolicy",
+    "InterferenceThresholdPolicy",
     "AdriasPolicy",
 ]
 
@@ -99,6 +102,12 @@ class RandomPolicy(_BasePolicy):
     def decide(self, profile: WorkloadProfile, engine: ClusterEngine) -> MemoryMode:
         return MemoryMode.REMOTE if self._rng.random() < 0.5 else MemoryMode.LOCAL
 
+    def state_dict(self) -> dict:
+        return {"rng_state": self._rng.bit_generator.state}
+
+    def load_state_dict(self, data: dict) -> None:
+        self._rng.bit_generator.state = data["rng_state"]
+
 
 class RoundRobinPolicy(_BasePolicy):
     """Alternate strictly between the two pools."""
@@ -111,6 +120,12 @@ class RoundRobinPolicy(_BasePolicy):
     def decide(self, profile: WorkloadProfile, engine: ClusterEngine) -> MemoryMode:
         self._last = self._last.other
         return self._last
+
+    def state_dict(self) -> dict:
+        return {"last": self._last.value}
+
+    def load_state_dict(self, data: dict) -> None:
+        self._last = MemoryMode(data["last"])
 
 
 class AllLocalPolicy(_BasePolicy):
@@ -164,6 +179,38 @@ class StaticThresholdPolicy(_BasePolicy):
         return self.__dict__.pop("_detail", {})
 
 
+class InterferenceThresholdPolicy(_BasePolicy):
+    """Interference-*aware* but prediction-free heuristic.
+
+    Reads the *measured* channel state instead of a forecast: offload
+    only while the link's current utilization leaves headroom.  This is
+    the first rung of the AdriasPolicy's degradation ladder — when the
+    prediction pipeline is unavailable, the orchestrator keeps reacting
+    to live interference rather than going interference-blind.
+    """
+
+    def __init__(self, max_link_utilization: float = 0.7) -> None:
+        if not 0 < max_link_utilization <= 1:
+            raise ValueError("max_link_utilization must be in (0, 1]")
+        self.max_link_utilization = max_link_utilization
+        self.name = f"interference(u<{max_link_utilization:g})"
+
+    def decide(self, profile: WorkloadProfile, engine: ClusterEngine) -> MemoryMode:
+        if profile.kind is WorkloadKind.INTERFERENCE:
+            return MemoryMode.LOCAL
+        utilization = engine.current_pressure().link.utilization
+        self._detail = {
+            "margin": self.max_link_utilization - utilization,
+            "reason": "interference-threshold",
+        }
+        if utilization < self.max_link_utilization:
+            return MemoryMode.REMOTE
+        return MemoryMode.LOCAL
+
+    def _audit_detail(self) -> dict:
+        return self.__dict__.pop("_detail", {})
+
+
 class AdriasPolicy(_BasePolicy):
     """Prediction-driven interference-aware placement (§V-C).
 
@@ -179,6 +226,21 @@ class AdriasPolicy(_BasePolicy):
     qos_p99_ms:
         QoS constraint per LC application name (99th percentile, ms).
         Applications without an entry use ``default_qos_ms``.
+    decision_deadline_s:
+        Per-decision inference budget.  Injected (or real) inference
+        latency beyond it surfaces as a timeout, which counts against
+        the circuit breaker like any other predictor failure.
+    failure_threshold / cooldown_s:
+        Circuit-breaker tuning: the circuit opens after
+        ``failure_threshold`` *consecutive* predictor failures (timeouts
+        or non-finite estimates) and half-opens for a probe after
+        ``cooldown_s`` simulated seconds.
+    fallback:
+        Degradation ladder consulted (in order) whenever the predictor
+        is unavailable — circuit open, or the current call failed.  The
+        default is the paper-motivated chain *interference-threshold
+        heuristic → static all-local*; all-local is also the terminal
+        answer when every rung fails.
     """
 
     def __init__(
@@ -187,16 +249,37 @@ class AdriasPolicy(_BasePolicy):
         beta: float = 0.8,
         qos_p99_ms: dict[str, float] | None = None,
         default_qos_ms: float = float("inf"),
+        decision_deadline_s: float = 1.0,
+        failure_threshold: int = 3,
+        cooldown_s: float = 120.0,
+        fallback: Sequence[Policy] | None = None,
     ) -> None:
         if not 0 < beta <= 1:
             raise ValueError("beta must be in (0, 1]")
         if default_qos_ms <= 0:
             raise ValueError("default_qos_ms must be positive")
+        if decision_deadline_s <= 0:
+            raise ValueError("decision_deadline_s must be positive")
         self.predictor = predictor
         self.beta = beta
         self.qos_p99_ms = dict(qos_p99_ms) if qos_p99_ms else {}
         self.default_qos_ms = default_qos_ms
+        self.decision_deadline_s = decision_deadline_s
         self.name = f"adrias(b={beta:g})"
+        self.breaker = CircuitBreaker(
+            failure_threshold=failure_threshold,
+            cooldown_s=cooldown_s,
+            name=self.name,
+        )
+        self.fallback: tuple[Policy, ...] = (
+            tuple(fallback)
+            if fallback is not None
+            else (InterferenceThresholdPolicy(), AllLocalPolicy())
+        )
+        #: Names whose signatures this policy captured (checkpoint state).
+        self._captured: set[str] = set()
+        #: Decisions answered by the fallback ladder (obs-independent).
+        self.degraded_decisions = 0
 
     def _history(self, engine: ClusterEngine) -> np.ndarray:
         return engine.trace.window(
@@ -212,15 +295,19 @@ class AdriasPolicy(_BasePolicy):
         if not self.predictor.has_signature(profile):
             # First encounter: schedule on remote and capture (§V-C).
             self.predictor.signatures.capture(profile)
+            self._captured.add(profile.name)
             self._detail = {"reason": "signature-capture"}
             return MemoryMode.REMOTE
-        # Keep the predictor's per-tick Ŝ memo fresh: the engine tick
-        # hook invalidates it whenever simulated time advances, so all
-        # candidates evaluated within one tick share a single
-        # system-state forward.  attach() is idempotent.
-        self.predictor.attach(engine)
-        history = self._history(engine)
-        estimates = self.predictor.predict_both_modes(profile, history)
+        if not self.breaker.allow(engine.now):
+            return self._degraded_decide(profile, engine, "circuit-open")
+        try:
+            estimates = self._predict(profile, engine)
+        except InferenceFault as fault:
+            self.breaker.record_failure(engine.now)
+            return self._degraded_decide(
+                profile, engine, type(fault).__name__
+            )
+        self.breaker.record_success(engine.now)
         predicted = {mode.value: float(v) for mode, v in estimates.items()}
         if profile.kind is WorkloadKind.BEST_EFFORT:
             # Slack > 0 ⇒ local beats β-discounted remote ⇒ stay local.
@@ -248,6 +335,91 @@ class AdriasPolicy(_BasePolicy):
         if estimates[MemoryMode.REMOTE] <= qos:
             return MemoryMode.REMOTE
         return MemoryMode.LOCAL
+
+    # -- degradation ---------------------------------------------------------
+    def _predict(
+        self, profile: WorkloadProfile, engine: ClusterEngine
+    ) -> dict[MemoryMode, float]:
+        """One guarded inference; raises :class:`InferenceFault` on failure."""
+        # Keep the predictor's per-tick Ŝ memo fresh: the engine tick
+        # hook invalidates it whenever simulated time advances, so all
+        # candidates evaluated within one tick share a single
+        # system-state forward.  attach() is idempotent.
+        self.predictor.attach(engine)
+        history = self._history(engine)
+        try:
+            estimates = self.predictor.predict_both_modes(
+                profile, history, deadline_s=self.decision_deadline_s
+            )
+        except TypeError:
+            # Predictors without deadline support (stubs, older models)
+            # still work; they just cannot observe inference timeouts.
+            estimates = self.predictor.predict_both_modes(profile, history)
+        if not all(np.isfinite(v) for v in estimates.values()):
+            raise CorruptPrediction(
+                f"non-finite estimates for {profile.name}: "
+                f"{ {m.value: v for m, v in estimates.items()} }"
+            )
+        return estimates
+
+    def _degraded_decide(
+        self, profile: WorkloadProfile, engine: ClusterEngine, cause: str
+    ) -> MemoryMode:
+        """Walk the fallback ladder; all-local is the terminal answer."""
+        for stage in self.fallback:
+            try:
+                mode = stage.decide(profile, engine)
+            except Exception:
+                continue  # this rung is unavailable too; keep degrading
+            detail = (
+                stage._audit_detail() if hasattr(stage, "_audit_detail") else {}
+            )
+            self._note_degraded(stage.name)
+            self._detail = {
+                **detail,
+                "reason": f"fallback:{stage.name}",
+                "cause": cause,
+                "circuit": self.breaker.state.value,
+            }
+            return mode
+        self._note_degraded("static-local")
+        self._detail = {
+            "reason": "fallback:static-local",
+            "cause": cause,
+            "circuit": self.breaker.state.value,
+        }
+        return MemoryMode.LOCAL
+
+    def _note_degraded(self, stage: str) -> None:
+        self.degraded_decisions += 1
+        if obs.enabled():
+            obs.metrics().counter(
+                "policy_degraded_decisions_total",
+                "Decisions answered by the fallback chain",
+                labels=("policy", "stage"),
+            ).labels(policy=self.name, stage=stage).inc()
+
+    # -- checkpointing -------------------------------------------------------
+    def state_dict(self) -> dict:
+        return {
+            "breaker": self.breaker.state_dict(),
+            "captured": sorted(self._captured),
+        }
+
+    def load_state_dict(self, data: dict) -> None:
+        self.breaker.load_state_dict(data["breaker"])
+        # Signatures captured before the checkpoint: re-capture any the
+        # current predictor is missing (capture is deterministic — an
+        # isolated run on a fresh engine — so the values are identical).
+        for name in data.get("captured", []):
+            self._captured.add(name)
+
+    def restore_signatures(self, pool: Sequence[WorkloadProfile]) -> None:
+        """Re-capture checkpointed signatures missing from the predictor."""
+        by_name = {p.name: p for p in pool}
+        for name in sorted(self._captured):
+            if name in by_name and not self.predictor.has_signature(by_name[name]):
+                self.predictor.signatures.capture(by_name[name])
 
     def _audit_detail(self) -> dict:
         return self.__dict__.pop("_detail", {})

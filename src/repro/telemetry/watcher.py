@@ -11,6 +11,9 @@ from __future__ import annotations
 
 import numpy as np
 
+import numpy as _np
+
+from repro import obs
 from repro.cluster.engine import ClusterEngine
 from repro.hardware.counters import PerfCounters
 from repro.hardware.testbed import SystemPressure
@@ -20,7 +23,15 @@ __all__ = ["Watcher"]
 
 
 class Watcher:
-    """Online performance-event monitor."""
+    """Online performance-event monitor.
+
+    Degrades gracefully under telemetry faults: samples carrying NaN
+    values (dropped or corrupted counters) are imputed by carrying the
+    last finite value of each metric forward, so the MetricStore — and
+    everything reading windows from it (drift joins, live dashboards) —
+    stays finite.  Imputations are counted per watcher and exported as
+    ``telemetry_imputed_values_total``.
+    """
 
     def __init__(self, history_capacity_s: float = 1024.0, dt: float = 1.0) -> None:
         if dt <= 0:
@@ -28,9 +39,27 @@ class Watcher:
         capacity = int(round(history_capacity_s / dt))
         self.dt = dt
         self.store = MetricStore(capacity=capacity)
+        #: Last fully-finite view of each metric (forward-fill source).
+        self._last_good: _np.ndarray | None = None
+        #: Total metric values imputed by this watcher.
+        self.imputed_values = 0
 
     def observe(self, time: float, counters: PerfCounters) -> None:
-        """Record one counter sample."""
+        """Record one counter sample, imputing any NaN gaps."""
+        values = counters.as_array()
+        gaps = _np.isnan(values)
+        if gaps.any():
+            fill = self._last_good if self._last_good is not None else _np.zeros_like(values)
+            values = _np.where(gaps, fill, values)
+            counters = PerfCounters.from_array(values)
+            n = int(gaps.sum())
+            self.imputed_values += n
+            if obs.enabled():
+                obs.metrics().counter(
+                    "telemetry_imputed_values_total",
+                    "NaN counter values forward-filled by Watchers",
+                ).inc(n)
+        self._last_good = values
         self.store.push(time, counters)
 
     def observe_pressure(

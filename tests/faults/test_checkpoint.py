@@ -1,0 +1,131 @@
+"""Checkpoint/resume: the resumed trace is bit-identical to uninterrupted."""
+
+import json
+
+import pytest
+
+from repro.cluster.scenario import ScenarioConfig, run_scenario
+from repro.faults.checkpoint import (
+    load_checkpoint,
+    resume_scenario,
+    save_checkpoint,
+)
+from repro.faults.errors import CheckpointError
+from repro.faults.plan import FaultPlan, FaultSpec
+from repro.faults.runtime import active_plan
+from repro.orchestrator.policies import RandomPolicy
+from tests.helpers import assert_traces_identical
+
+CONFIG = ScenarioConfig(duration_s=400.0, spawn_interval=(15.0, 30.0), seed=3)
+
+
+def faulty_plan():
+    return FaultPlan(
+        faults=(
+            FaultSpec(
+                kind="telemetry_corrupt", start_s=40.0, duration_s=60.0,
+                params={"probability": 0.4},
+            ),
+            FaultSpec(kind="link_outage", start_s=150.0, duration_s=60.0),
+        ),
+        seed=21,
+    )
+
+
+class TestRoundTrip:
+    def test_resume_matches_uninterrupted_run(self, tmp_path):
+        ckpt = tmp_path / "ckpt.json"
+        full = run_scenario(
+            CONFIG,
+            scheduler=RandomPolicy(seed=5),
+            checkpoint_path=ckpt,
+            checkpoint_every_s=120.0,
+        )
+        assert ckpt.exists()
+        resumed = resume_scenario(ckpt, scheduler=RandomPolicy(seed=5))
+        assert_traces_identical(full, resumed)
+
+    def test_resume_under_faults_matches(self, tmp_path):
+        ckpt = tmp_path / "ckpt.json"
+        with active_plan(faulty_plan()):
+            full = run_scenario(
+                CONFIG,
+                scheduler=RandomPolicy(seed=5),
+                checkpoint_path=ckpt,
+                checkpoint_every_s=100.0,
+            )
+        # The checkpoint embeds the fault plan; no armed plan is needed
+        # (or consulted) on the resume path.
+        resumed = resume_scenario(ckpt, scheduler=RandomPolicy(seed=5))
+        assert_traces_identical(full, resumed)
+
+    def test_checkpoint_restores_injector_and_policy_state(self, tmp_path):
+        ckpt = tmp_path / "ckpt.json"
+        with active_plan(faulty_plan()):
+            run_scenario(
+                CONFIG,
+                scheduler=RandomPolicy(seed=5),
+                checkpoint_path=ckpt,
+                checkpoint_every_s=100.0,
+            )
+        data = load_checkpoint(ckpt)
+        assert data["injector"] is not None
+        assert data["injector"]["plan"]["seed"] == 21
+        assert data["policy"] is not None
+        assert "rng_state" in data["policy"]
+        assert data["arrivals_done"] > 0
+
+
+class TestValidation:
+    def test_missing_checkpoint_raises(self, tmp_path):
+        with pytest.raises(CheckpointError, match="no checkpoint"):
+            load_checkpoint(tmp_path / "nope.json")
+
+    def test_corrupt_json_raises(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text("{truncated")
+        with pytest.raises(CheckpointError, match="corrupt"):
+            load_checkpoint(path)
+
+    def test_wrong_version_raises(self, tmp_path):
+        path = tmp_path / "v99.json"
+        path.write_text(json.dumps({"version": 99}))
+        with pytest.raises(CheckpointError, match="version"):
+            load_checkpoint(path)
+
+    def test_missing_fields_raise(self, tmp_path):
+        path = tmp_path / "partial.json"
+        path.write_text(json.dumps({"version": 1, "scenario": {}}))
+        with pytest.raises(CheckpointError, match="missing fields"):
+            load_checkpoint(path)
+
+    def test_unknown_workload_raises(self, tmp_path):
+        ckpt = tmp_path / "ckpt.json"
+        run_scenario(
+            CONFIG,
+            scheduler=RandomPolicy(seed=5),
+            checkpoint_path=ckpt,
+            checkpoint_every_s=120.0,
+        )
+        with pytest.raises(CheckpointError, match="unknown workload"):
+            resume_scenario(ckpt, scheduler=RandomPolicy(seed=5), pool=[])
+
+
+class TestManualSave:
+    def test_save_mid_run_and_resume(self, tmp_path):
+        """save_checkpoint is usable outside the scenario loop too."""
+        from repro.cluster.engine import ClusterEngine
+        from repro.hardware import Testbed, TestbedConfig
+
+        engine = ClusterEngine(testbed=Testbed(TestbedConfig(seed=CONFIG.seed)))
+        engine.run_for(10.0)
+        path = save_checkpoint(
+            tmp_path / "manual.json",
+            config=CONFIG,
+            engine=engine,
+            arrivals_done=0,
+        )
+        data = load_checkpoint(path)
+        assert data["engine"]["now"] == 10.0
+        assert data["injector"] is None
+        assert data["policy"] is None

@@ -1,0 +1,234 @@
+"""FaultInjector wiring, link/telemetry/predictor effects and inertness."""
+
+import numpy as np
+import pytest
+
+from repro.cluster.engine import ClusterEngine, RemoteUnavailableError
+from repro.faults.errors import InferenceTimeout
+from repro.faults.injector import FaultedLink, FaultInjector, PredictorChaos
+from repro.faults.plan import FaultPlan, FaultSpec
+from repro.hardware import Testbed, TestbedConfig
+from repro.workloads import MemoryMode, spark_profile
+
+
+def plan_of(*specs, seed=7):
+    return FaultPlan(faults=tuple(specs), seed=seed)
+
+
+def make_engine(seed=0):
+    return ClusterEngine(testbed=Testbed(TestbedConfig(seed=seed)))
+
+
+class TestAttachDetach:
+    def test_attach_wraps_link_and_detach_restores(self):
+        engine = make_engine()
+        original_link = engine.testbed.link
+        injector = FaultInjector(plan_of(), scenario_seed=1)
+        injector.attach(engine)
+        assert isinstance(engine.testbed.link, FaultedLink)
+        assert engine.testbed.link.inner is original_link
+        injector.detach()
+        assert engine.testbed.link is original_link
+        assert not engine._tick_hooks
+        injector.detach()  # idempotent
+
+    def test_double_attach_rejected(self):
+        engine = make_engine()
+        injector = FaultInjector(plan_of())
+        injector.attach(engine)
+        with pytest.raises(RuntimeError, match="already attached"):
+            injector.attach(engine)
+
+    def test_detach_clears_predictor_chaos_and_remote_block(self):
+        class FakePredictor:
+            chaos = None
+
+        engine = make_engine()
+        predictor = FakePredictor()
+        injector = FaultInjector(
+            plan_of(
+                FaultSpec(kind="link_outage", start_s=0.0, duration_s=50.0)
+            )
+        )
+        injector.attach(engine, predictor=predictor)
+        assert isinstance(predictor.chaos, PredictorChaos)
+        assert engine.remote_blocked  # window opens at t=0
+        injector.detach()
+        assert predictor.chaos is None
+        assert not engine.remote_blocked
+
+
+class TestLinkFaults:
+    def test_degrade_window_scales_capacity_and_latency(self):
+        engine = make_engine()
+        injector = FaultInjector(
+            plan_of(
+                FaultSpec(
+                    kind="link_degrade", start_s=0.0, duration_s=100.0,
+                    params={"capacity_factor": 0.5, "latency_factor": 1.5},
+                )
+            )
+        )
+        injector.attach(engine)
+        healthy = engine.testbed.link.inner.resolve(2.0)
+        degraded = engine.testbed.link.resolve(2.0)
+        assert degraded.delivered_gbps == pytest.approx(1.25)  # 2.5 * 0.5
+        assert degraded.utilization == pytest.approx(2.0 / 1.25)
+        assert degraded.latency_cycles > healthy.latency_cycles
+        # After the window the proxy is transparent.
+        engine.run_for(150.0)
+        assert engine.testbed.link.resolve(2.0) == healthy
+
+    def test_outage_delivers_only_drain_trickle_and_blocks_remote(self):
+        engine = make_engine()
+        injector = FaultInjector(
+            plan_of(
+                FaultSpec(kind="link_outage", start_s=10.0, duration_s=30.0)
+            )
+        )
+        injector.attach(engine)
+        assert not engine.remote_blocked
+        engine.run_for(15.0)
+        assert engine.remote_blocked
+        state = engine.testbed.link.resolve(2.0)
+        # Only the FPGA back-pressure drain survives: 2% of 2.5 Gbps.
+        assert state.delivered_gbps == pytest.approx(2.5 * 0.02)
+        assert state.backpressure == pytest.approx(2.0 / (2.5 * 0.02))
+        with pytest.raises(RemoteUnavailableError):
+            engine.deploy(spark_profile("scan"), MemoryMode.REMOTE)
+        engine.run_for(30.0)  # window closes
+        assert not engine.remote_blocked
+        engine.deploy(spark_profile("scan"), MemoryMode.REMOTE)
+
+
+class TestTelemetryFaults:
+    def test_dropout_blanks_whole_rows(self):
+        engine = make_engine()
+        injector = FaultInjector(
+            plan_of(
+                FaultSpec(
+                    kind="telemetry_dropout", start_s=5.0, duration_s=20.0,
+                    params={"probability": 1.0},
+                )
+            )
+        )
+        injector.attach(engine)
+        engine.run_for(40.0)
+        rows = engine.trace._counter_rows
+        times = engine.trace.times
+        in_window = [r for t, r in zip(times, rows) if 5.0 <= t < 25.0 + 1.0]
+        outside = [r for t, r in zip(times, rows) if t < 5.0 or t > 26.0]
+        assert any(np.isnan(r).all() for r in in_window)
+        assert all(np.isfinite(r).all() for r in outside)
+        assert injector.injected["telemetry_dropped_samples"] > 0
+
+    def test_corrupt_plants_partial_nans(self):
+        engine = make_engine()
+        injector = FaultInjector(
+            plan_of(
+                FaultSpec(
+                    kind="telemetry_corrupt", start_s=0.0, duration_s=30.0,
+                    params={"probability": 0.3},
+                )
+            ),
+            scenario_seed=3,
+        )
+        injector.attach(engine)
+        engine.run_for(30.0)
+        nan_counts = [int(np.isnan(r).sum()) for r in engine.trace._counter_rows]
+        assert injector.injected["telemetry_corrupted_values"] == sum(nan_counts)
+        assert sum(nan_counts) > 0
+        # p = 0.3 should leave most rows partially intact.
+        assert any(0 < n < engine.trace._counter_rows[0].size for n in nan_counts)
+
+
+class TestPredictorChaos:
+    def _injector_at(self, spec, now=10.0):
+        engine = make_engine()
+        injector = FaultInjector(plan_of(spec))
+        injector.attach(engine)
+        engine.run_for(now)
+        return injector
+
+    def test_delay_over_deadline_raises_timeout(self):
+        injector = self._injector_at(
+            FaultSpec(
+                kind="predictor_delay", start_s=0.0, duration_s=60.0,
+                params={"latency_s": 5.0},
+            )
+        )
+        chaos = PredictorChaos(injector)
+        with pytest.raises(InferenceTimeout) as excinfo:
+            chaos.before_inference("be", deadline_s=1.0)
+        assert excinfo.value.latency_s == 5.0
+        assert excinfo.value.deadline_s == 1.0
+        # No deadline -> slow but not fatal.
+        chaos.before_inference("be", deadline_s=None)
+        # Deadline above the injected latency -> fine.
+        chaos.before_inference("be", deadline_s=10.0)
+
+    def test_nan_corruption_replaces_estimates(self):
+        injector = self._injector_at(
+            FaultSpec(
+                kind="predictor_nan", start_s=0.0, duration_s=60.0,
+                params={"probability": 1.0, "value": "nan"},
+            )
+        )
+        chaos = PredictorChaos(injector)
+        out = chaos.corrupt_output("be", np.array([12.0, 40.0]))
+        assert np.isnan(out).all()
+
+    def test_inf_corruption(self):
+        injector = self._injector_at(
+            FaultSpec(
+                kind="predictor_nan", start_s=0.0, duration_s=60.0,
+                params={"probability": 1.0, "value": "inf"},
+            )
+        )
+        out = PredictorChaos(injector).corrupt_output("lc", np.array([3.0]))
+        assert np.isinf(out).all()
+
+    def test_outside_window_is_identity(self):
+        injector = self._injector_at(
+            FaultSpec(
+                kind="predictor_nan", start_s=100.0, duration_s=10.0,
+                params={"probability": 1.0},
+            ),
+            now=10.0,
+        )
+        values = np.array([12.0, 40.0])
+        out = PredictorChaos(injector).corrupt_output("be", values)
+        assert out is values
+
+
+class TestInertness:
+    def test_empty_plan_leaves_run_bit_identical(self):
+        plain = make_engine(seed=5)
+        plain.deploy(spark_profile("scan"), MemoryMode.REMOTE)
+        plain.run_for(60.0)
+
+        injected = make_engine(seed=5)
+        injector = FaultInjector(plan_of(), scenario_seed=5)
+        rng_before = injector.rng.bit_generator.state["state"]
+        injector.attach(injected)
+        injected.deploy(spark_profile("scan"), MemoryMode.REMOTE)
+        injected.run_for(60.0)
+
+        for a, b in zip(plain.trace._counter_rows, injected.trace._counter_rows):
+            assert np.array_equal(a, b)
+        assert plain.trace.times == injected.trace.times
+        # The fault RNG was never consulted.
+        assert injector.rng.bit_generator.state["state"] == rng_before
+
+    def test_windows_beyond_horizon_are_inert(self):
+        spec = FaultSpec(
+            kind="telemetry_dropout", start_s=500.0, duration_s=10.0,
+            params={"probability": 1.0},
+        )
+        plain = make_engine(seed=6)
+        plain.run_for(50.0)
+        injected = make_engine(seed=6)
+        FaultInjector(plan_of(spec), scenario_seed=6).attach(injected)
+        injected.run_for(50.0)
+        for a, b in zip(plain.trace._counter_rows, injected.trace._counter_rows):
+            assert np.array_equal(a, b)

@@ -1,0 +1,154 @@
+"""FaultPlan/FaultSpec validation, serialization and seeded derivation."""
+
+import pytest
+
+from repro.faults.errors import FaultPlanError
+from repro.faults.plan import FAULT_KINDS, FaultPlan, FaultSpec
+
+
+def outage(start=100.0, duration=60.0):
+    return FaultSpec(kind="link_outage", start_s=start, duration_s=duration)
+
+
+class TestSpecValidation:
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(FaultPlanError, match="unknown fault kind"):
+            FaultSpec(kind="cosmic_ray", start_s=0.0, duration_s=1.0)
+
+    def test_negative_start_rejected(self):
+        with pytest.raises(FaultPlanError, match="start_s"):
+            FaultSpec(kind="link_outage", start_s=-1.0, duration_s=1.0)
+
+    def test_zero_duration_rejected(self):
+        with pytest.raises(FaultPlanError, match="duration_s"):
+            FaultSpec(kind="link_outage", start_s=0.0, duration_s=0.0)
+
+    def test_missing_required_param_rejected(self):
+        with pytest.raises(FaultPlanError, match="requires parameter"):
+            FaultSpec(kind="link_degrade", start_s=0.0, duration_s=1.0)
+
+    def test_unknown_param_rejected(self):
+        with pytest.raises(FaultPlanError, match="does not accept"):
+            FaultSpec(
+                kind="link_outage", start_s=0.0, duration_s=1.0,
+                params={"probability": 0.5},
+            )
+
+    @pytest.mark.parametrize("bad", [0.0, -0.1, 1.5, "half"])
+    def test_probability_range_enforced(self, bad):
+        with pytest.raises(FaultPlanError, match="probability"):
+            FaultSpec(
+                kind="telemetry_dropout", start_s=0.0, duration_s=1.0,
+                params={"probability": bad},
+            )
+
+    def test_capacity_factor_must_be_fraction(self):
+        with pytest.raises(FaultPlanError, match="fraction"):
+            FaultSpec(
+                kind="link_degrade", start_s=0.0, duration_s=1.0,
+                params={"capacity_factor": 0.0},
+            )
+
+    def test_latency_factor_must_stretch(self):
+        with pytest.raises(FaultPlanError, match="stretch"):
+            FaultSpec(
+                kind="link_outage", start_s=0.0, duration_s=1.0,
+                params={"latency_factor": 0.5},
+            )
+
+    def test_predictor_nan_value_vocabulary(self):
+        with pytest.raises(FaultPlanError, match="'nan' or 'inf'"):
+            FaultSpec(
+                kind="predictor_nan", start_s=0.0, duration_s=1.0,
+                params={"probability": 1.0, "value": "zero"},
+            )
+
+    def test_window_is_half_open(self):
+        spec = outage(start=10.0, duration=5.0)
+        assert not spec.active(9.99)
+        assert spec.active(10.0)
+        assert spec.active(14.99)
+        assert not spec.active(15.0)
+
+
+class TestPlanSerialization:
+    def test_round_trip_preserves_plan(self):
+        plan = FaultPlan.sample(seed=11)
+        assert FaultPlan.from_json(plan.to_json()) == plan
+
+    def test_file_round_trip(self, tmp_path):
+        plan = FaultPlan.sample(seed=2)
+        path = tmp_path / "plan.json"
+        plan.to_file(path)
+        assert FaultPlan.from_file(path) == plan
+
+    def test_unknown_plan_field_rejected(self):
+        with pytest.raises(FaultPlanError, match="unknown fields"):
+            FaultPlan.from_dict({"version": 1, "surprise": True})
+
+    def test_wrong_version_rejected(self):
+        with pytest.raises(FaultPlanError, match="version"):
+            FaultPlan.from_dict({"version": 99, "faults": []})
+
+    def test_invalid_json_rejected(self):
+        with pytest.raises(FaultPlanError, match="invalid plan JSON"):
+            FaultPlan.from_json("{not json")
+
+    def test_non_integer_seed_rejected(self):
+        with pytest.raises(FaultPlanError, match="seed"):
+            FaultPlan(faults=(), seed=1.5)
+
+
+class TestPlanQueries:
+    def test_active_filters_by_kind(self):
+        plan = FaultPlan(faults=(outage(start=0.0, duration=10.0),))
+        assert plan.active(("link_outage",), 5.0) is not None
+        assert plan.active(("telemetry_dropout",), 5.0) is None
+        assert plan.active(("link_outage",), 20.0) is None
+
+    def test_horizon_is_last_window_close(self):
+        plan = FaultPlan(
+            faults=(outage(start=0.0, duration=10.0), outage(start=50.0, duration=5.0))
+        )
+        assert plan.horizon_s == 55.0
+        assert FaultPlan().horizon_s == 0.0
+
+    def test_of_kind(self):
+        plan = FaultPlan.sample(seed=0)
+        assert all(s.kind == "link_outage" for s in plan.of_kind("link_outage"))
+        assert len(plan.of_kind("link_outage")) == 1
+
+
+class TestSampleDerivation:
+    def test_same_seed_bit_identical(self):
+        assert FaultPlan.sample(seed=5) == FaultPlan.sample(seed=5)
+
+    def test_different_seeds_differ(self):
+        assert FaultPlan.sample(seed=5) != FaultPlan.sample(seed=6)
+
+    def test_covers_every_subsystem(self):
+        plan = FaultPlan.sample(seed=0)
+        kinds = {s.kind for s in plan.faults}
+        assert kinds == set(FAULT_KINDS)
+
+    def test_outage_is_sixty_seconds(self):
+        (spec,) = FaultPlan.sample(seed=3).of_kind("link_outage")
+        assert spec.duration_s == 60.0
+
+    def test_predictor_phase_leaves_recovery_runway(self):
+        # The breaker (cooldown 120 s) must be able to re-close before
+        # the run ends: predictor faults stop well short of the horizon.
+        for seed in range(5):
+            plan = FaultPlan.sample(seed=seed, duration_s=900.0)
+            last_end = max(
+                s.end_s for s in plan.faults if s.kind.startswith("predictor")
+            )
+            assert last_end <= 900.0 - 150.0
+
+    def test_fits_within_runway(self):
+        plan = FaultPlan.sample(seed=4, duration_s=900.0)
+        assert plan.horizon_s <= 900.0
+
+    def test_short_runway_rejected(self):
+        with pytest.raises(FaultPlanError, match="runway"):
+            FaultPlan.sample(seed=0, duration_s=120.0)

@@ -1,0 +1,127 @@
+"""Property tests for the ThymesisFlow two-regime link model.
+
+Hypothesis-driven invariants over the whole (offered load, health)
+space, including the degraded/outage operating points the fault
+injector drives the link through:
+
+* latency is monotone non-decreasing in utilization and stretches
+  exactly linearly with ``latency_factor``;
+* the regime switch sits at utilization >= 1.0 and ``saturated`` agrees
+  with it;
+* delivered throughput never exceeds min(offered, effective capacity)
+  and back-pressure stays finite even during a full outage.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.hardware import LinkConfig, ThymesisFlowLink
+
+offered_st = st.floats(min_value=0.0, max_value=50.0, allow_nan=False)
+capacity_st = st.floats(min_value=0.01, max_value=1.0, allow_nan=False)
+stretch_st = st.floats(min_value=1.0, max_value=5.0, allow_nan=False)
+
+
+class TestLatencyMonotonicity:
+    @given(
+        u=st.floats(min_value=0.0, max_value=4.0, allow_nan=False),
+        du=st.floats(min_value=0.0, max_value=2.0, allow_nan=False),
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_latency_monotone_in_utilization(self, u, du):
+        link = ThymesisFlowLink()
+        assert link.latency_at(u + du) >= link.latency_at(u) - 1e-9
+
+    @given(offered=offered_st, factor=stretch_st)
+    @settings(max_examples=50, deadline=None)
+    def test_latency_factor_scales_linearly(self, offered, factor):
+        link = ThymesisFlowLink()
+        base = link.resolve(offered)
+        stretched = link.resolve(offered, latency_factor=factor)
+        assert stretched.latency_cycles == pytest.approx(
+            base.latency_cycles * factor
+        )
+
+    @given(offered=offered_st)
+    @settings(max_examples=50, deadline=None)
+    def test_latency_bounded_by_regimes(self, offered):
+        cfg = LinkConfig()
+        state = ThymesisFlowLink(cfg).resolve(offered)
+        assert cfg.base_latency_cycles <= state.latency_cycles
+        assert state.latency_cycles <= cfg.saturated_latency_cycles + 1e-9
+
+
+class TestRegimeSwitch:
+    @given(offered=offered_st, capacity_factor=capacity_st)
+    @settings(max_examples=100, deadline=None)
+    def test_saturated_iff_utilization_at_least_one(
+        self, offered, capacity_factor
+    ):
+        state = ThymesisFlowLink().resolve(
+            offered, capacity_factor=capacity_factor
+        )
+        assert state.saturated == (state.utilization >= 1.0)
+
+    @given(offered=st.floats(min_value=0.001, max_value=50.0, allow_nan=False))
+    @settings(max_examples=100, deadline=None)
+    def test_switch_sits_at_nominal_capacity_when_healthy(self, offered):
+        cfg = LinkConfig()
+        state = ThymesisFlowLink(cfg).resolve(offered)
+        assert state.saturated == (offered >= cfg.capacity_gbps)
+
+    @given(offered=offered_st, capacity_factor=capacity_st)
+    @settings(max_examples=100, deadline=None)
+    def test_backpressure_consistent_with_saturation(
+        self, offered, capacity_factor
+    ):
+        state = ThymesisFlowLink().resolve(
+            offered, capacity_factor=capacity_factor
+        )
+        if not state.saturated:
+            assert state.backpressure == pytest.approx(1.0)
+        else:
+            assert state.backpressure >= 1.0 - 1e-12
+
+
+class TestDeliveryEnvelope:
+    @given(offered=offered_st, capacity_factor=capacity_st, factor=stretch_st)
+    @settings(max_examples=100, deadline=None)
+    def test_delivered_within_envelope(self, offered, capacity_factor, factor):
+        cfg = LinkConfig()
+        state = ThymesisFlowLink(cfg).resolve(
+            offered, capacity_factor=capacity_factor, latency_factor=factor
+        )
+        effective = cfg.capacity_gbps * max(
+            capacity_factor, cfg.outage_drain_fraction
+        )
+        assert state.delivered_gbps <= min(offered, effective) + 1e-12
+        assert np.isfinite(state.backpressure)
+
+    @given(offered=offered_st)
+    @settings(max_examples=50, deadline=None)
+    def test_outage_delivers_only_drain_trickle(self, offered):
+        cfg = LinkConfig()
+        state = ThymesisFlowLink(cfg).resolve(offered, capacity_factor=0.0)
+        trickle = cfg.capacity_gbps * cfg.outage_drain_fraction
+        assert state.delivered_gbps <= trickle + 1e-12
+        assert np.isfinite(state.backpressure)
+        assert state.backpressure >= 1.0
+
+    def test_bad_factors_rejected(self):
+        link = ThymesisFlowLink()
+        with pytest.raises(ValueError):
+            link.resolve(1.0, capacity_factor=1.5)
+        with pytest.raises(ValueError):
+            link.resolve(1.0, capacity_factor=-0.1)
+        with pytest.raises(ValueError):
+            link.resolve(1.0, latency_factor=0.9)
+
+    def test_healthy_call_unchanged_by_default_factors(self):
+        # Inertness at the resolve layer: explicit unity factors match
+        # the implicit healthy path bit for bit.
+        link = ThymesisFlowLink()
+        assert link.resolve(1.7) == link.resolve(
+            1.7, capacity_factor=1.0, latency_factor=1.0
+        )

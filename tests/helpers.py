@@ -1,4 +1,4 @@
-"""Shared test utilities: numerical gradient checking."""
+"""Shared test utilities: gradient checking and trace comparison."""
 
 from __future__ import annotations
 
@@ -6,6 +6,25 @@ import numpy as np
 
 from repro.nn.losses import MSELoss
 from repro.nn.module import Module
+
+
+def assert_traces_identical(a, b) -> None:
+    """Bit-exact equality of two engine traces (NaN compares equal)."""
+    import dataclasses
+
+    assert a.times == b.times
+    assert a.concurrency == b.concurrency
+    assert len(a._counter_rows) == len(b._counter_rows)
+    for i, (ra, rb) in enumerate(zip(a._counter_rows, b._counter_rows)):
+        assert np.array_equal(ra, rb, equal_nan=True), f"counter row {i} differs"
+    assert len(a.records) == len(b.records)
+    for ra, rb in zip(a.records, b.records):
+        fa, fb = dataclasses.asdict(ra), dataclasses.asdict(rb)
+        assert fa.keys() == fb.keys()
+        for key in fa:
+            va, vb = fa[key], fb[key]
+            same = va == vb or (va != va and vb != vb)  # NaN == NaN
+            assert same, f"record {ra.app_id} field {key}: {va!r} != {vb!r}"
 
 
 def numeric_grad(f, array: np.ndarray, index: tuple, eps: float = 1e-6) -> float:

@@ -84,6 +84,69 @@ class TestWatch:
         assert watch(path, interval=0.01, max_frames=2, out=out) == 0
 
 
+class TestWatchReconnect:
+    """A stream deleted mid-watch reconnects instead of crashing."""
+
+    def test_stream_deleted_then_restored_reconnects(self, tmp_path):
+        path = tmp_path / "s.jsonl"
+        tick = json.dumps({"t": "tick", "n": 1, "clock": 1.0}) + "\n"
+        end = json.dumps({"t": "end"}) + "\n"
+        path.write_text(tick)
+        sleeps = []
+
+        def fake_sleep(delay):
+            # Sleep #1 is the ordinary refresh pause (the file is already
+            # gone, simulating rotation).  Sleep #2 runs inside the
+            # reconnect loop; restoring the file there lets the retry
+            # succeed, and the end record terminates the watch.
+            sleeps.append(delay)
+            if len(sleeps) >= 2 and not path.exists():
+                path.write_text(tick + end)
+
+        out = io.StringIO()
+        first = {"done": False}
+
+        def flaky_read(p):
+            records, skipped = read_stream(p)
+            if not first["done"]:
+                first["done"] = True
+                path.unlink()  # rotate away after the first frame
+            return records, skipped
+
+        import sys as _sys
+
+        watch_mod = _sys.modules["repro.obs.live.watch"]
+        original = watch_mod.read_stream
+        watch_mod.read_stream = flaky_read
+        try:
+            assert watch(path, interval=0.01, out=out, sleep=fake_sleep) == 0
+        finally:
+            watch_mod.read_stream = original
+        text = out.getvalue()
+        assert "vanished" in text
+        assert "reconnecting" in text
+        assert len(sleeps) >= 2
+
+    def test_gives_up_after_bounded_attempts(self, tmp_path):
+        path = tmp_path / "never.jsonl"
+        sleeps = []
+        out = io.StringIO()
+        assert watch(path, interval=0.5, out=out, sleep=sleeps.append) == 2
+        assert len(sleeps) == 5  # the reconnect budget
+        # Exponential backoff, capped.
+        assert sleeps == [0.5, 1.0, 2.0, 4.0, 8.0]
+        assert "no stream" in out.getvalue()
+
+    def test_once_mode_fails_fast_on_missing_stream(self, tmp_path):
+        out = io.StringIO()
+        called = []
+        code = watch(
+            tmp_path / "gone.jsonl", once=True, out=out, sleep=called.append
+        )
+        assert code == 2
+        assert called == []  # no backoff in the CI path
+
+
 class TestCli:
     def test_obs_watch_once(self, stream_path, capsys):
         assert main(["obs", "watch", str(stream_path), "--once"]) == 0
