@@ -1,0 +1,108 @@
+#!/usr/bin/env python
+"""Kill-and-resume soak for the resilient training runtime.
+
+Repeatedly murders a checkpointed ``repro train`` run with SIGKILL at a
+different epoch boundary each round, resumes it to completion, and
+asserts the resumed fit is **bit-identical** to an uninterrupted
+straight-through fit — same loss history length, same final losses, and
+the same content digest over every model parameter and buffer.
+
+Each round runs in a subprocess (``python -m repro train``) so the kill
+is a real process death, not a simulated one: nothing in-memory
+survives; only the atomically-written checkpoint file does.
+
+Usage::
+
+    python examples/train_resume_soak.py              # kill at 3 boundaries
+    python examples/train_resume_soak.py --rounds 5   # more kill points
+    python examples/train_resume_soak.py --epochs 8   # shorter fits
+
+Exit status 0 iff every round resumed to the reference digest.
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import re
+import signal
+import subprocess
+import sys
+import tempfile
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parent.parent
+ENV = {**os.environ, "PYTHONPATH": str(REPO / "src"), "ADRIAS_SCALE": "quick"}
+
+
+def train(ckpt: Path, epochs: int, *extra: str) -> subprocess.CompletedProcess:
+    return subprocess.run(
+        [sys.executable, "-m", "repro", "train", "--ckpt", str(ckpt),
+         "--epochs", str(epochs), "--seed", "0", *extra],
+        capture_output=True, text=True, env=ENV, cwd=REPO,
+    )
+
+
+def digest_of(output: str) -> str:
+    match = re.search(r"model digest:\s+([0-9a-f]+)", output)
+    if not match:
+        raise RuntimeError(f"no digest in output:\n{output}")
+    return match.group(1)
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[1])
+    parser.add_argument("--epochs", type=int, default=6)
+    parser.add_argument("--rounds", type=int, default=3,
+                        help="number of kill points to exercise")
+    args = parser.parse_args()
+    if args.rounds >= args.epochs:
+        parser.error("need rounds < epochs so every kill leaves work to do")
+
+    with tempfile.TemporaryDirectory() as tmp:
+        reference_ckpt = Path(tmp) / "reference.ckpt"
+        print(f"reference: straight-through fit, {args.epochs} epochs")
+        ref = train(reference_ckpt, args.epochs)
+        if ref.returncode != 0:
+            print(ref.stdout + ref.stderr)
+            return 1
+        reference = digest_of(ref.stdout)
+        print(f"  digest {reference}")
+
+        failures = 0
+        # Spread the kill points across the epoch range.
+        kill_points = sorted({
+            1 + (i * (args.epochs - 1)) // args.rounds
+            for i in range(args.rounds)
+        })
+        for kill_at in kill_points:
+            ckpt = Path(tmp) / f"kill{kill_at}.ckpt"
+            crashed = train(
+                ckpt, args.epochs, "--kill-after-epoch", str(kill_at)
+            )
+            if crashed.returncode != -signal.SIGKILL:
+                print(f"round kill@{kill_at}: expected SIGKILL death, got "
+                      f"rc={crashed.returncode}")
+                failures += 1
+                continue
+            resumed = train(ckpt, args.epochs, "--resume")
+            if resumed.returncode != 0:
+                print(f"round kill@{kill_at}: resume failed\n"
+                      + resumed.stdout + resumed.stderr)
+                failures += 1
+                continue
+            digest = digest_of(resumed.stdout)
+            ok = digest == reference
+            print(f"  kill@{kill_at}: resumed, digest "
+                  f"{'matches' if ok else 'MISMATCH ' + digest}")
+            failures += 0 if ok else 1
+
+    if failures:
+        print(f"{failures} round(s) failed")
+        return 1
+    print(f"all {len(kill_points)} kill-and-resume rounds bit-identical")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

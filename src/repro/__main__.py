@@ -10,6 +10,9 @@ Usage::
     python -m repro obs out/                   # summarize a dump
     python -m repro faults sample --out plan.json   # seeded fault plan
     python -m repro run fig16 --faults plan.json    # inject it
+    python -m repro train --ckpt fit.ckpt           # crash-safe fit
+    python -m repro train --ckpt fit.ckpt --resume  # continue after a crash
+    python -m repro retrain --gate                  # gated model promotion
 
 Each experiment prints the same rows/series the paper reports.  The
 training-based experiments honour ``--scale`` (quick | default | paper).
@@ -200,9 +203,65 @@ def main(argv: list[str] | None = None) -> int:
         help="scenario runway in simulated seconds (default: 900)",
     )
     sample.add_argument(
+        "--trainer", action="store_true",
+        help="emit a trainer-side plan instead (NaN gradients, checkpoint "
+             "write failures, retrain timeouts on the epoch clock)",
+    )
+    sample.add_argument(
+        "--epochs", type=int, default=12,
+        help="trainer plans: epoch runway (default: 12)",
+    )
+    sample.add_argument(
         "--out", metavar="PLAN.json", default=None,
         help="write the plan here instead of stdout",
     )
+    train = sub.add_parser(
+        "train", help="fit the system-state model with crash-safe checkpoints"
+    )
+    train.add_argument(
+        "--ckpt", metavar="FILE", required=True,
+        help="fit-checkpoint file (written atomically at each epoch boundary)",
+    )
+    train.add_argument(
+        "--resume", action="store_true",
+        help="continue bit-identically from the checkpoint if it exists",
+    )
+    train.add_argument("--epochs", type=int, default=None,
+                       help="override the scale's epoch budget")
+    train.add_argument("--scale", choices=("quick", "default", "paper"),
+                       default=None, help="corpus/effort preset")
+    train.add_argument(
+        "--kill-after-epoch", type=int, default=None, metavar="N",
+        help="SIGKILL the process right after checkpoint N lands "
+             "(deterministic crash for resume testing)",
+    )
+    train.add_argument(
+        "--faults", metavar="PLAN.json", default=None,
+        help="inject trainer-side faults from this plan "
+             "(see 'repro faults sample --trainer')",
+    )
+    train.add_argument("--seed", type=int, default=0)
+    retrain_cmd = sub.add_parser(
+        "retrain", help="retrain the performance models (optionally gated)"
+    )
+    retrain_cmd.add_argument(
+        "--gate", action="store_true",
+        help="evaluate candidates on a held-out slice and promote only if "
+             "val R2 does not regress beyond --tolerance",
+    )
+    retrain_cmd.add_argument(
+        "--tolerance", type=float, default=0.02,
+        help="max held-out R2 regression a candidate may show (default: 0.02)",
+    )
+    retrain_cmd.add_argument("--epochs", type=int, default=None,
+                             help="override the scale's epoch budget")
+    retrain_cmd.add_argument("--scale", choices=("quick", "default", "paper"),
+                             default=None, help="corpus/effort preset")
+    retrain_cmd.add_argument(
+        "--faults", metavar="PLAN.json", default=None,
+        help="inject trainer-side faults from this plan",
+    )
+    retrain_cmd.add_argument("--seed", type=int, default=0)
     obs_cmd = sub.add_parser(
         "obs", help="summarize an observability dump, or watch a stream"
     )
@@ -233,7 +292,14 @@ def main(argv: list[str] | None = None) -> int:
 
         if args.faults_command == "sample":
             try:
-                plan = FaultPlan.sample(seed=args.seed, duration_s=args.duration)
+                if args.trainer:
+                    plan = FaultPlan.sample_trainer(
+                        seed=args.seed, epochs=args.epochs
+                    )
+                else:
+                    plan = FaultPlan.sample(
+                        seed=args.seed, duration_s=args.duration
+                    )
             except FaultPlanError as error:
                 print(str(error), file=sys.stderr)
                 return 2
@@ -258,6 +324,88 @@ def main(argv: list[str] | None = None) -> int:
             params = ", ".join(f"{k}={v}" for k, v in sorted(spec.params.items()))
             print(f"  {spec.start_s:8.1f}s +{spec.duration_s:6.1f}s  "
                   f"{spec.kind}  {params}")
+        return 0
+
+    if args.command in ("train", "retrain"):
+        from repro.faults.errors import FaultPlanError
+        from repro.faults.plan import FaultPlan
+
+        plan = None
+        if args.faults is not None:
+            try:
+                plan = FaultPlan.from_file(args.faults)
+            except (FileNotFoundError, FaultPlanError) as error:
+                print(f"--faults: {error}", file=sys.stderr)
+                return 2
+        if args.scale is not None:
+            import os
+
+            os.environ["ADRIAS_SCALE"] = args.scale
+        scale = scale_from_env()
+
+        if args.command == "train":
+            from repro.models.training_runtime import run_training
+
+            summary = run_training(
+                args.ckpt,
+                resume=args.resume,
+                epochs=args.epochs,
+                scale=scale,
+                kill_after_epoch=args.kill_after_epoch,
+                plan=plan,
+                seed=args.seed,
+            )
+            print(f"== train: system-state model (scale={summary['scale']}) ==")
+            print(f"epochs run:        {summary['epochs']}"
+                  + (" (resumed)" if summary["resumed"] else ""))
+            print(f"train loss:        {summary['train_loss']:.6f}")
+            if summary["val_loss"] is not None:
+                print(f"val loss:          {summary['val_loss']:.6f}")
+            print(f"recoveries:        {summary['recoveries']}")
+            if summary["checkpoint_write_failures"]:
+                print("ckpt write fails:  "
+                      f"{summary['checkpoint_write_failures']}")
+            print(f"model digest:      {summary['digest']}")
+            print(f"checkpoint:        {summary['checkpoint']}")
+            return 0
+
+        from repro.models.promotion import GateConfig
+        from repro.models.training_runtime import run_gated_retrain
+
+        gate = (
+            GateConfig(tolerance=args.tolerance, seed=args.seed)
+            if args.gate else None
+        )
+        if gate is None:
+            from repro.experiments.common import get_predictor, get_traces
+            from repro.models.retraining import retrain as plain_retrain
+
+            plain_retrain(
+                get_predictor(scale), list(get_traces(scale)),
+                epochs=(
+                    args.epochs if args.epochs is not None
+                    else scale.epochs_performance
+                ),
+                seed=args.seed,
+            )
+            print(f"== retrain: ungated (scale={scale.name}) ==")
+            print("performance models rebuilt and swapped unconditionally "
+                  "(use --gate for held-out promotion gating)")
+            return 0
+        summary = run_gated_retrain(
+            scale=scale, epochs=args.epochs, gate=gate, plan=plan,
+            seed=args.seed,
+        )
+        print(f"== retrain: gated promotion (scale={summary['scale']}) ==")
+        for decision in summary["decisions"]:
+            verdict = "promoted" if decision["promoted"] else "kept incumbent"
+            detail = f"reason={decision['reason']}"
+            if decision["candidate_r2"] is not None:
+                detail += f" candidate_r2={decision['candidate_r2']:.3f}"
+            if decision["incumbent_r2"] is not None:
+                detail += f" incumbent_r2={decision['incumbent_r2']:.3f}"
+            print(f"  {decision['kind']:<18} {verdict:<15} {detail}")
+        print(f"promoted {summary['promoted']}, rejected {summary['rejected']}")
         return 0
 
     if args.command == "obs":

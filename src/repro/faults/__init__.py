@@ -28,13 +28,16 @@ from repro.faults.errors import (
     FaultPlanError,
     InferenceFault,
     InferenceTimeout,
+    RetrainTimeout,
 )
 from repro.faults.injector import FaultInjector
-from repro.faults.plan import FAULT_KINDS, FaultPlan, FaultSpec
+from repro.faults.plan import FAULT_KINDS, TRAINER_KINDS, FaultPlan, FaultSpec
 from repro.faults.runtime import activate, active_plan, current_plan, deactivate
+from repro.faults.training import TrainingChaos
 
 __all__ = [
     "FAULT_KINDS",
+    "TRAINER_KINDS",
     "FaultPlan",
     "FaultSpec",
     "FaultPlanError",
@@ -45,6 +48,8 @@ __all__ = [
     "InferenceTimeout",
     "CorruptPrediction",
     "CheckpointError",
+    "RetrainTimeout",
+    "TrainingChaos",
     "activate",
     "deactivate",
     "current_plan",

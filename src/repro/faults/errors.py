@@ -15,6 +15,7 @@ __all__ = [
     "InferenceTimeout",
     "CorruptPrediction",
     "CheckpointError",
+    "RetrainTimeout",
 ]
 
 
@@ -43,3 +44,18 @@ class CorruptPrediction(InferenceFault):
 
 class CheckpointError(RuntimeError):
     """A checkpoint file is unreadable or inconsistent with the run."""
+
+
+class RetrainTimeout(RuntimeError):
+    """A retrain attempt overran its wall-clock budget.
+
+    Raised inside the gated-promotion path and handled there: the
+    candidate is abandoned and the incumbent model stays in place.
+    """
+
+    def __init__(self, elapsed_s: float, budget_s: float) -> None:
+        super().__init__(
+            f"retrain took {elapsed_s:.3f}s > budget {budget_s:.3f}s"
+        )
+        self.elapsed_s = elapsed_s
+        self.budget_s = budget_s

@@ -31,6 +31,25 @@ Fault kinds
 ``predictor_delay``
     Every inference call takes an extra ``latency_s`` seconds; callers
     that pass a decision deadline below it observe a timeout.
+
+Trainer-side kinds run on a different clock: ``start_s``/``duration_s``
+are interpreted as *epoch indices* (``nan_grad``, ``ckpt_write_fail``)
+or *retrain-attempt indices* (``retrain_timeout``) by
+:class:`repro.faults.training.TrainingChaos` — the schedule semantics
+(seeded windows, JSON round-trip, bit-reproducibility) are identical.
+
+``nan_grad``
+    With ``probability`` per epoch in the window, every parameter
+    gradient is replaced by NaN right before the optimizer step,
+    exercising the Trainer's divergence-recovery path.
+``ckpt_write_fail``
+    Fit-checkpoint writes fail (with ``probability``) while the window
+    covers the epoch being saved; the trainer keeps the previous
+    checkpoint and continues.
+``retrain_timeout``
+    Covered retrain attempts are given ``timeout_s`` seconds of wall
+    clock; a candidate fit exceeding it is abandoned and the incumbent
+    model stays in place.
 """
 
 from __future__ import annotations
@@ -43,7 +62,7 @@ import numpy as np
 
 from repro.faults.errors import FaultPlanError
 
-__all__ = ["FAULT_KINDS", "FaultSpec", "FaultPlan"]
+__all__ = ["FAULT_KINDS", "TRAINER_KINDS", "FaultSpec", "FaultPlan"]
 
 PLAN_VERSION = 1
 
@@ -69,6 +88,15 @@ _PARAM_SCHEMAS: dict[str, dict[str, tuple[bool, str]]] = {
     "predictor_delay": {
         "latency_s": (True, "positive"),
     },
+    "nan_grad": {
+        "probability": (True, "probability"),
+    },
+    "ckpt_write_fail": {
+        "probability": (True, "probability"),
+    },
+    "retrain_timeout": {
+        "timeout_s": (True, "positive"),
+    },
 }
 
 FAULT_KINDS: tuple[str, ...] = tuple(_PARAM_SCHEMAS)
@@ -77,6 +105,8 @@ FAULT_KINDS: tuple[str, ...] = tuple(_PARAM_SCHEMAS)
 LINK_KINDS = ("link_degrade", "link_outage")
 TELEMETRY_KINDS = ("telemetry_dropout", "telemetry_corrupt")
 PREDICTOR_KINDS = ("predictor_nan", "predictor_delay")
+#: Trainer-side kinds; windows run on the epoch / retrain-attempt clock.
+TRAINER_KINDS = ("nan_grad", "ckpt_write_fail", "retrain_timeout")
 
 
 def _check_param(kind: str, name: str, rule: str, value) -> None:
@@ -326,5 +356,52 @@ class FaultPlan:
             description=(
                 f"sample plan (seed={seed}): link outage + degradation, "
                 "telemetry dropouts/corruption, predictor NaNs and delays"
+            ),
+        )
+
+    @classmethod
+    def sample_trainer(cls, seed: int = 0, epochs: int = 12) -> "FaultPlan":
+        """A representative *trainer-side* plan on the epoch clock.
+
+        Exercises the resilient training runtime end to end: a NaN
+        gradient burst early (divergence recovery), a checkpoint-write
+        failure window later (degraded checkpointing), and a timeout on
+        the second retrain attempt (gated promotion keeps the
+        incumbent).  Same seed ⇒ bit-identical plan.
+        """
+        if epochs < 6:
+            raise FaultPlanError(
+                "trainer sample plans need at least 6 epochs of runway"
+            )
+        rng = np.random.default_rng([seed, 0x7E41])
+        nan_epoch = int(rng.integers(2, max(3, epochs // 2)))
+        ckpt_epoch = int(rng.integers(epochs // 2, epochs - 1))
+        faults = (
+            FaultSpec(
+                kind="nan_grad",
+                start_s=float(nan_epoch),
+                duration_s=1.0,
+                params={"probability": 1.0},
+            ),
+            FaultSpec(
+                kind="ckpt_write_fail",
+                start_s=float(ckpt_epoch),
+                duration_s=2.0,
+                params={"probability": 1.0},
+            ),
+            FaultSpec(
+                kind="retrain_timeout",
+                start_s=1.0,
+                duration_s=1.0,
+                params={"timeout_s": 1e-3},
+            ),
+        )
+        return cls(
+            faults=faults,
+            seed=seed,
+            description=(
+                f"trainer sample plan (seed={seed}): NaN-gradient burst at "
+                f"epoch {nan_epoch}, checkpoint-write failures from epoch "
+                f"{ckpt_epoch}, timeout on the second retrain attempt"
             ),
         )

@@ -1,0 +1,111 @@
+"""Trainer-side fault injection: NaN gradients, checkpoint-write
+failures and retrain timeouts.
+
+:class:`TrainingChaos` is the trainer's counterpart to
+:class:`~repro.faults.injector.PredictorChaos`: one shim binds one
+:class:`~repro.faults.plan.FaultPlan` to one ``Trainer.fit`` (and to the
+gated retrain loop around it).  The same declarative, seeded plan
+machinery applies — only the clock differs.  Engine-side windows run on
+simulated seconds; trainer windows interpret ``start_s``/``duration_s``
+as
+
+* **epoch indices** for ``nan_grad`` and ``ckpt_write_fail`` — a window
+  ``start_s=3, duration_s=2`` covers epochs 3 and 4 of the fit;
+* **retrain-attempt indices** for ``retrain_timeout`` — attempt 0 is
+  the first retrain the shim observes.
+
+All randomness flows from one RNG derived from ``(plan.seed, seed)``
+and is only consulted while a window is active, so a plan with no
+trainer windows leaves a fit bit-identical to an uninjected one.
+
+``nan_grad`` fires at most once per covered epoch (on its first batch):
+the poisoned optimizer step drives the parameters non-finite, which the
+Trainer's divergence guard then has to detect and roll back — injecting
+every batch would only re-trigger the same recovery.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import obs
+from repro.faults.plan import FaultPlan, FaultSpec
+from repro.nn.resilience import CheckpointWriteError
+
+__all__ = ["TrainingChaos"]
+
+
+class TrainingChaos:
+    """Fault shim a Trainer (and the retrain gate) consults per hook.
+
+    Wire it up via ``Trainer(..., chaos=...)`` and
+    ``CheckpointManager(..., chaos=...)``; the gated retrain path calls
+    :meth:`retrain_budget_s` / :meth:`note_retrain` itself.
+    """
+
+    def __init__(self, plan: FaultPlan, seed: int = 0) -> None:
+        self.plan = plan
+        self.seed = seed
+        self.rng = np.random.default_rng([plan.seed, seed])
+        #: Counts for run summaries: {effect name: value}.
+        self.injected = {
+            "nan_grad_epochs": 0,
+            "checkpoint_write_failures": 0,
+            "retrain_timeouts": 0,
+        }
+        self._last_nan_epoch: int | None = None
+        self._retrains = 0
+
+    # -- hooks consulted by the trainer --------------------------------------
+    def corrupt_gradients(self, epoch: int, params) -> None:
+        """Poison every gradient with NaN while a ``nan_grad`` window
+        covers ``epoch`` (once per epoch; replays after a rollback run
+        clean so recovery can make progress)."""
+        spec = self._active("nan_grad", float(epoch))
+        if spec is None or self._last_nan_epoch == epoch:
+            return
+        self._last_nan_epoch = epoch
+        if self.rng.random() >= float(spec.param("probability", 1.0)):
+            return
+        for param in params:
+            param.grad[...] = np.nan
+        self.injected["nan_grad_epochs"] += 1
+        self._count("trainer_injected_nan_grads_total")
+
+    def checkpoint_write(self, epoch_next: int) -> None:
+        """Raise :class:`CheckpointWriteError` while a ``ckpt_write_fail``
+        window covers the epoch boundary being saved."""
+        spec = self._active("ckpt_write_fail", float(epoch_next))
+        if spec is None:
+            return
+        if self.rng.random() >= float(spec.param("probability", 1.0)):
+            return
+        self.injected["checkpoint_write_failures"] += 1
+        self._count("trainer_injected_ckpt_failures_total")
+        raise CheckpointWriteError(
+            f"injected checkpoint-write failure at epoch boundary {epoch_next}"
+        )
+
+    # -- hooks consulted by the retrain gate ---------------------------------
+    def retrain_budget_s(self) -> float | None:
+        """Injected wall-clock budget for the current retrain attempt,
+        or ``None`` when no ``retrain_timeout`` window covers it."""
+        spec = self._active("retrain_timeout", float(self._retrains))
+        return float(spec.param("timeout_s")) if spec is not None else None
+
+    def note_retrain(self, timed_out: bool = False) -> None:
+        """Advance the retrain-attempt clock (call once per attempt)."""
+        self._retrains += 1
+        if timed_out:
+            self.injected["retrain_timeouts"] += 1
+            self._count("trainer_injected_retrain_timeouts_total")
+
+    # -- internals -----------------------------------------------------------
+    def _active(self, kind: str, now: float) -> FaultSpec | None:
+        return self.plan.active((kind,), now)
+
+    def _count(self, name: str) -> None:
+        if obs.enabled():
+            obs.metrics().counter(
+                name, f"Injected trainer fault effects ({name})",
+            ).inc()

@@ -14,6 +14,7 @@ from repro.models.dataset import (
 from repro.models.features import FeatureConfig, encode_mode, subsample
 from repro.models.performance import PerformanceModel, PerformancePredictor
 from repro.models.predictor import Predictor
+from repro.models.promotion import GateConfig, PromotionDecision, gated_retrain
 from repro.models.retraining import (
     evaluate_onboarding,
     onboard_application,
@@ -25,10 +26,12 @@ from repro.models.system_state import SystemStateModel, SystemStatePredictor
 
 __all__ = [
     "FeatureConfig",
+    "GateConfig",
     "PerformanceDataset",
     "PerformanceModel",
     "PerformancePredictor",
     "Predictor",
+    "PromotionDecision",
     "SignatureLibrary",
     "SystemStateDataset",
     "SystemStateModel",
@@ -37,6 +40,7 @@ __all__ = [
     "build_system_state_dataset",
     "encode_mode",
     "evaluate_onboarding",
+    "gated_retrain",
     "onboard_application",
     "retrain",
     "retrain_on_drift",

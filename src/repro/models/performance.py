@@ -36,6 +36,7 @@ from repro.nn import (
     mae,
     r2_score,
 )
+from repro.nn.serialization import load_state, save_state
 
 __all__ = ["PerformanceModel", "PerformancePredictor"]
 
@@ -176,7 +177,17 @@ class PerformancePredictor:
         val_fraction: float = 0.15,
         patience: int = 20,
         verbose: bool = False,
+        chaos=None,
+        recovery=None,
+        checkpoint=None,
+        resume: bool = False,
     ) -> None:
+        """Fit the performance model.
+
+        ``chaos``/``recovery``/``checkpoint``/``resume`` pass straight
+        through to the resilient training runtime — see
+        :meth:`repro.nn.Trainer.fit`.
+        """
         state = np.asarray(state, dtype=np.float64)
         signature = np.asarray(signature, dtype=np.float64)
         mode = np.asarray(mode, dtype=np.float64).reshape(-1, 1)
@@ -214,6 +225,7 @@ class PerformancePredictor:
             optimizer=Adam(self.model.parameters(), lr=lr),
             loss=MSELoss(),
             name="performance",
+            chaos=chaos,
         )
         trainer.fit(
             DataLoader(train, batch_size=batch_size, shuffle=True, rng=rng),
@@ -221,6 +233,9 @@ class PerformancePredictor:
             epochs=epochs,
             early_stopping=EarlyStopping(patience=patience),
             verbose=verbose,
+            checkpoint=checkpoint,
+            resume=resume,
+            recovery=recovery,
         )
         self._trained = True
 
@@ -275,7 +290,11 @@ class PerformancePredictor:
 
     # -- persistence --------------------------------------------------------
     def save(self, path) -> None:
-        """Persist weights and scaler state to an ``.npz`` archive."""
+        """Persist weights and scaler state to an ``.npz`` archive.
+
+        The write is atomic and the archive versioned/digested — see
+        :mod:`repro.nn.serialization`.
+        """
         if not self._trained:
             raise RuntimeError("cannot save an untrained predictor")
         state = self.model.state_dict()
@@ -283,12 +302,11 @@ class PerformancePredictor:
         state["__metric_scale"] = self.metric_scaler.scale_
         state["__target_mean"] = self.target_scaler.mean_
         state["__target_scale"] = self.target_scaler.scale_
-        np.savez(path, **state)
+        save_state(state, path)
 
     def load(self, path) -> "PerformancePredictor":
         """Restore a predictor saved by :meth:`save` (same architecture)."""
-        with np.load(path) as archive:
-            state = {key: archive[key] for key in archive.files}
+        state = load_state(path)
         self.metric_scaler.mean_ = state.pop("__metric_mean")
         self.metric_scaler.scale_ = state.pop("__metric_scale")
         self.target_scaler.mean_ = state.pop("__target_mean")

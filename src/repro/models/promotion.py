@@ -1,0 +1,241 @@
+"""Gated model promotion for the Fig. 15 retraining loop.
+
+:func:`retrain` alone swaps a freshly-fit performance model in
+unconditionally — if the new corpus is skewed, or the candidate fit
+diverged and recovered into a mediocre optimum, the serving Predictor
+silently gets *worse*.  :func:`gated_retrain` closes that hole:
+
+1. split a seeded held-out slice off the retraining corpus;
+2. score the incumbent model on it;
+3. fit a candidate on the remaining samples (under the resilient
+   training runtime — divergence recovery and trainer-fault chaos plug
+   straight in);
+4. promote the candidate only if its held-out R² does not regress more
+   than :attr:`GateConfig.tolerance` below the incumbent's; otherwise
+   keep the incumbent and record the rejection.
+
+Retrain attempts also run against a wall-clock budget (organic via
+:attr:`GateConfig.timeout_s`, injected via the ``retrain_timeout``
+fault kind); an over-budget candidate is abandoned exactly like a
+regressing one.  Every decision is returned as a
+:class:`PromotionDecision` and mirrored to obs metrics/trace/live
+events, so the recovery arc of a faulted retrain is auditable end to
+end.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro import obs
+from repro.cluster.trace import Trace
+from repro.faults.errors import RetrainTimeout
+from repro.models.dataset import build_performance_dataset
+from repro.models.performance import PerformancePredictor
+from repro.models.predictor import Predictor
+from repro.nn.resilience import RecoveryPolicy, TrainingDivergedError
+from repro.workloads.base import WorkloadKind
+
+__all__ = ["GateConfig", "PromotionDecision", "gated_retrain"]
+
+
+@dataclass(frozen=True)
+class GateConfig:
+    """Promotion-gate knobs.
+
+    ``tolerance`` is the maximum held-out R² regression a candidate may
+    show versus the incumbent and still be promoted (candidates that
+    *improve* always pass).  ``timeout_s`` is an optional wall-clock
+    budget per retrain attempt; ``None`` means unbounded (injected
+    ``retrain_timeout`` faults still apply).
+    """
+
+    tolerance: float = 0.02
+    holdout_fraction: float = 0.2
+    min_holdout: int = 4
+    timeout_s: float | None = None
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.tolerance < 0:
+            raise ValueError("tolerance must be non-negative")
+        if not 0.0 < self.holdout_fraction < 1.0:
+            raise ValueError("holdout_fraction must be in (0, 1)")
+        if self.min_holdout < 2:
+            raise ValueError("min_holdout must be >= 2")
+        if self.timeout_s is not None and self.timeout_s <= 0:
+            raise ValueError("timeout_s must be positive")
+
+
+@dataclass(frozen=True)
+class PromotionDecision:
+    """Audit record for one per-kind promotion attempt."""
+
+    kind: str
+    promoted: bool
+    #: "promoted", "no_incumbent", "regression", "timeout" or "diverged".
+    reason: str
+    candidate_r2: float | None = None
+    incumbent_r2: float | None = None
+    elapsed_s: float = 0.0
+
+    def to_dict(self) -> dict:
+        return {
+            "kind": self.kind,
+            "promoted": self.promoted,
+            "reason": self.reason,
+            "candidate_r2": self.candidate_r2,
+            "incumbent_r2": self.incumbent_r2,
+            "elapsed_s": self.elapsed_s,
+        }
+
+
+def _holdout_split(n: int, gate: GateConfig) -> tuple[np.ndarray, np.ndarray]:
+    """Seeded (train_idx, holdout_idx) permutation split."""
+    n_hold = max(gate.min_holdout, int(round(n * gate.holdout_fraction)))
+    if n - n_hold < gate.min_holdout:
+        raise ValueError(
+            f"corpus of {n} samples is too small for a "
+            f"{gate.holdout_fraction:.0%} holdout with min_holdout="
+            f"{gate.min_holdout}"
+        )
+    order = np.random.default_rng([gate.seed, n]).permutation(n)
+    return order[n_hold:], order[:n_hold]
+
+
+def _score(model: PerformancePredictor | None, data, future) -> float | None:
+    if model is None:
+        return None
+    r2 = model.evaluate(
+        data.state, data.signature, data.mode, future, data.targets
+    )["r2"]
+    return float(r2) if np.isfinite(r2) else None
+
+
+def _observe(decision: PromotionDecision) -> None:
+    if obs.enabled():
+        obs.metrics().counter(
+            "model_promotions_total",
+            "Gated retrain outcomes by workload kind",
+            labels=("kind", "outcome"),
+        ).labels(kind=decision.kind, outcome=decision.reason).inc()
+        obs.tracer().instant(
+            "model_promotion", category="models.promotion",
+            **decision.to_dict(),
+        )
+    live = obs.live_session()
+    if live is not None:
+        live.note_event("promotion", **decision.to_dict())
+
+
+def gated_retrain(
+    predictor: Predictor,
+    traces: list[Trace],
+    *,
+    kinds: tuple[WorkloadKind, ...] = (
+        WorkloadKind.BEST_EFFORT,
+        WorkloadKind.LATENCY_CRITICAL,
+    ),
+    epochs: int = 50,
+    seed: int = 0,
+    gate: GateConfig | None = None,
+    chaos=None,
+    recovery: RecoveryPolicy | None = None,
+) -> tuple[Predictor, list[PromotionDecision]]:
+    """Retrain the performance models with gated promotion.
+
+    Drop-in replacement for :func:`repro.models.retraining.retrain` that
+    returns ``(predictor, decisions)``: the predictor reuses the
+    incumbent model for every kind whose candidate was rejected, and
+    ``decisions`` records why.  ``chaos`` is an optional
+    :class:`repro.faults.training.TrainingChaos` driving trainer-side
+    fault windows; ``recovery`` (default: a stock
+    :class:`RecoveryPolicy`) arms divergence recovery on candidate fits.
+    """
+    if predictor.system_state is None:
+        raise ValueError("predictor has no trained system-state model")
+    gate = gate if gate is not None else GateConfig()
+    recovery = recovery if recovery is not None else RecoveryPolicy()
+    incumbents: dict[WorkloadKind, PerformancePredictor | None] = {
+        WorkloadKind.BEST_EFFORT: predictor.be_performance,
+        WorkloadKind.LATENCY_CRITICAL: predictor.lc_performance,
+    }
+    models = dict(incumbents)
+    decisions: list[PromotionDecision] = []
+    for kind in kinds:
+        if kind is WorkloadKind.INTERFERENCE:
+            raise ValueError("interference workloads have no performance model")
+        data = build_performance_dataset(
+            traces, predictor.signatures, kind, predictor.config
+        )
+        train_idx, hold_idx = _holdout_split(len(data), gate)
+        train, holdout = data.subset(train_idx), data.subset(hold_idx)
+        hold_future = predictor.system_state.predict(holdout.state)
+        incumbent_r2 = _score(incumbents[kind], holdout, hold_future)
+
+        budget_s = gate.timeout_s
+        if chaos is not None:
+            injected = chaos.retrain_budget_s()
+            if injected is not None:
+                budget_s = (
+                    injected if budget_s is None else min(budget_s, injected)
+                )
+        started = time.monotonic()
+        candidate_r2 = None
+        try:
+            candidate = PerformancePredictor(
+                feature_config=predictor.config, seed=seed
+            )
+            candidate.fit(
+                train.state, train.signature, train.mode,
+                predictor.system_state.predict(train.state), train.targets,
+                epochs=epochs, chaos=chaos, recovery=recovery,
+            )
+            elapsed = time.monotonic() - started
+            if budget_s is not None and elapsed > budget_s:
+                raise RetrainTimeout(elapsed_s=elapsed, budget_s=budget_s)
+            candidate_r2 = _score(candidate, holdout, hold_future)
+        except RetrainTimeout as timeout:
+            decision = PromotionDecision(
+                kind=kind.name.lower(), promoted=False, reason="timeout",
+                incumbent_r2=incumbent_r2, elapsed_s=timeout.elapsed_s,
+            )
+        except TrainingDivergedError:
+            decision = PromotionDecision(
+                kind=kind.name.lower(), promoted=False, reason="diverged",
+                incumbent_r2=incumbent_r2,
+                elapsed_s=time.monotonic() - started,
+            )
+        else:
+            elapsed = time.monotonic() - started
+            if incumbent_r2 is None:
+                promoted, reason = True, "no_incumbent"
+            elif (
+                candidate_r2 is not None
+                and candidate_r2 >= incumbent_r2 - gate.tolerance
+            ):
+                promoted, reason = True, "promoted"
+            else:
+                promoted, reason = False, "regression"
+            decision = PromotionDecision(
+                kind=kind.name.lower(), promoted=promoted, reason=reason,
+                candidate_r2=candidate_r2, incumbent_r2=incumbent_r2,
+                elapsed_s=elapsed,
+            )
+            if promoted:
+                models[kind] = candidate
+        if chaos is not None:
+            chaos.note_retrain(timed_out=decision.reason == "timeout")
+        _observe(decision)
+        decisions.append(decision)
+    promoted_predictor = Predictor(
+        system_state=predictor.system_state,
+        be_performance=models[WorkloadKind.BEST_EFFORT],
+        lc_performance=models[WorkloadKind.LATENCY_CRITICAL],
+        signatures=predictor.signatures,
+        feature_config=predictor.config,
+    )
+    return promoted_predictor, decisions

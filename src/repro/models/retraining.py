@@ -108,30 +108,50 @@ def retrain_on_drift(
     ),
     epochs: int = 50,
     seed: int = 0,
+    gate=None,
+    chaos=None,
+    recovery=None,
 ) -> Callable:
     """Build an ``on_drift`` callback that closes the retraining loop.
 
     Wire the result into :func:`repro.obs.enable_live` (``on_drift=...``)
-    and a live drift alarm triggers :func:`retrain` on ``traces`` and
-    swaps the fresh :class:`Predictor` into ``policy.predictor`` — the
+    and a live drift alarm triggers a retrain on ``traces`` and swaps
+    the fresh :class:`Predictor` into ``policy.predictor`` — the
     "continuous retraining is crucial" loop of Fig. 15, driven by the
     online Page–Hinkley detector instead of a human.  The stale
     predictor's engine tick hooks stay registered (they only invalidate
     its now-unused memo); the policy re-attaches the fresh one on its
     next decision.
+
+    Pass ``gate=`` a :class:`repro.models.promotion.GateConfig` to route
+    the retrain through :func:`repro.models.promotion.gated_retrain`
+    instead: candidates are scored on a held-out slice and only promoted
+    if their R² does not regress past the gate's tolerance, with
+    divergence recovery (``recovery=``) and trainer-fault injection
+    (``chaos=``) applied to the candidate fits.  Without a gate the
+    legacy unconditional :func:`retrain` swap is preserved.
     """
 
     def _on_alarm(alarm) -> None:
-        policy.predictor = retrain(
-            policy.predictor, traces, kinds=kinds, epochs=epochs, seed=seed
-        )
+        if gate is not None:
+            from repro.models.promotion import gated_retrain
+
+            policy.predictor, _ = gated_retrain(
+                policy.predictor, traces, kinds=kinds, epochs=epochs,
+                seed=seed, gate=gate, chaos=chaos, recovery=recovery,
+            )
+        else:
+            policy.predictor = retrain(
+                policy.predictor, traces, kinds=kinds, epochs=epochs, seed=seed
+            )
         if obs.enabled():
             obs.metrics().counter(
                 "predictor_retrains_total",
                 "Performance-model retrains triggered by drift alarms",
             ).inc()
             obs.tracer().instant(
-                "drift_retrain", category="obs.live", stream=alarm.stream
+                "drift_retrain", category="obs.live", stream=alarm.stream,
+                gated=gate is not None,
             )
 
     return _on_alarm

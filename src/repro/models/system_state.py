@@ -29,6 +29,7 @@ from repro.nn import (
     Trainer,
     r2_score,
 )
+from repro.nn.serialization import load_state, save_state
 from repro.hardware.counters import METRIC_NAMES
 from repro.models.features import FeatureConfig
 
@@ -146,8 +147,17 @@ class SystemStatePredictor:
         val_fraction: float = 0.15,
         patience: int = 12,
         verbose: bool = False,
+        chaos=None,
+        recovery=None,
+        checkpoint=None,
+        resume: bool = False,
     ) -> None:
-        """Train on (N, T, M) windows and (N, M) horizon-mean targets."""
+        """Train on (N, T, M) windows and (N, M) horizon-mean targets.
+
+        ``chaos``/``recovery``/``checkpoint``/``resume`` pass straight
+        through to the resilient training runtime — see
+        :meth:`repro.nn.Trainer.fit`.
+        """
         windows = np.asarray(windows, dtype=np.float64)
         targets = np.asarray(targets, dtype=np.float64)
         if windows.ndim != 3 or targets.ndim != 2:
@@ -172,6 +182,7 @@ class SystemStatePredictor:
             optimizer=Adam(self.model.parameters(), lr=lr),
             loss=MSELoss(),
             name="system_state",
+            chaos=chaos,
         )
         trainer.fit(
             DataLoader(train, batch_size=batch_size, shuffle=True, rng=rng),
@@ -179,6 +190,9 @@ class SystemStatePredictor:
             epochs=epochs,
             early_stopping=EarlyStopping(patience=patience),
             verbose=verbose,
+            checkpoint=checkpoint,
+            resume=resume,
+            recovery=recovery,
         )
         self._trained = True
 
@@ -229,12 +243,11 @@ class SystemStatePredictor:
         state["__target_mean"] = self.target_scaler.mean_
         state["__target_scale"] = self.target_scaler.scale_
         state["__residual"] = np.array([1.0 if self.residual else 0.0])
-        np.savez(path, **state)
+        save_state(state, path)
 
     def load(self, path) -> "SystemStatePredictor":
         """Restore a predictor saved by :meth:`save` (same architecture)."""
-        with np.load(path) as archive:
-            state = {key: archive[key] for key in archive.files}
+        state = load_state(path)
         self.input_scaler.mean_ = state.pop("__input_mean")
         self.input_scaler.scale_ = state.pop("__input_scale")
         self.target_scaler.mean_ = state.pop("__target_mean")

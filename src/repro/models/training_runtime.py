@@ -1,0 +1,161 @@
+"""Drivers for the resilient training runtime (CLI + soak harness).
+
+Couples the pieces of the hardened model lifecycle into two runnable
+entry points:
+
+* :func:`run_training` — fit the system-state predictor on a scale's
+  trace corpus under crash-safe checkpointing (``python -m repro train``).
+  ``resume=True`` continues an interrupted fit bit-identically;
+  ``kill_after_epoch`` arms a deterministic SIGKILL right after that
+  epoch's checkpoint lands, which is how the kill-and-resume soak
+  harness (``examples/train_resume_soak.py``) and the CI smoke job
+  murder a fit mid-run without racing the scheduler.
+* :func:`run_gated_retrain` — rebuild the performance models from the
+  corpus through the promotion gate (``python -m repro retrain --gate``),
+  optionally under an injected trainer-fault plan.
+
+Both return plain dicts of printable facts (epochs run, losses, the
+model-state digest used to assert bit-identical resumes, promotion
+decisions) so the CLI and tests consume the same surface.
+"""
+
+from __future__ import annotations
+
+import os
+import signal
+from pathlib import Path
+
+from repro.faults.plan import FaultPlan
+from repro.faults.training import TrainingChaos
+from repro.models.promotion import GateConfig, gated_retrain
+from repro.models.system_state import SystemStatePredictor
+from repro.nn.resilience import CheckpointManager, RecoveryPolicy
+from repro.nn.serialization import state_digest
+
+__all__ = ["KillSwitchCheckpointManager", "run_training", "run_gated_retrain"]
+
+
+class KillSwitchCheckpointManager(CheckpointManager):
+    """CheckpointManager that SIGKILLs the process after one save.
+
+    The signal fires right after the checkpoint for epoch boundary
+    ``kill_after_epoch`` is durably on disk — the hardest crash the
+    runtime must survive, delivered at a deterministic point so resume
+    tests can assert bit-identical recovery.
+    """
+
+    def __init__(self, path, kill_after_epoch: int, **kwargs) -> None:
+        super().__init__(path, **kwargs)
+        if kill_after_epoch < 1:
+            raise ValueError("kill_after_epoch must be >= 1")
+        self.kill_after_epoch = kill_after_epoch
+
+    def save(self, state, *, force: bool = False) -> bool:
+        saved = super().save(state, force=force)
+        if saved and state.epoch_next >= self.kill_after_epoch:
+            os.kill(os.getpid(), signal.SIGKILL)  # pragma: no cover
+        return saved
+
+
+def _corpus(scale):
+    from repro.experiments.common import (
+        get_system_state_dataset,
+        scale_from_env,
+    )
+
+    scale = scale if scale is not None else scale_from_env()
+    return scale, get_system_state_dataset(scale)
+
+
+def run_training(
+    checkpoint: str | Path,
+    *,
+    resume: bool = False,
+    epochs: int | None = None,
+    scale=None,
+    kill_after_epoch: int | None = None,
+    plan: FaultPlan | None = None,
+    seed: int = 0,
+) -> dict:
+    """Fit the system-state predictor with crash-safe checkpointing.
+
+    Returns a summary dict: scale/epochs/losses, ``resumed`` (whether a
+    prior checkpoint was picked up), divergence ``recoveries`` recorded
+    in the checkpoint, and ``digest`` — the content digest of the final
+    model state, identical across interrupted-and-resumed and
+    straight-through runs.
+    """
+    scale, dataset = _corpus(scale)
+    epochs = epochs if epochs is not None else scale.epochs_system
+    chaos = TrainingChaos(plan, seed=seed) if plan is not None else None
+    manager_cls = CheckpointManager
+    manager_kwargs: dict = {"chaos": chaos, "name": "system_state"}
+    if kill_after_epoch is not None:
+        manager_cls = KillSwitchCheckpointManager
+        manager_kwargs["kill_after_epoch"] = kill_after_epoch
+    manager = manager_cls(Path(checkpoint), **manager_kwargs)
+    resumed = resume and manager.exists()
+
+    predictor = SystemStatePredictor(seed=seed)
+    predictor.fit(
+        dataset.windows,
+        dataset.targets,
+        epochs=epochs,
+        chaos=chaos,
+        recovery=RecoveryPolicy(),
+        checkpoint=manager,
+        resume=resume,
+    )
+    final = manager.load()  # forced save at the last boundary puts it there
+    return {
+        "scale": scale.name,
+        "epochs": len(final.history_train),
+        "resumed": resumed,
+        "train_loss": final.history_train[-1],
+        "val_loss": final.history_val[-1] if final.history_val else None,
+        "recoveries": final.recoveries,
+        "checkpoint_write_failures": manager.write_failures,
+        "digest": state_digest(predictor.model.state_dict()),
+        "checkpoint": str(manager.path),
+    }
+
+
+def run_gated_retrain(
+    *,
+    scale=None,
+    epochs: int | None = None,
+    gate: GateConfig | None = None,
+    plan: FaultPlan | None = None,
+    seed: int = 0,
+) -> dict:
+    """Retrain the performance models through the promotion gate.
+
+    Trains the incumbent predictor for ``scale`` (cached per process),
+    then runs :func:`repro.models.promotion.gated_retrain` over the same
+    corpus — under ``plan``'s trainer-fault windows when given — and
+    reports each per-kind :class:`PromotionDecision`.
+    """
+    from repro.experiments.common import (
+        get_predictor,
+        get_traces,
+        scale_from_env,
+    )
+
+    scale = scale if scale is not None else scale_from_env()
+    epochs = epochs if epochs is not None else scale.epochs_performance
+    incumbent = get_predictor(scale)
+    chaos = TrainingChaos(plan, seed=seed) if plan is not None else None
+    _, decisions = gated_retrain(
+        incumbent,
+        list(get_traces(scale)),
+        epochs=epochs,
+        seed=seed,
+        gate=gate,
+        chaos=chaos,
+    )
+    return {
+        "scale": scale.name,
+        "decisions": [d.to_dict() for d in decisions],
+        "promoted": sum(1 for d in decisions if d.promoted),
+        "rejected": sum(1 for d in decisions if not d.promoted),
+    }

@@ -35,19 +35,43 @@ from repro.nn.schedulers import (
     Scheduler,
     StepLR,
 )
-from repro.nn.serialization import load_model, save_model
-from repro.nn.training import EarlyStopping, History, Trainer
+from repro.nn.resilience import (
+    CheckpointManager,
+    CheckpointWriteError,
+    DivergenceError,
+    DivergenceGuard,
+    FitCheckpointError,
+    FitState,
+    RecoveryPolicy,
+    TrainingDivergedError,
+    capture_fit_state,
+    restore_fit_state,
+)
+from repro.nn.serialization import (
+    ModelFormatError,
+    load_model,
+    load_state,
+    save_model,
+    save_state,
+)
+from repro.nn.training import EarlyStopping, History, NonFiniteLossError, Trainer
 
 __all__ = [
     "Adam",
     "BatchNorm1d",
+    "CheckpointManager",
+    "CheckpointWriteError",
     "GRU",
     "StackedGRU",
     "CosineAnnealingLR",
     "DataLoader",
+    "DivergenceError",
+    "DivergenceGuard",
     "Dropout",
     "EarlyStopping",
     "ExponentialLR",
+    "FitCheckpointError",
+    "FitState",
     "History",
     "HuberLoss",
     "Identity",
@@ -59,11 +83,14 @@ __all__ = [
     "MAELoss",
     "MSELoss",
     "MinMaxScaler",
+    "ModelFormatError",
     "Module",
+    "NonFiniteLossError",
     "Optimizer",
     "Parameter",
     "RMSprop",
     "ReLU",
+    "RecoveryPolicy",
     "ReduceLROnPlateau",
     "SGD",
     "Scheduler",
@@ -75,15 +102,20 @@ __all__ = [
     "Tanh",
     "TensorDataset",
     "Trainer",
+    "TrainingDivergedError",
+    "capture_fit_state",
     "clip_grad_norm",
     "clip_grad_value",
     "explained_variance",
     "load_model",
+    "load_state",
     "mae",
     "mape",
     "pearson",
     "r2_score",
+    "restore_fit_state",
     "rmse",
     "save_model",
+    "save_state",
     "train_test_split",
 ]

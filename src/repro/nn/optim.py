@@ -12,7 +12,13 @@ __all__ = ["Optimizer", "SGD", "Adam", "RMSprop"]
 
 
 class Optimizer:
-    """Base optimizer; subclasses implement :meth:`_update_one`."""
+    """Base optimizer; subclasses implement :meth:`_update_one`.
+
+    Optimizers are checkpointable: :meth:`state_dict` captures the LR,
+    any scalar bookkeeping (:meth:`_extra_state`) and every per-parameter
+    slot array (:meth:`_slots` — momentum/moment buffers), so a training
+    run restored from a checkpoint continues bit-identically.
+    """
 
     def __init__(self, params: Iterable[Parameter], lr: float) -> None:
         if lr <= 0:
@@ -32,6 +38,56 @@ class Optimizer:
 
     def _update_one(self, index: int, param: Parameter) -> None:
         raise NotImplementedError
+
+    # -- checkpointing -------------------------------------------------------
+    def _slots(self) -> dict[str, list[np.ndarray]]:
+        """Live per-parameter slot buffers, by slot name (no copies)."""
+        return {}
+
+    def _extra_state(self) -> dict:
+        """JSON-safe scalar state beyond the LR (e.g. Adam's step count)."""
+        return {}
+
+    def _load_extra(self, extra: dict) -> None:
+        pass
+
+    def state_dict(self) -> dict:
+        """Copies of the LR, scalar state and slot buffers."""
+        return {
+            "lr": self.lr,
+            "extra": dict(self._extra_state()),
+            "slots": {
+                name: [a.copy() for a in arrays]
+                for name, arrays in self._slots().items()
+            },
+        }
+
+    def load_state_dict(self, state: dict) -> None:
+        """Restore :meth:`state_dict` output; slot shapes must match."""
+        slots = state.get("slots", {})
+        own = self._slots()
+        if set(slots) != set(own):
+            raise ValueError(
+                f"optimizer slot mismatch: saved {sorted(slots)}, "
+                f"expected {sorted(own)}"
+            )
+        for name, arrays in slots.items():
+            targets = own[name]
+            if len(arrays) != len(targets):
+                raise ValueError(
+                    f"slot {name!r} holds {len(arrays)} arrays, "
+                    f"optimizer has {len(targets)} parameters"
+                )
+            for target, value in zip(targets, arrays):
+                value = np.asarray(value, dtype=np.float64)
+                if target.shape != value.shape:
+                    raise ValueError(
+                        f"slot {name!r} shape mismatch: "
+                        f"{target.shape} vs {value.shape}"
+                    )
+                target[...] = value
+        self.lr = float(state["lr"])
+        self._load_extra(state.get("extra", {}))
 
 
 class SGD(Optimizer):
@@ -59,6 +115,9 @@ class SGD(Optimizer):
             self._velocity[index] = self.momentum * self._velocity[index] + grad
             grad = self._velocity[index]
         param.value -= self.lr * grad
+
+    def _slots(self) -> dict[str, list[np.ndarray]]:
+        return {"velocity": self._velocity}
 
 
 class Adam(Optimizer):
@@ -99,6 +158,15 @@ class Adam(Optimizer):
         v_hat = v / (1 - self.beta2**self._t)
         param.value -= self.lr * m_hat / (np.sqrt(v_hat) + self.eps)
 
+    def _slots(self) -> dict[str, list[np.ndarray]]:
+        return {"m": self._m, "v": self._v}
+
+    def _extra_state(self) -> dict:
+        return {"t": self._t}
+
+    def _load_extra(self, extra: dict) -> None:
+        self._t = int(extra["t"])
+
 
 class RMSprop(Optimizer):
     def __init__(
@@ -119,3 +187,6 @@ class RMSprop(Optimizer):
         sq = self._sq[index]
         sq[...] = self.alpha * sq + (1 - self.alpha) * param.grad**2
         param.value -= self.lr * param.grad / (np.sqrt(sq) + self.eps)
+
+    def _slots(self) -> dict[str, list[np.ndarray]]:
+        return {"sq": self._sq}

@@ -22,6 +22,26 @@ class Scheduler:
     def _lr_at(self, epoch: int, metric: float | None) -> float:
         raise NotImplementedError
 
+    # -- checkpointing -------------------------------------------------------
+    def state_dict(self) -> dict:
+        """JSON-safe progress state (epoch, base LR and current LR).
+
+        ``base_lr`` is part of the state because divergence recovery
+        rescales it (see :mod:`repro.nn.resilience`); the optimizer's
+        current LR rides along so restoring mid-schedule reproduces the
+        exact next update.
+        """
+        return {
+            "epoch": self.epoch,
+            "base_lr": self.base_lr,
+            "lr": self.optimizer.lr,
+        }
+
+    def load_state_dict(self, state: dict) -> None:
+        self.epoch = int(state["epoch"])
+        self.base_lr = float(state["base_lr"])
+        self.optimizer.lr = float(state["lr"])
+
 
 class StepLR(Scheduler):
     """Multiply the LR by ``gamma`` every ``step_size`` epochs."""
@@ -103,3 +123,14 @@ class ReduceLROnPlateau(Scheduler):
 
     def _lr_at(self, epoch: int, metric: float | None) -> float:  # pragma: no cover
         return self.optimizer.lr
+
+    def state_dict(self) -> dict:
+        state = super().state_dict()
+        state["best"] = self._best
+        state["bad_epochs"] = self._bad_epochs
+        return state
+
+    def load_state_dict(self, state: dict) -> None:
+        super().load_state_dict(state)
+        self._best = float(state["best"])
+        self._bad_epochs = int(state["bad_epochs"])

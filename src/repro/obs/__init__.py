@@ -22,7 +22,7 @@ from repro.obs.metrics import (
     MetricsRegistry,
     NullRegistry,
 )
-from repro.obs.fsio import atomic_write_text
+from repro.obs.fsio import atomic_write_bytes, atomic_write_text
 from repro.obs.runtime import (
     ARTIFACT_NAMES,
     ObsHandles,
@@ -58,6 +58,7 @@ __all__ = [
     "ObsHandles",
     "ARTIFACT_NAMES",
     "atomic_write_text",
+    "atomic_write_bytes",
     # metrics
     "MetricsRegistry",
     "NullRegistry",

@@ -13,16 +13,16 @@ import os
 import tempfile
 from pathlib import Path
 
-__all__ = ["atomic_write_text"]
+__all__ = ["atomic_write_text", "atomic_write_bytes"]
 
 
-def atomic_write_text(path: str | Path, text: str) -> Path:
-    """Write ``text`` to ``path`` atomically.
+def atomic_write_bytes(path: str | Path, payload: bytes) -> Path:
+    """Write ``payload`` to ``path`` atomically.
 
-    The text is written to a temporary file in the *same* directory and
-    then :func:`os.replace`-d over the target, which is atomic on POSIX
-    filesystems.  On any failure the temporary file is removed and the
-    previous contents of ``path`` survive untouched.
+    The payload is written to a temporary file in the *same* directory
+    and then :func:`os.replace`-d over the target, which is atomic on
+    POSIX filesystems.  On any failure the temporary file is removed and
+    the previous contents of ``path`` survive untouched.
     """
     path = Path(path)
     fd, tmp = tempfile.mkstemp(
@@ -30,7 +30,7 @@ def atomic_write_text(path: str | Path, text: str) -> Path:
     )
     try:
         try:
-            os.write(fd, text.encode("utf-8"))
+            os.write(fd, payload)
         finally:
             os.close(fd)
         os.replace(tmp, path)
@@ -41,3 +41,8 @@ def atomic_write_text(path: str | Path, text: str) -> Path:
             pass
         raise
     return path
+
+
+def atomic_write_text(path: str | Path, text: str) -> Path:
+    """Write ``text`` to ``path`` atomically (see :func:`atomic_write_bytes`)."""
+    return atomic_write_bytes(path, text.encode("utf-8"))

@@ -3,7 +3,7 @@
 import pytest
 
 from repro.faults.errors import FaultPlanError
-from repro.faults.plan import FAULT_KINDS, FaultPlan, FaultSpec
+from repro.faults.plan import FAULT_KINDS, TRAINER_KINDS, FaultPlan, FaultSpec
 
 
 def outage(start=100.0, duration=60.0):
@@ -127,9 +127,18 @@ class TestSampleDerivation:
         assert FaultPlan.sample(seed=5) != FaultPlan.sample(seed=6)
 
     def test_covers_every_subsystem(self):
+        # Engine-clock kinds only; trainer-clock kinds are sampled by
+        # FaultPlan.sample_trainer instead.
         plan = FaultPlan.sample(seed=0)
         kinds = {s.kind for s in plan.faults}
-        assert kinds == set(FAULT_KINDS)
+        assert kinds == set(FAULT_KINDS) - set(TRAINER_KINDS)
+
+    def test_trainer_sample_covers_trainer_kinds(self):
+        plan = FaultPlan.sample_trainer(seed=0)
+        kinds = {s.kind for s in plan.faults}
+        assert kinds == set(TRAINER_KINDS)
+        assert FaultPlan.sample_trainer(seed=2) == FaultPlan.sample_trainer(seed=2)
+        assert FaultPlan.sample_trainer(seed=2) != FaultPlan.sample_trainer(seed=3)
 
     def test_outage_is_sixty_seconds(self):
         (spec,) = FaultPlan.sample(seed=3).of_kind("link_outage")

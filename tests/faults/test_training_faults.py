@@ -1,0 +1,147 @@
+"""TrainingChaos: trainer-side fault windows on epoch/attempt clocks."""
+
+import numpy as np
+import pytest
+
+from repro.faults.plan import FaultPlan, FaultPlanError, FaultSpec
+from repro.faults.training import TrainingChaos
+from repro.nn import (
+    Adam,
+    CheckpointWriteError,
+    DataLoader,
+    Linear,
+    MSELoss,
+    Parameter,
+    RecoveryPolicy,
+    TensorDataset,
+    Trainer,
+)
+
+
+def plan_of(*specs, seed=7):
+    return FaultPlan(faults=tuple(specs), seed=seed)
+
+
+def nan_window(start=1.0, duration=1.0, probability=1.0):
+    return FaultSpec(
+        kind="nan_grad", start_s=start, duration_s=duration,
+        params={"probability": probability},
+    )
+
+
+def make_params():
+    return [Parameter(np.ones(3)), Parameter(np.zeros((2, 2)))]
+
+
+class TestPlanValidation:
+    def test_trainer_kinds_accepted(self):
+        plan_of(
+            nan_window(),
+            FaultSpec(kind="ckpt_write_fail", start_s=2.0, duration_s=1.0,
+                      params={"probability": 1.0}),
+            FaultSpec(kind="retrain_timeout", start_s=0.0, duration_s=1.0,
+                      params={"timeout_s": 0.5}),
+        )
+
+    def test_bad_params_rejected(self):
+        with pytest.raises(FaultPlanError):
+            FaultSpec(kind="nan_grad", start_s=0.0, duration_s=1.0,
+                      params={"probability": 2.0})
+        with pytest.raises(FaultPlanError):
+            FaultSpec(kind="retrain_timeout", start_s=0.0, duration_s=1.0,
+                      params={"timeout_s": -1.0})
+        with pytest.raises(FaultPlanError):
+            FaultSpec(kind="retrain_timeout", start_s=0.0, duration_s=1.0)
+
+    def test_json_round_trip(self):
+        plan = FaultPlan.sample_trainer(seed=3, epochs=10)
+        again = FaultPlan.from_json(plan.to_json())
+        assert again == plan
+
+
+class TestNanGrad:
+    def test_fires_only_inside_window(self):
+        chaos = TrainingChaos(plan_of(nan_window(start=2.0, duration=2.0)))
+        for epoch in (0, 1, 4, 5):
+            params = make_params()
+            chaos.corrupt_gradients(epoch, params)
+            assert all(np.all(np.isfinite(p.grad)) for p in params)
+        params = make_params()
+        chaos.corrupt_gradients(2, params)
+        assert all(np.all(np.isnan(p.grad)) for p in params)
+        assert chaos.injected["nan_grad_epochs"] == 1
+
+    def test_fires_once_per_epoch(self):
+        chaos = TrainingChaos(plan_of(nan_window(start=1.0)))
+        chaos.corrupt_gradients(1, make_params())
+        replay = make_params()
+        chaos.corrupt_gradients(1, replay)  # rollback replays the epoch
+        assert all(np.all(np.isfinite(p.grad)) for p in replay)
+        assert chaos.injected["nan_grad_epochs"] == 1
+
+    def test_probability_zero_rejected(self):
+        with pytest.raises(FaultPlanError):
+            nan_window(probability=0.0)
+
+
+class TestCheckpointWriteFail:
+    def test_raises_inside_window_only(self):
+        spec = FaultSpec(kind="ckpt_write_fail", start_s=3.0, duration_s=2.0,
+                         params={"probability": 1.0})
+        chaos = TrainingChaos(plan_of(spec))
+        chaos.checkpoint_write(2)
+        with pytest.raises(CheckpointWriteError):
+            chaos.checkpoint_write(3)
+        with pytest.raises(CheckpointWriteError):
+            chaos.checkpoint_write(4)
+        chaos.checkpoint_write(5)
+        assert chaos.injected["checkpoint_write_failures"] == 2
+
+
+class TestRetrainTimeout:
+    def test_budget_follows_attempt_clock(self):
+        spec = FaultSpec(kind="retrain_timeout", start_s=1.0, duration_s=1.0,
+                         params={"timeout_s": 0.25})
+        chaos = TrainingChaos(plan_of(spec))
+        assert chaos.retrain_budget_s() is None  # attempt 0
+        chaos.note_retrain()
+        assert chaos.retrain_budget_s() == 0.25  # attempt 1
+        chaos.note_retrain(timed_out=True)
+        assert chaos.retrain_budget_s() is None  # attempt 2
+        assert chaos.injected["retrain_timeouts"] == 1
+
+
+class TestInertness:
+    def test_empty_plan_leaves_fit_bit_identical(self):
+        def fit(chaos):
+            rng = np.random.default_rng(0)
+            model = Linear(4, 1, rng=rng)
+            trainer = Trainer(model, Adam(model.parameters(), lr=1e-2),
+                              MSELoss(), chaos=chaos)
+            x = np.random.default_rng(1).normal(size=(32, 4))
+            loader = DataLoader(TensorDataset(x, x.sum(axis=1, keepdims=True)),
+                                batch_size=16)
+            trainer.fit(loader, epochs=4, recovery=RecoveryPolicy())
+            return model.state_dict()
+
+        clean = fit(None)
+        inert = fit(TrainingChaos(plan_of()))
+        assert clean.keys() == inert.keys()
+        for key in clean:
+            assert np.array_equal(clean[key], inert[key])
+
+    def test_seed_determinism(self):
+        # Same (plan.seed, seed) pair -> same RNG draws.
+        spec = nan_window(probability=0.5)
+        draws = []
+        for _ in range(2):
+            chaos = TrainingChaos(plan_of(spec, seed=11), seed=5)
+            fired = []
+            for trial in range(8):
+                chaos._last_nan_epoch = None  # new fit, same windows
+                params = make_params()
+                chaos.corrupt_gradients(1, params)
+                fired.append(bool(np.isnan(params[0].grad).any()))
+            draws.append(fired)
+        assert draws[0] == draws[1]
+        assert any(draws[0]) and not all(draws[0])

@@ -108,3 +108,36 @@ class TestEarlyStopping:
     def test_invalid_patience(self):
         with pytest.raises(ValueError):
             EarlyStopping(patience=0)
+
+
+class TestEarlyStoppingStateDict:
+    def test_round_trip_preserves_best_and_counter(self):
+        model = Linear(2, 1)
+        stopper = EarlyStopping(patience=3)
+        stopper.update(1.0, model)
+        stopper.update(2.0, model)  # bad epoch 1
+        state = stopper.state_dict()
+
+        other = EarlyStopping(patience=3)
+        other.load_state_dict(state)
+        assert other.best == 1.0
+        assert other.bad_epochs == 1
+        for key, value in stopper.best_state.items():
+            assert np.array_equal(other.best_state[key], value)
+
+    def test_restored_stopper_stops_on_schedule(self):
+        model = Linear(2, 1)
+        stopper = EarlyStopping(patience=2)
+        stopper.update(1.0, model)
+        stopper.update(2.0, model)
+        other = EarlyStopping(patience=2)
+        other.load_state_dict(stopper.state_dict())
+        assert other.update(3.0, model)  # bad epoch 2 of 2
+
+    def test_state_dict_arrays_are_copies(self):
+        model = Linear(2, 1)
+        stopper = EarlyStopping(patience=2)
+        stopper.update(1.0, model)
+        state = stopper.state_dict()
+        state["best_state"]["weight"][...] = 123.0
+        assert not np.allclose(stopper.best_state["weight"], 123.0)

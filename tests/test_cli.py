@@ -101,3 +101,112 @@ class TestFaultsSubcommand:
     def test_validate_missing_file(self, tmp_path, capsys):
         assert main(["faults", "validate", str(tmp_path / "no.json")]) == 2
         assert "no such plan" in capsys.readouterr().err
+
+
+class TestTrainerFaultsSample:
+    def test_trainer_flag_emits_trainer_plan(self, capsys):
+        from repro.faults.plan import TRAINER_KINDS, FaultPlan
+
+        assert main(["faults", "sample", "--trainer", "--epochs", "8"]) == 0
+        plan = FaultPlan.from_json(capsys.readouterr().out)
+        assert {spec.kind for spec in plan.faults} == set(TRAINER_KINDS)
+
+    def test_trainer_flag_rejects_short_epoch_runway(self, capsys):
+        assert main(["faults", "sample", "--trainer", "--epochs", "3"]) == 2
+        assert "epochs" in capsys.readouterr().err
+
+
+class TestTrainCommand:
+    def test_wiring_and_summary_output(self, tmp_path, capsys, monkeypatch):
+        calls = {}
+
+        def fake_run_training(ckpt, **kwargs):
+            calls["ckpt"] = ckpt
+            calls.update(kwargs)
+            return {
+                "scale": "quick", "epochs": 3, "resumed": kwargs["resume"],
+                "train_loss": 0.25, "val_loss": 0.5, "recoveries": 1,
+                "checkpoint_write_failures": 0, "digest": "ab" * 8,
+                "checkpoint": str(ckpt),
+            }
+
+        monkeypatch.setattr(
+            "repro.models.training_runtime.run_training", fake_run_training
+        )
+        ckpt = tmp_path / "fit.ckpt"
+        assert main([
+            "train", "--ckpt", str(ckpt), "--resume",
+            "--epochs", "3", "--scale", "quick", "--seed", "4",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "model digest:" in out and "ab" * 8 in out
+        assert "(resumed)" in out
+        assert calls["ckpt"] == str(ckpt)
+        assert calls["resume"] is True
+        assert calls["epochs"] == 3
+        assert calls["seed"] == 4
+        assert calls["plan"] is None
+
+    def test_faults_flag_loads_trainer_plan(self, tmp_path, capsys, monkeypatch):
+        from repro.faults.plan import FaultPlan
+
+        plan_path = tmp_path / "plan.json"
+        FaultPlan.sample_trainer(seed=0, epochs=8).to_file(plan_path)
+        seen = {}
+
+        def fake_run_training(ckpt, **kwargs):
+            seen["plan"] = kwargs["plan"]
+            return {
+                "scale": "quick", "epochs": 1, "resumed": False,
+                "train_loss": 0.1, "val_loss": None, "recoveries": 0,
+                "checkpoint_write_failures": 0, "digest": "00" * 8,
+                "checkpoint": str(ckpt),
+            }
+
+        monkeypatch.setattr(
+            "repro.models.training_runtime.run_training", fake_run_training
+        )
+        assert main([
+            "train", "--ckpt", str(tmp_path / "f.ckpt"),
+            "--faults", str(plan_path), "--scale", "quick",
+        ]) == 0
+        assert seen["plan"] is not None
+        assert len(seen["plan"].faults) == 3
+
+    def test_rejects_missing_fault_plan(self, tmp_path, capsys):
+        code = main([
+            "train", "--ckpt", str(tmp_path / "f.ckpt"),
+            "--faults", str(tmp_path / "no.json"),
+        ])
+        assert code == 2
+        assert "--faults" in capsys.readouterr().err
+
+
+class TestRetrainCommand:
+    def test_gated_summary_output(self, capsys, monkeypatch):
+        def fake_run_gated_retrain(**kwargs):
+            assert kwargs["gate"].tolerance == 0.1
+            return {
+                "scale": "quick",
+                "decisions": [
+                    {"kind": "best_effort", "promoted": True,
+                     "reason": "promoted", "candidate_r2": 0.9,
+                     "incumbent_r2": 0.8, "elapsed_s": 1.0},
+                    {"kind": "latency_critical", "promoted": False,
+                     "reason": "regression", "candidate_r2": 0.2,
+                     "incumbent_r2": 0.8, "elapsed_s": 1.0},
+                ],
+                "promoted": 1, "rejected": 1,
+            }
+
+        monkeypatch.setattr(
+            "repro.models.training_runtime.run_gated_retrain",
+            fake_run_gated_retrain,
+        )
+        assert main([
+            "retrain", "--gate", "--tolerance", "0.1", "--scale", "quick",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "gated promotion" in out
+        assert "kept incumbent" in out
+        assert "promoted 1, rejected 1" in out
