@@ -37,48 +37,22 @@ import time
 import numpy as np
 
 from repro.models.features import FeatureConfig
-from repro.models.performance import PerformancePredictor
 from repro.models.predictor import Predictor
-from repro.models.signatures import SignatureLibrary
-from repro.models.system_state import SystemStatePredictor
+from repro.obs.perf.bench import fabricate_predictor
 from repro.workloads import MemoryMode, spark_profile
 
 
 def build_predictor(
     config: FeatureConfig, lstm_hidden: int, seed: int = 0
 ) -> Predictor:
-    """A fully wired Predictor with fabricated (untrained) weights."""
-    rng = np.random.default_rng(seed)
-    n_metrics = config.n_metrics
+    """A fully wired Predictor with fabricated (untrained) weights.
 
-    system_state = SystemStatePredictor(
-        feature_config=config, lstm_hidden=lstm_hidden, seed=seed
-    )
-    sample = rng.uniform(0.5, 2.0, size=(64, config.history_steps, n_metrics))
-    system_state.input_scaler.fit(sample)
-    system_state.target_scaler.fit(sample.mean(axis=1))
-    system_state._trained = True
-
-    be = PerformancePredictor(
-        feature_config=config, lstm_hidden=lstm_hidden, seed=seed + 1
-    )
-    be.metric_scaler.fit(sample.reshape(-1, n_metrics))
-    # A narrow, realistic runtime range: predictions come out of a log
-    # transform, so a wide target scale would exp-amplify 1-ulp GEMM
-    # differences past the 1e-12 identity gate on untrained weights.
-    be.target_scaler.fit(np.log(rng.uniform(30.0, 60.0, size=(64, 1))))
-    be._trained = True
-
-    signatures = SignatureLibrary(feature_config=config)
-    signatures.add(
-        "gmm",
-        rng.uniform(0.5, 2.0, size=(int(config.signature_s), n_metrics)),
-    )
-    return Predictor(
-        system_state=system_state,
-        be_performance=be,
-        signatures=signatures,
-        feature_config=config,
+    Fabrication now lives in :func:`repro.obs.perf.bench.fabricate_predictor`
+    (shared with the engine benchmark); this wrapper keeps the historical
+    BE-only shape this benchmark has always measured.
+    """
+    return fabricate_predictor(
+        config, lstm_hidden=lstm_hidden, seed=seed, with_lc=False
     )
 
 
@@ -230,6 +204,7 @@ def main() -> int:
 
     if args.json is not None:
         report = {
+            "kind": "predictor",
             "candidates": args.candidates,
             "hidden": args.hidden,
             "repeats": args.repeats,

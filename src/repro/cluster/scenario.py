@@ -214,7 +214,7 @@ def _replay(
             arrivals=len(arrivals),
             scheduler=getattr(scheduler, "name", None)
             or (scheduler.__class__.__name__ if scheduler is not None else "random"),
-        ):
+        ) if obs.enabled() else obs.NULL_SPAN:
             last_checkpoint_s = engine.now
             for index in range(start_index, len(arrivals)):
                 arrival = arrivals[index]

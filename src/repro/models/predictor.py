@@ -34,6 +34,7 @@ from repro.models.features import FeatureConfig, encode_mode, impute_gaps, subsa
 from repro.models.performance import PerformancePredictor
 from repro.models.signatures import SignatureLibrary
 from repro.models.system_state import SystemStatePredictor
+from repro.obs.perf import accounting as perf_accounting
 from repro.workloads.base import MemoryMode, WorkloadKind, WorkloadProfile
 
 __all__ = ["Predictor"]
@@ -117,6 +118,8 @@ class Predictor:
         if key == self._memo_key and self._memo_window is not None:
             self._observe_memo_hit("window")
             return self._memo_window
+        acct = perf_accounting()
+        t0 = acct.clock() if acct is not None else 0.0
         self._memo_key = key
         filled, n_imputed = impute_gaps(history_raw)
         if n_imputed and obs.enabled():
@@ -128,6 +131,8 @@ class Predictor:
             filled, self.config.sample_period_s, self.config.dt
         )
         self._memo_future = None
+        if acct is not None:
+            acct.lap("predictor.window", t0)
         return self._memo_window
 
     def _system_state(
@@ -144,7 +149,11 @@ class Predictor:
             self._observe_memo_hit("system_state")
             return window, self._memo_future
         start = obs.wall_time()
+        acct = perf_accounting()
+        t0 = acct.clock() if acct is not None else 0.0
         self._memo_future = self.system_state.predict(window)
+        if acct is not None:
+            acct.lap("predictor.system_state", t0)
         self._observe_inference(label, start)
         live = obs.live_session()
         if live is not None:
@@ -188,15 +197,21 @@ class Predictor:
         else:
             window, future = self._window(history_raw), None
         start = obs.wall_time()
+        acct = perf_accounting()
+        t0 = acct.clock() if acct is not None else 0.0
+        # Span creation is gated on obs.enabled() so the disabled hot
+        # path allocates nothing (NULL_SPAN is a shared no-op object).
         with obs.tracer().span(
             "predictor.infer", app=profile.name, mode=mode.value
-        ):
+        ) if obs.enabled() else obs.NULL_SPAN:
             estimate = model.predict(
                 state=window,
                 signature=signature,
                 mode=np.array([encode_mode(mode)]),
                 future=future,
             )
+        if acct is not None:
+            acct.lap("predictor.forward", t0)
         self._observe_inference(profile.kind.value, start)
         if self.chaos is not None:
             estimate = float(
@@ -233,13 +248,19 @@ class Predictor:
         else:
             window, future = self._window(history_raw), None
         start = obs.wall_time()
-        with obs.tracer().span("predictor.infer_batch", app=profile.name):
+        acct = perf_accounting()
+        t0 = acct.clock() if acct is not None else 0.0
+        with obs.tracer().span(
+            "predictor.infer_batch", app=profile.name
+        ) if obs.enabled() else obs.NULL_SPAN:
             estimates = model.predict(
                 state=np.stack([window, window]),
                 signature=np.stack([signature, signature]),
                 mode=np.array([[encode_mode(m)] for m in modes]),
                 future=future,
             )
+        if acct is not None:
+            acct.lap("predictor.forward", t0)
         self._observe_inference(profile.kind.value, start)
         if self.chaos is not None:
             estimates = self.chaos.corrupt_output(profile.kind.value, estimates)

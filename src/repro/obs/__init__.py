@@ -39,7 +39,7 @@ from repro.obs.runtime import (
     tracer,
     wall_time,
 )
-from repro.obs.tracing import NullTracer, Span, SpanTracer
+from repro.obs.tracing import NULL_SPAN, NullTracer, Span, SpanTracer
 
 __all__ = [
     # runtime
@@ -70,6 +70,7 @@ __all__ = [
     "SpanTracer",
     "NullTracer",
     "Span",
+    "NULL_SPAN",
     # audit
     "DecisionAuditLog",
     "DecisionRecord",

@@ -13,17 +13,19 @@ Four cooperating pieces:
 
 coordinated by :class:`repro.obs.live.session.LiveSession` (created via
 :func:`repro.obs.enable_live`), with
-:class:`repro.obs.live.profiler.IntervalProfiler` sampling hot-path cost
-into the same stream.  Everything honours the obs layer's contract:
-without an enabled live session the simulation is bit-identical.
+:class:`repro.obs.perf.profiler.IntervalProfiler` sampling hot-path cost
+into the same stream (re-exported here for compatibility; the profiler
+surface lives under :mod:`repro.obs.perf`).  Everything honours the obs
+layer's contract: without an enabled live session the simulation is
+bit-identical.
 """
 
 from repro.obs.live.drift import DriftAlarm, DriftDetector, Ewma, PageHinkley
-from repro.obs.live.profiler import IntervalProfiler
 from repro.obs.live.session import STREAM_VERSION, LiveSession
 from repro.obs.live.slo import SloEngine, peak_burn_rate
 from repro.obs.live.stream import StreamExporter
 from repro.obs.live.watch import read_stream, render_frame, watch
+from repro.obs.perf.profiler import IntervalProfiler
 
 __all__ = [
     "LiveSession",

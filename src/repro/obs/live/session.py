@@ -43,9 +43,9 @@ import numpy as np
 
 from repro.obs import runtime
 from repro.obs.live.drift import DriftAlarm, DriftDetector
-from repro.obs.live.profiler import IntervalProfiler
 from repro.obs.live.slo import SloEngine
 from repro.obs.live.stream import StreamExporter
+from repro.obs.perf.profiler import IntervalProfiler
 
 __all__ = ["LiveSession", "STREAM_VERSION"]
 

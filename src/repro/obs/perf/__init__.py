@@ -1,0 +1,53 @@
+"""``repro.obs.perf`` — the repo's single performance-observability
+surface.
+
+Three pieces, one theme — *prove each step faster, not slower*:
+
+* :mod:`repro.obs.perf.accounting` — deterministic phase-level tick
+  accounting (wall time + call counts per named phase), bit-inert when
+  disabled, exportable to the metrics registry and as a Chrome-trace
+  timeline;
+* :mod:`repro.obs.perf.profiler` — the statistical interval-sampling
+  profiler (moved here from ``repro.obs.live.profiler``);
+* :mod:`repro.obs.perf.gate` — the benchmark-baseline regression gate
+  behind ``repro obs perfcheck`` and the CI ``perf-smoke`` job.
+
+:mod:`repro.obs.perf.bench` (imported lazily — it pulls in the model
+stack) measures engine ticks/sec and policy decisions/sec and emits
+``BENCH_engine.json``.
+"""
+
+from repro.obs.perf.accounting import (
+    PHASE_NAMES,
+    PhaseAccounting,
+    accounting,
+    disable_phases,
+    enable_phases,
+    phases_session,
+)
+from repro.obs.perf.gate import (
+    GateCheck,
+    GateResult,
+    compare_reports,
+    extract_metrics,
+    load_report,
+)
+from repro.obs.perf.profiler import IntervalProfiler
+
+__all__ = [
+    # accounting
+    "PhaseAccounting",
+    "accounting",
+    "enable_phases",
+    "disable_phases",
+    "phases_session",
+    "PHASE_NAMES",
+    # gate
+    "GateCheck",
+    "GateResult",
+    "compare_reports",
+    "extract_metrics",
+    "load_report",
+    # profiler
+    "IntervalProfiler",
+]

@@ -20,7 +20,7 @@ import threading
 import time
 from typing import Callable
 
-__all__ = ["Span", "SpanTracer", "NullTracer", "NULL_TRACER"]
+__all__ = ["Span", "SpanTracer", "NullTracer", "NULL_TRACER", "NULL_SPAN"]
 
 
 class Span:
@@ -89,6 +89,35 @@ class SpanTracer:
         if sim_time is not None:
             args["sim_time_s"] = float(sim_time)
         return Span(self, name, category, args)
+
+    def record_complete(
+        self,
+        name: str,
+        start: float,
+        end: float,
+        category: str = "repro",
+        **args: object,
+    ) -> None:
+        """Record an already-measured interval as a complete event.
+
+        ``start``/``end`` are raw clock readings (the tracer's own
+        clock, ``time.perf_counter`` by default) — the phase-accounting
+        hot path measures intervals itself and forwards them here, so a
+        phase costs one event append instead of a :class:`Span` object.
+        """
+        with self._lock:
+            self.events.append(
+                {
+                    "name": name,
+                    "cat": category,
+                    "ph": "X",
+                    "ts": (start - self._epoch) * 1e6,
+                    "dur": max(0.0, end - start) * 1e6,
+                    "pid": 1,
+                    "tid": threading.get_ident() % 2**31,
+                    "args": dict(args),
+                }
+            )
 
     def instant(self, name: str, category: str = "repro", **args: object) -> None:
         """Record a zero-duration marker event."""
@@ -188,6 +217,12 @@ class _NullSpan:
 
 _NULL_SPAN = _NullSpan()
 
+#: Public no-op span: hot paths write
+#: ``with tracer.span(...) if obs.enabled() else obs.NULL_SPAN:`` so the
+#: disabled path allocates nothing (not even the kwargs dict a
+#: ``NullTracer.span(...)`` call would build).
+NULL_SPAN = _NULL_SPAN
+
 
 class NullTracer:
     """Zero-cost tracer used while observability is disabled."""
@@ -204,6 +239,16 @@ class NullTracer:
         return _NULL_SPAN
 
     def instant(self, name: str, category: str = "repro", **args: object) -> None:
+        pass
+
+    def record_complete(
+        self,
+        name: str,
+        start: float,
+        end: float,
+        category: str = "repro",
+        **args: object,
+    ) -> None:
         pass
 
     def __len__(self) -> int:

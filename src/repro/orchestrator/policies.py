@@ -21,6 +21,7 @@ from repro.cluster.engine import ClusterEngine
 from repro.faults.breaker import CircuitBreaker
 from repro.faults.errors import CorruptPrediction, InferenceFault
 from repro.models.predictor import Predictor
+from repro.obs.perf import accounting as perf_accounting
 from repro.workloads.base import MemoryMode, WorkloadKind, WorkloadProfile
 
 __all__ = [
@@ -54,7 +55,13 @@ class _BasePolicy:
         raise NotImplementedError
 
     def __call__(self, profile: WorkloadProfile, engine: ClusterEngine) -> MemoryMode:
-        mode = self.decide(profile, engine)
+        acct = perf_accounting()
+        if acct is not None:
+            t0 = acct.clock()
+            mode = self.decide(profile, engine)
+            acct.lap("policy.decide", t0)
+        else:
+            mode = self.decide(profile, engine)
         if obs.enabled():
             self._observe(profile, engine, mode)
         return mode

@@ -4,13 +4,13 @@ import threading
 
 import pytest
 
-from repro.obs.live.profiler import IntervalProfiler
+from repro.obs.perf.profiler import IntervalProfiler
 
 
 class TestSampling:
     def test_sample_attributes_innermost_repro_frame(self):
         profiler = IntervalProfiler(target_ident=threading.get_ident())
-        # This very call runs inside src/repro/obs/live/profiler.py, the
+        # This very call runs inside src/repro/obs/perf/profiler.py, the
         # innermost frame matching the package marker.
         label = profiler.sample_once()
         assert label == "profiler.sample_once"
@@ -44,3 +44,24 @@ class TestLifecycle:
     def test_interval_validation(self):
         with pytest.raises(ValueError):
             IntervalProfiler(interval_s=0.0)
+
+
+class TestDeprecatedImportPath:
+    def test_old_module_warns_and_reexports(self):
+        import importlib
+        import warnings
+
+        import repro.obs.live.profiler as shim
+
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            shim = importlib.reload(shim)
+        assert any(
+            issubclass(w.category, DeprecationWarning) for w in caught
+        ), "importing repro.obs.live.profiler must emit a DeprecationWarning"
+        assert shim.IntervalProfiler is IntervalProfiler
+
+    def test_live_package_still_exports_profiler(self):
+        from repro.obs.live import IntervalProfiler as from_live
+
+        assert from_live is IntervalProfiler

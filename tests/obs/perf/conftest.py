@@ -1,0 +1,11 @@
+import pytest
+
+from repro.obs.perf import accounting, disable_phases
+
+
+@pytest.fixture(autouse=True)
+def _phases_disabled_after_test():
+    """Never leak enabled phase accounting into other tests."""
+    yield
+    disable_phases()
+    assert accounting() is None

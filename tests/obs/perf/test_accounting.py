@@ -1,0 +1,171 @@
+"""Phase accounting: laps, determinism, tick-total tiling, export."""
+
+import json
+
+import pytest
+
+from repro.cluster.engine import ClusterEngine
+from repro.cluster.scenario import ScenarioConfig, run_scenario
+from repro.hardware.config import TestbedConfig
+from repro.hardware.testbed import Testbed
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.perf import (
+    PHASE_NAMES,
+    PhaseAccounting,
+    accounting,
+    disable_phases,
+    enable_phases,
+    phases_session,
+)
+from repro.obs.tracing import SpanTracer
+from repro.orchestrator.policies import RandomPolicy
+from repro.workloads import MemoryMode, spark_profile
+from tests.helpers import assert_traces_identical
+
+
+class FakeClock:
+    def __init__(self) -> None:
+        self.now = 0.0
+
+    def __call__(self) -> float:
+        return self.now
+
+    def advance(self, seconds: float) -> None:
+        self.now += seconds
+
+
+def make_acct(tracer=None) -> tuple[PhaseAccounting, FakeClock]:
+    acct = PhaseAccounting(tracer=tracer)
+    clock = FakeClock()
+    acct.clock = clock
+    return acct, clock
+
+
+class TestAccumulators:
+    def test_lap_accumulates_and_returns_new_mark(self):
+        acct, clock = make_acct()
+        t = acct.clock()
+        clock.advance(0.5)
+        t = acct.lap("a", t)
+        assert t == 0.5
+        clock.advance(0.25)
+        acct.lap("a", t)
+        assert acct.total("a") == pytest.approx(0.75)
+        assert acct.calls("a") == 2
+
+    def test_consecutive_laps_tile_the_interval(self):
+        acct, clock = make_acct()
+        t = acct.clock()
+        for name, dt in (("a", 0.1), ("b", 0.2), ("c", 0.3)):
+            clock.advance(dt)
+            t = acct.lap(name, t)
+        total = sum(acct.total(n) for n in ("a", "b", "c"))
+        assert total == pytest.approx(clock.now)
+
+    def test_add_and_phase_context_manager(self):
+        acct, clock = make_acct()
+        acct.add("ext", 1.5)
+        with acct.phase("block"):
+            clock.advance(2.0)
+        assert acct.total("ext") == pytest.approx(1.5)
+        assert acct.total("block") == pytest.approx(2.0)
+        assert acct.calls("block") == 1
+
+    def test_unrecorded_phase_reads_zero(self):
+        acct, _ = make_acct()
+        assert acct.total("never") == 0.0
+        assert acct.calls("never") == 0
+
+    def test_snapshot_and_reset(self):
+        acct, clock = make_acct()
+        t = acct.clock()
+        clock.advance(0.5)
+        acct.lap("a", t)
+        snap = acct.snapshot()
+        assert snap["a"]["total_s"] == pytest.approx(0.5)
+        assert snap["a"]["calls"] == 1
+        assert snap["a"]["mean_us"] == pytest.approx(0.5e6)
+        acct.reset()
+        assert len(acct) == 0
+
+    def test_table_ranks_and_excludes_tick_from_shares(self):
+        acct, _ = make_acct()
+        acct.add("engine.advance", 3.0)
+        acct.add("engine.telemetry", 1.0)
+        acct.add("engine.tick", 4.0)
+        table = acct.table()
+        lines = table.splitlines()
+        # Ranked by total: tick envelope first, then the leaves.
+        assert lines[1].startswith("engine.tick")
+        assert "75.0%" in table  # advance share of the leaf total
+        assert acct.table(top=1).count("\n") == 1  # header + one row
+
+
+class TestModuleState:
+    def test_disabled_by_default(self):
+        assert accounting() is None
+
+    def test_enable_disable_roundtrip(self):
+        acct = enable_phases()
+        assert accounting() is acct
+        assert enable_phases() is acct  # idempotent
+        disable_phases()
+        assert accounting() is None
+
+    def test_session_restores_and_nested_shares_outer(self):
+        with phases_session() as outer:
+            assert accounting() is outer
+            with phases_session() as inner:
+                assert inner is outer
+            assert accounting() is outer  # inner exit keeps the session
+        assert accounting() is None
+
+
+class TestEngineInstrumentation:
+    def run_engine(self, ticks: int = 120) -> ClusterEngine:
+        engine = ClusterEngine(testbed=Testbed(TestbedConfig(seed=3)))
+        engine.deploy(spark_profile("sort"), MemoryMode.LOCAL)
+        engine.deploy(spark_profile("gmm"), MemoryMode.REMOTE)
+        engine.run_for(float(ticks))
+        return engine
+
+    def test_phase_totals_sum_to_tick_total(self):
+        with phases_session() as acct:
+            self.run_engine()
+        leaf_total = sum(
+            acct.total(name)
+            for name in PHASE_NAMES
+            if name.startswith("engine.") and name != "engine.tick"
+        )
+        # Contiguous laps tile the tick exactly; only float summation
+        # error separates the leaf sum from the recorded envelope.
+        assert leaf_total == pytest.approx(acct.total("engine.tick"), rel=1e-6)
+        assert acct.calls("engine.tick") == 120
+
+    def test_disabled_run_is_bit_identical_to_enabled_run(self):
+        config = ScenarioConfig(duration_s=180.0, seed=11)
+        baseline = run_scenario(config, scheduler=RandomPolicy(seed=5))
+        with phases_session():
+            instrumented = run_scenario(config, scheduler=RandomPolicy(seed=5))
+        assert_traces_identical(baseline, instrumented)
+
+    def test_chrome_trace_export_round_trips(self):
+        tracer = SpanTracer()
+        with phases_session(tracer=tracer):
+            self.run_engine(ticks=10)
+        parsed = json.loads(tracer.to_json())
+        events = [e for e in parsed["traceEvents"] if e["ph"] == "X"]
+        assert {e["name"] for e in events} >= {
+            "engine.arbitration", "engine.advance", "engine.telemetry",
+        }
+        assert all(e["cat"] == "perf" for e in events)
+        assert all(e["dur"] >= 0 and e["ts"] >= 0 for e in events)
+
+    def test_export_pushes_labeled_counters(self):
+        registry = MetricsRegistry()
+        with phases_session() as acct:
+            self.run_engine(ticks=10)
+        acct.export(registry)
+        rendered = registry.to_prometheus()
+        assert 'perf_phase_seconds_total{phase="engine.tick"}' in rendered
+        assert 'perf_phase_calls_total{phase="engine.advance"}' in rendered

@@ -1,6 +1,7 @@
 import json
 
-from repro.obs.tracing import NULL_TRACER, SpanTracer
+from repro import obs
+from repro.obs.tracing import NULL_SPAN, NULL_TRACER, SpanTracer
 
 
 class FakeClock:
@@ -144,3 +145,69 @@ class TestNullTracer:
         NULL_TRACER.instant("marker")
         assert len(NULL_TRACER) == 0
         assert NULL_TRACER.to_chrome_trace()["traceEvents"] == []
+
+    def test_record_complete_is_a_noop(self):
+        NULL_TRACER.record_complete("phase", 0.0, 1.0, category="perf")
+        assert len(NULL_TRACER) == 0
+
+
+class TestRecordComplete:
+    def test_event_converted_to_tracer_epoch(self):
+        clock = FakeClock()
+        clock.advance(10.0)
+        tracer = SpanTracer(clock=clock)  # epoch = 10.0
+        tracer.record_complete("phase", 11.0, 11.5, category="perf", n=3)
+        event = tracer.events[0]
+        assert event["ph"] == "X"
+        assert event["cat"] == "perf"
+        assert event["ts"] == 1.0e6  # microseconds past the epoch
+        assert event["dur"] == 0.5e6
+        assert event["args"]["n"] == 3
+
+    def test_negative_interval_clamps_duration(self):
+        tracer = SpanTracer(clock=FakeClock())
+        tracer.record_complete("odd", 2.0, 1.0)
+        assert tracer.events[0]["dur"] == 0.0
+
+    def test_exports_alongside_spans(self):
+        clock = FakeClock()
+        tracer = SpanTracer(clock=clock)
+        with tracer.span("outer"):
+            clock.advance(1.0)
+        tracer.record_complete("phase", 0.25, 0.75)
+        parsed = json.loads(tracer.to_json())
+        names = [e["name"] for e in parsed["traceEvents"] if e["ph"] == "X"]
+        assert set(names) == {"outer", "phase"}
+
+
+class TestDisabledHotPath:
+    """The guarded-span idiom must not touch the tracer when obs is off."""
+
+    def test_null_span_is_the_shared_singleton(self):
+        assert obs.NULL_SPAN is NULL_SPAN
+        with NULL_SPAN as span:
+            assert span is NULL_SPAN
+
+    def test_disabled_run_never_calls_the_tracer(self, monkeypatch):
+        # Guarded call sites (`... if obs.enabled() else obs.NULL_SPAN`)
+        # must short-circuit: zero span() calls, zero record() events,
+        # zero Span allocations on the disabled path.
+        from repro.cluster.scenario import ScenarioConfig, run_scenario
+        from repro.obs import tracing
+        from repro.orchestrator.policies import RandomPolicy
+
+        calls = []
+        monkeypatch.setattr(
+            tracing.NullTracer, "span",
+            lambda self, *a, **k: calls.append(a) or NULL_SPAN,
+        )
+        monkeypatch.setattr(
+            tracing.Span, "__init__",
+            lambda self, *a, **k: calls.append(a),
+        )
+        assert not obs.enabled()
+        run_scenario(
+            ScenarioConfig(duration_s=60.0, seed=2),
+            scheduler=RandomPolicy(seed=2),
+        )
+        assert calls == []
