@@ -44,6 +44,7 @@ from repro.experiments import (
     fig15_generalization,
     fig16_be_orchestration,
     fig17_lc_orchestration,
+    fleet_scaling,
     table1_system_state,
     traffic_reduction,
     under_faults,
@@ -131,6 +132,8 @@ EXPERIMENTS: dict[str, tuple[str, Callable[[ExperimentScale], str]]] = {
               _scaled(fig17_lc_orchestration.run)),
     "traffic": ("Link data-traffic accounting (§VI-B)",
                 _scaled(traffic_reduction.run)),
+    "fleet": ("Fleet scaling on the rack memory pool (§VII)",
+              _scaled(fleet_scaling.run)),
     "fig16-faults": ("BE orchestration under fault injection",
                      _scaled(under_faults.run_fig16)),
     "fig17-faults": ("LC QoS retention under fault injection",

@@ -10,7 +10,13 @@ correlation analysis, the Predictor datasets and the §VI-B evaluation.
 
 from repro.cluster.deployment import Deployment, DeploymentRecord, DeploymentState
 from repro.cluster.engine import CapacityError, ClusterEngine
-from repro.cluster.fleet import ClusterFleet, FleetDecision, LeastLoadedPlacement
+from repro.cluster.fleet import (
+    ClusterFleet,
+    FleetDecision,
+    LeastLoadedPlacement,
+    PoolAwarePlacement,
+)
+from repro.cluster.fleet_scenario import FleetScenarioConfig, run_fleet_scenario
 from repro.cluster.scenario import (
     Arrival,
     ScenarioConfig,
@@ -27,10 +33,13 @@ __all__ = [
     "ClusterFleet",
     "Deployment",
     "FleetDecision",
+    "FleetScenarioConfig",
     "LeastLoadedPlacement",
+    "PoolAwarePlacement",
     "DeploymentRecord",
     "DeploymentState",
     "ScenarioConfig",
+    "run_fleet_scenario",
     "Trace",
     "default_pool",
     "generate_arrivals",

@@ -63,6 +63,13 @@ class ClusterEngine:
         #: placements raise :class:`RemoteUnavailableError` instead of
         #: being placed onto an unreachable pool.
         self.remote_blocked = False
+        #: Per-tick ThymesisFlow capacity scale in (0, 1], written by the
+        #: fleet's rack-pool arbiter; 1.0 (the default) is bit-inert.
+        self.pool_capacity_factor = 1.0
+        #: Optional rack-pool admission check consulted by :meth:`fits`
+        #: for remote placements — the fleet wires this to the shared
+        #: :class:`repro.hardware.pool.RemotePool` capacity accounting.
+        self.remote_fits_hook: Callable[[WorkloadProfile], bool] | None = None
         #: Deployments waiting out a remote outage: dicts with profile,
         #: duration_s, next_attempt_s, backoff_s and attempts, retried
         #: with exponential backoff at the start of each tick.
@@ -105,7 +112,11 @@ class ClusterEngine:
     def fits(self, profile: WorkloadProfile, mode: MemoryMode) -> bool:
         node = self.testbed.config.node
         capacity = node.dram_gb if mode is MemoryMode.LOCAL else node.remote_gb
-        return self.used_capacity_gb(mode) + profile.footprint_gb <= capacity
+        if self.used_capacity_gb(mode) + profile.footprint_gb > capacity:
+            return False
+        if mode is MemoryMode.REMOTE and self.remote_fits_hook is not None:
+            return bool(self.remote_fits_hook(profile))
+        return True
 
     def deploy(
         self,
@@ -211,7 +222,9 @@ class ClusterEngine:
     def current_pressure(self) -> SystemPressure:
         """Pressure the testbed is under right now."""
         demands = [d.demand() for d in self.running]
-        return self.testbed.resolve(demands)
+        return self.testbed.resolve(
+            demands, link_capacity_factor=self.pool_capacity_factor
+        )
 
     def pressure_with(
         self, profile: WorkloadProfile, mode: MemoryMode
@@ -223,7 +236,9 @@ class ClusterEngine:
         """
         demands = [d.demand() for d in self.running]
         demands.append(profile.demand(mode))
-        return self.testbed.resolve(demands)
+        return self.testbed.resolve(
+            demands, link_capacity_factor=self.pool_capacity_factor
+        )
 
     def tick(self) -> SystemPressure:
         """Advance the simulation by one step.

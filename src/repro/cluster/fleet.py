@@ -1,4 +1,4 @@
-"""Multi-node fleet: the paper's §VII scalability sketch, implemented.
+"""Rack-scale fleet: the paper's §VII scalability sketch, implemented.
 
 The ThymesisFlow prototype limits the paper's evaluation to a single
 borrower node, but §VII argues that Adrias scales out: Watchers and
@@ -6,28 +6,49 @@ Predictors run per node while the orchestration logic is centralized
 and "adjusted in a straightforward manner to account for cluster-level
 efficiency in case of iso-QoS predictions between different nodes".
 
-:class:`ClusterFleet` realizes that design: N independent
-borrower/lender node pairs, each simulated by its own
-:class:`ClusterEngine`, advanced in lockstep.  A fleet-level scheduler
-picks *(node, mode)* per arrival; :class:`LeastLoadedPlacement`
-implements the iso-QoS tie-break the paper suggests (route to the node
-whose predicted/observed pressure is lowest).
+:class:`ClusterFleet` realizes that design as a *rack*: N borrower
+nodes, each simulated by its own :class:`ClusterEngine`, advanced under
+one fleet clock and — when a :class:`~repro.hardware.pool.RemotePoolConfig`
+is given — drawing remote memory from a shared rack pool.  The pool
+composes two contention levels every tick: per-node ThymesisFlow link
+saturation (unchanged from the single-node model) and pool-level
+capacity plus aggregate-bandwidth arbitration, resolved once per fleet
+tick before the nodes advance (``fleet.arbitration`` in the phase
+accounting).
+
+Placement is two-level: a fleet scheduler picks the *node* (global
+step: :class:`LeastLoadedPlacement` is the iso-QoS tie-break the paper
+suggests, :class:`PoolAwarePlacement` additionally avoids lanes the
+pool arbiter throttled), then the wrapped single-node policy (e.g.
+:class:`repro.orchestrator.AdriasPolicy`) picks the memory mode against
+that node's state.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 from typing import Callable
 
 import numpy as np
 
 from repro.cluster.deployment import Deployment, DeploymentRecord
-from repro.cluster.engine import CapacityError, ClusterEngine
+from repro.cluster.engine import (
+    CapacityError,
+    ClusterEngine,
+    RemoteUnavailableError,
+)
 from repro.hardware.config import TestbedConfig
+from repro.hardware.pool import RemotePool, RemotePoolConfig
 from repro.hardware.testbed import Testbed
+from repro.obs.perf import accounting as perf_accounting
 from repro.workloads.base import MemoryMode, WorkloadProfile
 
-__all__ = ["ClusterFleet", "LeastLoadedPlacement", "FleetDecision"]
+__all__ = [
+    "ClusterFleet",
+    "LeastLoadedPlacement",
+    "PoolAwarePlacement",
+    "FleetDecision",
+]
 
 
 @dataclass(frozen=True)
@@ -43,21 +64,48 @@ FleetScheduler = Callable[[WorkloadProfile, "ClusterFleet"], FleetDecision]
 
 
 class ClusterFleet:
-    """N disaggregated nodes advanced in lockstep."""
+    """N disaggregated nodes under one fleet clock and shared rack pool."""
 
     def __init__(
         self,
         n_nodes: int = 2,
         testbed_config: TestbedConfig | None = None,
         dt: float = 1.0,
+        pool: RemotePoolConfig | None = None,
     ) -> None:
         if n_nodes <= 0:
             raise ValueError("n_nodes must be positive")
-        config = testbed_config if testbed_config is not None else TestbedConfig()
+        base = testbed_config if testbed_config is not None else TestbedConfig()
+        self.pool: RemotePool | None = None
+        if pool is not None:
+            self.pool = RemotePool(
+                pool,
+                n_nodes=n_nodes,
+                link_capacity_gbps=base.link.capacity_gbps,
+                node_remote_gb=base.node.remote_gb,
+            )
+            # Per-node remote ceiling: the regime's hard draw limit.  The
+            # shared (pooled) dimension is enforced by the fits hook.
+            base_for_nodes = replace(
+                base, node=replace(base.node, remote_gb=self.pool.node_capacity_gb)
+            )
+        else:
+            base_for_nodes = base
         self.engines = [
-            ClusterEngine(testbed=Testbed(config), dt=dt) for _ in range(n_nodes)
+            ClusterEngine(
+                testbed=Testbed(replace(base_for_nodes, seed=base.seed + index)),
+                dt=dt,
+            )
+            for index in range(n_nodes)
         ]
+        if self.pool is not None:
+            for index, engine in enumerate(self.engines):
+                engine.remote_fits_hook = self._pool_check(index)
         self.dt = dt
+        #: Single fleet clock: every engine advances in lockstep with it.
+        self._now = 0.0
+        #: Fleet ticks on which the pool arbiter throttled at least one lane.
+        self.pool_throttled_ticks = 0
 
     @property
     def n_nodes(self) -> int:
@@ -65,7 +113,43 @@ class ClusterFleet:
 
     @property
     def now(self) -> float:
-        return self.engines[0].now
+        return self._now
+
+    @property
+    def queued_remote(self) -> int:
+        """Deployments parked fleet-wide in per-node outage retry queues."""
+        return sum(engine.queued_remote for engine in self.engines)
+
+    # -- rack pool ---------------------------------------------------------
+    def _remote_used_gb(self) -> list[float]:
+        return [
+            engine.used_capacity_gb(MemoryMode.REMOTE) for engine in self.engines
+        ]
+
+    def _pool_check(self, index: int) -> Callable[[WorkloadProfile], bool]:
+        def check(profile: WorkloadProfile) -> bool:
+            return self.pool.fits(
+                self._remote_used_gb(), index, profile.footprint_gb
+            )
+
+        return check
+
+    def _arbitrate(self) -> None:
+        """Resolve pool-level bandwidth arbitration for the coming tick."""
+        if self.pool is None:
+            return
+        offered = [
+            sum(d.demand().remote_bw_gbps for d in engine.running)
+            for engine in self.engines
+        ]
+        factors = self.pool.arbitrate(offered)
+        throttled = False
+        for engine, factor in zip(self.engines, factors):
+            engine.pool_capacity_factor = factor
+            if factor < 1.0 - 1e-12:
+                throttled = True
+        if throttled:
+            self.pool_throttled_ticks += 1
 
     # -- placement ---------------------------------------------------------
     def deploy(
@@ -73,6 +157,7 @@ class ClusterFleet:
         profile: WorkloadProfile,
         decision: FleetDecision,
         duration_s: float | None = None,
+        decided_s: float | None = None,
     ) -> Deployment:
         if not 0 <= decision.node_index < self.n_nodes:
             raise ValueError(
@@ -80,7 +165,7 @@ class ClusterFleet:
                 f"[0, {self.n_nodes})"
             )
         return self.engines[decision.node_index].deploy(
-            profile, decision.mode, duration_s=duration_s
+            profile, decision.mode, duration_s=duration_s, decided_s=decided_s
         )
 
     def deploy_anywhere(
@@ -88,34 +173,77 @@ class ClusterFleet:
         profile: WorkloadProfile,
         mode: MemoryMode,
         duration_s: float | None = None,
-    ) -> Deployment:
-        """Place on the first node with capacity; raise if none fits."""
-        for engine in self.engines:
-            if engine.fits(profile, mode):
-                return engine.deploy(profile, mode, duration_s=duration_s)
+        decided_s: float | None = None,
+    ) -> Deployment | None:
+        """Place on the first node with capacity, skipping outaged links.
+
+        A node whose link is out (``RemoteUnavailableError``) does not
+        fail the whole fleet: remaining nodes are tried, and when *every*
+        node with capacity is outaged the deployment is parked on the
+        least-loaded of them via :meth:`ClusterEngine.queue_remote`
+        (returning ``None``).  Raises :class:`CapacityError` only when
+        the workload genuinely fits nowhere.
+        """
+        outaged: list[int] = []
+        for index, engine in enumerate(self.engines):
+            if not engine.fits(profile, mode):
+                continue
+            try:
+                return engine.deploy(
+                    profile, mode, duration_s=duration_s, decided_s=decided_s
+                )
+            except RemoteUnavailableError:
+                outaged.append(index)
+        if outaged:
+            target = min(outaged, key=self.node_load)
+            self.engines[target].queue_remote(profile, duration_s=duration_s)
+            return None
         raise CapacityError(
             f"{profile.name} does not fit in {mode.value} memory on any node"
         )
 
     # -- simulation ----------------------------------------------------------
     def tick(self) -> None:
+        acct = perf_accounting()
+        t0 = acct.clock() if acct is not None else 0.0
+        self._arbitrate()
+        if acct is not None:
+            acct.lap("fleet.arbitration", t0)
         for engine in self.engines:
             engine.tick()
+        self._now += self.dt
+        if any(abs(engine.now - self._now) > 1e-9 for engine in self.engines):
+            raise RuntimeError(
+                "fleet clock drift: an engine was advanced outside the fleet"
+            )
 
     def run_for(self, seconds: float) -> None:
         if seconds < 0:
             raise ValueError("cannot run backwards")
-        end = self.now + seconds
-        while self.now < end - 1e-9:
+        end = self._now + seconds
+        while self._now < end - 1e-9:
             self.tick()
 
     def run_until_idle(self, max_seconds: float = 86400.0) -> None:
+        """Run until every deployment *and* every retry queue has drained.
+
+        Mirrors :meth:`ClusterEngine.run_until_idle`: a fleet is not
+        idle while outage-parked deployments are still waiting in a
+        node's retry queue — draining on ``running`` alone would drop
+        them from the trace silently.
+        """
         waited = 0.0
-        while any(engine.running for engine in self.engines):
-            if waited >= max_seconds:
-                raise RuntimeError("fleet did not drain in time")
+        while (
+            any(engine.running for engine in self.engines) or self.queued_remote
+        ) and waited < max_seconds:
             self.tick()
             waited += self.dt
+        still_running = sum(len(engine.running) for engine in self.engines)
+        if still_running or self.queued_remote:
+            raise RuntimeError(
+                f"{still_running} deployments still running and "
+                f"{self.queued_remote} queued after {max_seconds} s drain"
+            )
 
     # -- queries -----------------------------------------------------------
     def records(self) -> list[DeploymentRecord]:
@@ -144,29 +272,88 @@ class ClusterFleet:
 
 
 class LeastLoadedPlacement:
-    """Fleet scheduler: per-node mode policy + least-loaded node choice.
+    """Two-level scheduler: least-loaded node, then per-node mode policy.
 
     ``mode_policy`` is any single-node policy (e.g.
     :class:`repro.orchestrator.AdriasPolicy`); the fleet layer selects
     the target node first (cluster-level efficiency), then asks the
-    policy to pick the memory mode against that node's state.
+    policy to pick the memory mode against that node's state.  Nodes
+    whose remote pool is unreachable (link outage) are skipped for
+    remote placements so one node's outage never fails the fleet; when
+    no pool/node combination can take the workload a
+    :class:`CapacityError` is raised.
     """
 
     def __init__(self, mode_policy) -> None:
         self.mode_policy = mode_policy
 
+    @property
+    def name(self) -> str:
+        inner = getattr(self.mode_policy, "name", None) or (
+            self.mode_policy.__class__.__name__
+        )
+        return f"{self.__class__.__name__}({inner})"
+
+    # Checkpoint state lives in the wrapped per-node policy (breaker,
+    # RNG); the fleet layer itself is stateless.
+    def state_dict(self) -> dict | None:
+        if hasattr(self.mode_policy, "state_dict"):
+            return self.mode_policy.state_dict()
+        return None
+
+    def load_state_dict(self, data: dict | None) -> None:
+        if data is not None and hasattr(self.mode_policy, "load_state_dict"):
+            self.mode_policy.load_state_dict(data)
+
+    # -- global step: node ranking ----------------------------------------
+    def node_order(self, fleet: ClusterFleet) -> list[int]:
+        """Candidate nodes, most preferred first."""
+        loads = [fleet.node_load(i) for i in range(fleet.n_nodes)]
+        return sorted(range(fleet.n_nodes), key=lambda i: (loads[i], i))
+
+    @staticmethod
+    def _placeable(
+        engine: ClusterEngine, profile: WorkloadProfile, mode: MemoryMode
+    ) -> bool:
+        """Capacity *and* reachability: fits() alone misses outages."""
+        if mode is MemoryMode.REMOTE and engine.remote_blocked:
+            return False
+        return engine.fits(profile, mode)
+
     def __call__(
         self, profile: WorkloadProfile, fleet: ClusterFleet
     ) -> FleetDecision:
-        node = fleet.least_loaded_node()
-        mode = self.mode_policy.decide(profile, fleet.engines[node])
-        if not fleet.engines[node].fits(profile, mode):
-            # Fall back across nodes, then across pools.
-            for index in range(fleet.n_nodes):
-                if fleet.engines[index].fits(profile, mode):
-                    return FleetDecision(index, mode)
-            for index in range(fleet.n_nodes):
-                if fleet.engines[index].fits(profile, mode.other):
-                    return FleetDecision(index, mode.other)
-            raise CapacityError(f"{profile.name} fits nowhere in the fleet")
-        return FleetDecision(node, mode)
+        order = self.node_order(fleet)
+        mode = self.mode_policy.decide(profile, fleet.engines[order[0]])
+        # Fall back across nodes, then across pools.
+        for candidate_mode in (mode, mode.other):
+            for index in order:
+                if self._placeable(fleet.engines[index], profile, candidate_mode):
+                    return FleetDecision(index, candidate_mode)
+        raise CapacityError(f"{profile.name} fits nowhere in the fleet")
+
+
+class PoolAwarePlacement(LeastLoadedPlacement):
+    """Least-loaded ranking, penalizing lanes the pool arbiter throttled.
+
+    When the rack fabric saturates, the :class:`RemotePool` arbiter
+    scales down the ThymesisFlow capacity of the hungriest nodes; this
+    scheduler folds that throttle into the node score so new work drifts
+    toward nodes with unthrottled lanes and pool headroom.
+    """
+
+    def __init__(self, mode_policy, throttle_weight: float = 1.0) -> None:
+        super().__init__(mode_policy)
+        if throttle_weight < 0:
+            raise ValueError("throttle_weight cannot be negative")
+        self.throttle_weight = throttle_weight
+
+    def node_order(self, fleet: ClusterFleet) -> list[int]:
+        def score(index: int) -> tuple[float, int]:
+            throttle = 1.0 - fleet.engines[index].pool_capacity_factor
+            return (
+                fleet.node_load(index) + self.throttle_weight * throttle,
+                index,
+            )
+
+        return sorted(range(fleet.n_nodes), key=score)

@@ -19,6 +19,7 @@ Modules
 - ``fig15_generalization`` — Fig. 15a/b (leave-one-out, sample scaling)
 - ``fig16_be_orchestration`` — Fig. 16 (β comparison vs baselines)
 - ``fig17_lc_orchestration`` — Fig. 17 (QoS violations/offloads)
+- ``fleet_scaling`` — §VII rack scale-out (pooled vs shared-segment)
 - ``traffic_reduction`` — §VI-B traffic accounting
 - ``ablations`` — DESIGN.md §5 extra ablations
 """
@@ -37,6 +38,7 @@ from repro.experiments import (
     fig15_generalization,
     fig16_be_orchestration,
     fig17_lc_orchestration,
+    fleet_scaling,
     table1_system_state,
     traffic_reduction,
 )
@@ -66,6 +68,7 @@ __all__ = [
     "fig15_generalization",
     "fig16_be_orchestration",
     "fig17_lc_orchestration",
+    "fleet_scaling",
     "scale_from_env",
     "table1_system_state",
     "traffic_reduction",

@@ -1,0 +1,160 @@
+"""Experiment — fleet scaling on a rack-level remote-memory pool (§VII).
+
+The paper evaluates Adrias on one borrower node and argues in §VII that
+the design scales out.  This driver quantifies that claim on the
+simulated rack: replay held-out arrival sequences against fleets of
+N ∈ {1, 2, 4, 8} nodes whose remote memory comes from a shared pool,
+under both pool regimes:
+
+* ``pooled`` — fungible capacity, dynamic max-min bandwidth arbitration
+  (statistical multiplexing: a bursty node can borrow fabric headroom
+  idle nodes are not using);
+* ``shared-segment`` — static per-node slices (capacity/N, bandwidth/N),
+  the conservative partitioning used by early CXL appliances.
+
+The rack fabric is provisioned *sub-linearly* (``FABRIC_OVERSUB`` of
+the sum of per-node link capacities), which is where the two regimes
+diverge: pooled fleets should sustain more best-effort throughput at
+equal QoS because the arbiter only throttles under true aggregate
+contention, while shared segments throttle every node all the time.
+Arrival rate scales with N (spawn intervals shrink 1/N) so per-node
+load is constant across fleet sizes — fig16/fig17-style metrics then
+isolate the pool effect.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+import numpy as np
+
+from repro.analysis.reporting import format_table
+from repro.cluster.fleet import PoolAwarePlacement
+from repro.cluster.fleet_scenario import FleetScenarioConfig, run_fleet_scenario
+from repro.experiments.common import (
+    ExperimentScale,
+    eval_scenario_configs,
+    scale_from_env,
+)
+from repro.hardware.config import TestbedConfig
+from repro.hardware.pool import PoolRegime, RemotePoolConfig
+from repro.orchestrator.policies import InterferenceThresholdPolicy
+from repro.workloads.base import MemoryMode, WorkloadKind
+
+__all__ = ["FleetCell", "FleetScalingResult", "run", "FLEET_SIZES", "FABRIC_OVERSUB"]
+
+FLEET_SIZES: tuple[int, ...] = (1, 2, 4, 8)
+
+#: Rack fabric bandwidth as a fraction of the sum of per-node link
+#: capacities — the oversubscription that makes pooling interesting.
+FABRIC_OVERSUB = 0.6
+
+#: QoS target for the latency-critical side (same generous bound the
+#: fig16/fig17 drivers use so LC placement does not confound BE numbers).
+_LC_QOS_MS = 6.0
+
+
+@dataclass(frozen=True)
+class FleetCell:
+    """Aggregated outcome of one (regime, fleet size) grid point."""
+
+    regime: str
+    n_nodes: int
+    completed: int
+    #: Completed best-effort jobs per simulated hour, fleet-wide.
+    be_jobs_per_hour: float
+    be_median_runtime_s: float
+    lc_qos_violation_rate: float
+    offload_fraction: float
+    pool_throttled_ticks: int
+
+
+@dataclass(frozen=True)
+class FleetScalingResult:
+    cells: tuple[FleetCell, ...]
+
+    def cell(self, regime: str, n_nodes: int) -> FleetCell:
+        for cell in self.cells:
+            if cell.regime == regime and cell.n_nodes == n_nodes:
+                return cell
+        raise KeyError(f"no cell for ({regime}, {n_nodes})")
+
+    def format(self) -> str:
+        rows = [
+            (
+                cell.regime,
+                str(cell.n_nodes),
+                f"{cell.be_jobs_per_hour:.1f}",
+                f"{cell.be_median_runtime_s:.0f}",
+                f"{cell.lc_qos_violation_rate * 100:.1f}%",
+                f"{cell.offload_fraction * 100:.1f}%",
+                str(cell.pool_throttled_ticks),
+            )
+            for cell in self.cells
+        ]
+        return format_table(
+            ["regime", "nodes", "BE jobs/h", "BE median s",
+             "LC QoS viol", "offload", "throttled ticks"],
+            rows,
+            title="Fleet scaling — pooled vs shared-segment rack memory",
+        )
+
+
+def _pool_for(n_nodes: int, base: TestbedConfig, regime: PoolRegime) -> RemotePoolConfig:
+    return RemotePoolConfig(
+        capacity_gb=base.node.remote_gb * n_nodes,
+        aggregate_bw_gbps=base.link.capacity_gbps * n_nodes * FABRIC_OVERSUB,
+        regime=regime,
+    )
+
+
+def _run_cell(
+    scale: ExperimentScale, n_nodes: int, regime: PoolRegime
+) -> FleetCell:
+    records = []
+    throttled = 0
+    total_sim_s = 0.0
+    for scenario in eval_scenario_configs(scale):
+        low, high = scenario.spawn_interval
+        config = FleetScenarioConfig(
+            scenario=replace(
+                scenario, spawn_interval=(low / n_nodes, high / n_nodes)
+            ),
+            n_nodes=n_nodes,
+            pool=_pool_for(n_nodes, TestbedConfig(seed=scenario.seed), regime),
+        )
+        scheduler = PoolAwarePlacement(InterferenceThresholdPolicy())
+        fleet = run_fleet_scenario(config, scheduler=scheduler)
+        records.extend(fleet.records())
+        throttled += fleet.pool_throttled_ticks
+        total_sim_s += scenario.duration_s
+    be = [r for r in records if r.kind is WorkloadKind.BEST_EFFORT]
+    lc = [r for r in records if r.kind is WorkloadKind.LATENCY_CRITICAL]
+    lc_p99 = np.array([r.p99_ms for r in lc if not np.isnan(r.p99_ms)])
+    remote = sum(1 for r in records if r.mode is MemoryMode.REMOTE)
+    return FleetCell(
+        regime=regime.value,
+        n_nodes=n_nodes,
+        completed=len(records),
+        be_jobs_per_hour=len(be) / total_sim_s * 3600.0 if total_sim_s else 0.0,
+        be_median_runtime_s=(
+            float(np.median([r.runtime_s for r in be])) if be else float("nan")
+        ),
+        lc_qos_violation_rate=(
+            float(np.mean(lc_p99 > _LC_QOS_MS)) if lc_p99.size else float("nan")
+        ),
+        offload_fraction=remote / len(records) if records else float("nan"),
+        pool_throttled_ticks=throttled,
+    )
+
+
+def run(
+    scale: ExperimentScale | None = None,
+    fleet_sizes: tuple[int, ...] = FLEET_SIZES,
+) -> FleetScalingResult:
+    scale = scale if scale is not None else scale_from_env()
+    cells = []
+    for regime in (PoolRegime.POOLED, PoolRegime.SHARED_SEGMENT):
+        for n_nodes in fleet_sizes:
+            cells.append(_run_cell(scale, n_nodes, regime))
+    return FleetScalingResult(cells=tuple(cells))

@@ -55,18 +55,30 @@ class FaultedLink:
     def inner(self):
         return self._inner
 
-    def resolve(self, offered_gbps: float):
+    def resolve(
+        self,
+        offered_gbps: float,
+        capacity_factor: float = 1.0,
+        latency_factor: float = 1.0,
+    ):
+        # The incoming factors carry pool-arbitration throttling (see
+        # repro.hardware.pool); fault effects compose multiplicatively
+        # so a throttled lane that also degrades stays throttled.
         spec = self._injector.active_link_fault()
         if spec is None:
-            return self._inner.resolve(offered_gbps)
+            return self._inner.resolve(
+                offered_gbps,
+                capacity_factor=capacity_factor,
+                latency_factor=latency_factor,
+            )
         if spec.kind == "link_outage":
-            capacity_factor = 0.0
+            fault_capacity = 0.0
         else:
-            capacity_factor = float(spec.param("capacity_factor", 1.0))
+            fault_capacity = float(spec.param("capacity_factor", 1.0))
         return self._inner.resolve(
             offered_gbps,
-            capacity_factor=capacity_factor,
-            latency_factor=float(spec.param("latency_factor", 1.0)),
+            capacity_factor=capacity_factor * fault_capacity,
+            latency_factor=latency_factor * float(spec.param("latency_factor", 1.0)),
         )
 
 

@@ -12,6 +12,7 @@ from repro.hardware.config import LinkConfig, NodeConfig, TestbedConfig
 from repro.hardware.counters import METRIC_NAMES, CounterSynthesizer, PerfCounters
 from repro.hardware.link import LinkState, ThymesisFlowLink
 from repro.hardware.memory import LocalMemory, MemoryState
+from repro.hardware.pool import PoolRegime, RemotePool, RemotePoolConfig
 from repro.hardware.testbed import ResourceDemand, SystemPressure, Testbed
 
 __all__ = [
@@ -24,6 +25,9 @@ __all__ = [
     "MemoryState",
     "NodeConfig",
     "PerfCounters",
+    "PoolRegime",
+    "RemotePool",
+    "RemotePoolConfig",
     "ResourceDemand",
     "SharedCache",
     "SystemPressure",

@@ -1,0 +1,181 @@
+"""Rack-level remote-memory pool (the DRackSim / CXL-ClusterSim regimes).
+
+The paper's prototype lends memory point-to-point: one borrower, one
+lender, one ThymesisFlow channel.  Rack-scale disaggregation designs
+instead expose a *pool* of remote memory behind a shared fabric, and
+the simulators closest to that design space distinguish two regimes:
+
+* **pooled** — the pool is one fungible region.  Any node may draw any
+  amount until the rack total is exhausted, and fabric bandwidth is
+  arbitrated dynamically: idle nodes donate their headroom to busy ones
+  (max-min fair water-filling).
+* **shared-segment** — the pool is statically partitioned into per-node
+  segments.  A node can never draw beyond ``capacity_gb / n_nodes`` no
+  matter how idle its siblings are, and fabric bandwidth is likewise
+  sliced statically.
+
+Both regimes compose with the per-node ThymesisFlow link model: the
+pool arbiter emits a per-node *capacity factor* in (0, 1] which scales
+the node's channel capacity for the tick, so pool saturation surfaces
+as the same utilization/latency/back-pressure arithmetic the single
+link already implements (:class:`repro.hardware.link.ThymesisFlowLink`).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+__all__ = ["PoolRegime", "RemotePoolConfig", "RemotePool"]
+
+
+class PoolRegime(str, enum.Enum):
+    """How the rack partitions remote capacity and fabric bandwidth."""
+
+    POOLED = "pooled"
+    SHARED_SEGMENT = "shared-segment"
+
+
+@dataclass(frozen=True)
+class RemotePoolConfig:
+    """User-facing pool parameters; ``None`` derives rack defaults.
+
+    ``capacity_gb`` defaults to ``n_nodes x NodeConfig.remote_gb`` (the
+    rack lends what N point-to-point lenders would have) and
+    ``aggregate_bw_gbps`` to ``n_nodes x LinkConfig.capacity_gbps`` (an
+    un-oversubscribed fabric, which makes the pool bandwidth-neutral
+    until configured otherwise).
+    """
+
+    capacity_gb: float | None = None
+    aggregate_bw_gbps: float | None = None
+    regime: PoolRegime = PoolRegime.POOLED
+
+    def __post_init__(self) -> None:
+        # Accept plain "pooled" / "shared-segment" strings.
+        object.__setattr__(self, "regime", PoolRegime(self.regime))
+        if self.capacity_gb is not None and self.capacity_gb <= 0:
+            raise ValueError("capacity_gb must be positive when given")
+        if self.aggregate_bw_gbps is not None and self.aggregate_bw_gbps <= 0:
+            raise ValueError("aggregate_bw_gbps must be positive when given")
+
+
+def _water_fill(demands: list[float], budget: float) -> list[float]:
+    """Max-min fair allocation of ``budget`` across ``demands``."""
+    alloc = [0.0] * len(demands)
+    active = [i for i, d in enumerate(demands) if d > 0.0]
+    remaining = budget
+    while active and remaining > 1e-12:
+        share = remaining / len(active)
+        filled = [i for i in active if demands[i] - alloc[i] <= share + 1e-15]
+        if not filled:
+            for i in active:
+                alloc[i] += share
+            break
+        for i in filled:
+            remaining -= demands[i] - alloc[i]
+            alloc[i] = demands[i]
+        satisfied = set(filled)
+        active = [i for i in active if i not in satisfied]
+    return alloc
+
+
+class RemotePool:
+    """Resolved rack pool: capacity accounting + bandwidth arbitration.
+
+    Stateless between ticks — both queries are pure functions of the
+    fleet's current usage, which keeps seeded fleet runs bit-identical.
+    """
+
+    def __init__(
+        self,
+        config: RemotePoolConfig,
+        n_nodes: int,
+        link_capacity_gbps: float,
+        node_remote_gb: float,
+    ) -> None:
+        if n_nodes <= 0:
+            raise ValueError("n_nodes must be positive")
+        if link_capacity_gbps <= 0:
+            raise ValueError("link_capacity_gbps must be positive")
+        if node_remote_gb <= 0:
+            raise ValueError("node_remote_gb must be positive")
+        self.config = config
+        self.n_nodes = n_nodes
+        self.link_capacity_gbps = link_capacity_gbps
+        self.capacity_gb = (
+            config.capacity_gb
+            if config.capacity_gb is not None
+            else node_remote_gb * n_nodes
+        )
+        self.aggregate_bw_gbps = (
+            config.aggregate_bw_gbps
+            if config.aggregate_bw_gbps is not None
+            else link_capacity_gbps * n_nodes
+        )
+
+    @property
+    def regime(self) -> PoolRegime:
+        return self.config.regime
+
+    @property
+    def node_capacity_gb(self) -> float:
+        """Hard per-node draw ceiling the regime imposes."""
+        if self.regime is PoolRegime.POOLED:
+            return self.capacity_gb
+        return self.capacity_gb / self.n_nodes
+
+    # -- capacity -----------------------------------------------------------
+    def fits(
+        self,
+        used_per_node: list[float],
+        node_index: int,
+        footprint_gb: float,
+    ) -> bool:
+        """Whether ``footprint_gb`` more fits on ``node_index`` right now."""
+        if not 0 <= node_index < self.n_nodes:
+            raise ValueError(f"node index {node_index} out of range")
+        if self.regime is PoolRegime.POOLED:
+            return sum(used_per_node) + footprint_gb <= self.capacity_gb + 1e-9
+        return (
+            used_per_node[node_index] + footprint_gb
+            <= self.node_capacity_gb + 1e-9
+        )
+
+    def remaining_gb(self, used_per_node: list[float], node_index: int) -> float:
+        """Remote headroom visible to ``node_index`` under the regime."""
+        if self.regime is PoolRegime.POOLED:
+            return max(0.0, self.capacity_gb - sum(used_per_node))
+        return max(0.0, self.node_capacity_gb - used_per_node[node_index])
+
+    # -- bandwidth ----------------------------------------------------------
+    def arbitrate(self, offered_gbps: list[float]) -> list[float]:
+        """Per-node link capacity factors in (0, 1] for one fleet tick.
+
+        A factor of 1 leaves the node's ThymesisFlow channel at nominal
+        capacity; smaller factors model the pool fabric throttling that
+        node's lane.  ``pooled`` water-fills the aggregate budget by
+        current demand; ``shared-segment`` slices it statically.
+        """
+        if len(offered_gbps) != self.n_nodes:
+            raise ValueError(
+                f"expected {self.n_nodes} offered loads, got {len(offered_gbps)}"
+            )
+        if any(o < 0 for o in offered_gbps):
+            raise ValueError("offered bandwidth cannot be negative")
+        cap = self.link_capacity_gbps
+        if self.regime is PoolRegime.SHARED_SEGMENT:
+            static = min(1.0, (self.aggregate_bw_gbps / self.n_nodes) / cap)
+            return [static] * self.n_nodes
+        demands = [min(o, cap) for o in offered_gbps]
+        if sum(demands) <= self.aggregate_bw_gbps + 1e-12:
+            return [1.0] * self.n_nodes
+        alloc = _water_fill(demands, self.aggregate_bw_gbps)
+        return [
+            1.0 if alloc[i] >= demands[i] - 1e-12 else max(alloc[i] / cap, 0.0)
+            for i in range(self.n_nodes)
+        ]
+
+    def bandwidth_utilization(self, offered_gbps: list[float]) -> float:
+        """Aggregate offered load over the fabric budget (can exceed 1)."""
+        return sum(offered_gbps) / self.aggregate_bw_gbps

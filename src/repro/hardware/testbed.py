@@ -116,8 +116,19 @@ class Testbed:
             seed=self.config.seed,
         )
 
-    def resolve(self, demands: list[ResourceDemand]) -> SystemPressure:
-        """Resolve shared-resource contention for one tick."""
+    def resolve(
+        self,
+        demands: list[ResourceDemand],
+        link_capacity_factor: float = 1.0,
+    ) -> SystemPressure:
+        """Resolve shared-resource contention for one tick.
+
+        ``link_capacity_factor`` scales the ThymesisFlow channel's
+        capacity for this resolution — the rack-pool arbiter
+        (:class:`repro.hardware.pool.RemotePool`) throttles a node's
+        lane this way when the pool fabric saturates.  The default of 1
+        leaves single-node behaviour bit-identical.
+        """
         total = ResourceDemand.total(demands)
         if total.local_gb > self.config.node.dram_gb:
             raise MemoryError(
@@ -134,7 +145,9 @@ class Testbed:
             l2=self.l2.resolve(total.l2_mb),
             llc=self.llc.resolve(total.llc_mb),
             memory=self.memory.resolve(total.local_bw_gbps, total.local_gb),
-            link=self.link.resolve(total.remote_bw_gbps),
+            link=self.link.resolve(
+                total.remote_bw_gbps, capacity_factor=link_capacity_factor
+            ),
             total_demand=total,
         )
 

@@ -47,6 +47,7 @@ __all__ = [
     "fabricate_predictor",
     "bench_ticks",
     "bench_decisions",
+    "bench_fleet",
     "bench_phases",
     "profile_run",
     "run_engine_bench",
@@ -59,6 +60,9 @@ SCHEMA_VERSION = 1
 #: Candidate-placement counts of the full decision sweep (1–1000).
 DEFAULT_CANDIDATES = (1, 8, 64, 256, 1000)
 SMOKE_CANDIDATES = (1, 8, 64)
+
+#: Rack sizes of the fleet tick sweep (per-tick pool arbitration cost).
+DEFAULT_FLEET_SIZES = (1, 8, 64)
 
 
 def fabricate_predictor(
@@ -234,6 +238,51 @@ def bench_decisions(
     return results
 
 
+# -- fleet ticks/sec ---------------------------------------------------------
+def bench_fleet(
+    fleet_sizes: tuple[int, ...] = DEFAULT_FLEET_SIZES,
+    duration_s: float = 60.0,
+    repeats: int = 3,
+    seed: int = 0,
+) -> dict[str, dict[str, float]]:
+    """Fleet ticks/sec vs rack size, pool arbitration on the hot path.
+
+    Every node carries one remote-mode deployment so the per-tick
+    water-filling arbitration sees real bandwidth demand; setup (fleet
+    construction, placement) is excluded from the timed window.
+    """
+    from repro.cluster.fleet import ClusterFleet, FleetDecision
+    from repro.hardware.pool import RemotePoolConfig
+
+    results: dict[str, dict[str, float]] = {}
+    for n in fleet_sizes:
+        config = TestbedConfig(seed=seed)
+        pool = RemotePoolConfig(
+            capacity_gb=config.node.remote_gb * n,
+            aggregate_bw_gbps=config.link.capacity_gbps * n * 0.5,
+        )
+        best = float("inf")
+        for _ in range(repeats):
+            fleet = ClusterFleet(n_nodes=n, testbed_config=config, pool=pool)
+            for i in range(n):
+                fleet.deploy(
+                    spark_profile("gmm"),
+                    FleetDecision(i, MemoryMode.REMOTE),
+                    duration_s=duration_s * 2,
+                )
+            start = time.perf_counter()
+            fleet.run_for(duration_s)
+            best = min(best, time.perf_counter() - start)
+        ticks = int(round(duration_s / fleet.dt))
+        results[str(n)] = {
+            "nodes": n,
+            "ticks": ticks,
+            "wall_s": best,
+            "fleet_ticks_per_sec": ticks / best,
+        }
+    return results
+
+
 # -- phase breakdown ---------------------------------------------------------
 def profile_run(
     duration_s: float = 300.0,
@@ -327,6 +376,9 @@ def run_engine_bench(
             candidate_counts=candidates, repeats=repeats, hidden=hidden,
             seed=seed,
         ),
+        "fleet": bench_fleet(
+            duration_s=tick_duration, repeats=repeats, seed=seed
+        ),
         "phases": bench_phases(
             duration_s=phase_duration, hidden=hidden, seed=seed
         ),
@@ -354,6 +406,15 @@ def format_report(report: dict) -> str:
             f"  {n:>5} candidates {entry['decisions_per_sec']:>10.1f} "
             f"decisions/s  ({entry['wall_s'] * 1e3:.1f} ms/tick)"
         )
+    fleet = report.get("fleet", {})
+    if fleet:
+        lines.append("fleet ticks/sec by rack size (pool arbitration):")
+        for n, entry in fleet.items():
+            lines.append(
+                f"  {n:>5} nodes {entry['fleet_ticks_per_sec']:>12.0f} "
+                f"ticks/s  ({entry['ticks']} ticks, "
+                f"{entry['wall_s'] * 1e3:.1f} ms)"
+            )
     phases = report.get("phases", {})
     if phases:
         total = sum(

@@ -107,6 +107,10 @@ def _engine_metrics(report: dict) -> dict[str, float]:
         value = entry.get("decisions_per_sec")
         if value:
             metrics[f"decisions_per_sec[{candidates}]"] = float(value)
+    for nodes, entry in report.get("fleet", {}).items():
+        value = entry.get("fleet_ticks_per_sec")
+        if value:
+            metrics[f"fleet_ticks_per_sec[{nodes}]"] = float(value)
     return metrics
 
 

@@ -22,6 +22,7 @@ from repro.orchestrator.policies import (
     AdriasPolicy,
     AllLocalPolicy,
     AllRemotePolicy,
+    InterferenceThresholdPolicy,
     Policy,
     RandomPolicy,
     RoundRobinPolicy,
@@ -32,6 +33,7 @@ __all__ = [
     "AdriasPolicy",
     "AllLocalPolicy",
     "AllRemotePolicy",
+    "InterferenceThresholdPolicy",
     "Orchestrator",
     "Policy",
     "PolicyResult",

@@ -7,9 +7,11 @@ from repro.cluster import (
     ClusterFleet,
     FleetDecision,
     LeastLoadedPlacement,
+    PoolAwarePlacement,
 )
-from repro.hardware import NodeConfig, TestbedConfig
+from repro.hardware import NodeConfig, RemotePoolConfig, TestbedConfig
 from repro.workloads import MemoryMode, ibench_profile, spark_profile
+from tests.helpers import assert_traces_identical
 
 
 class TestFleetBasics:
@@ -92,3 +94,151 @@ class TestLoadBalancing:
         # Two fit remotely (one per node); the rest fall back to local.
         assert modes.count(MemoryMode.REMOTE) == 2
         assert modes.count(MemoryMode.LOCAL) == 2
+
+
+class TestOutageBugfixes:
+    """Regressions for the fleet holes the rack generalization exposed."""
+
+    def test_run_until_idle_waits_for_retry_queues(self):
+        # An outage-parked deployment is invisible to `running`; draining
+        # on that alone used to drop it from the trace silently.
+        fleet = ClusterFleet(n_nodes=2)
+        for engine in fleet.engines:
+            engine.remote_blocked = True
+        parked = fleet.deploy_anywhere(spark_profile("scan"), MemoryMode.REMOTE)
+        assert parked is None
+        assert fleet.queued_remote == 1
+        for engine in fleet.engines:
+            engine.remote_blocked = False
+        fleet.run_until_idle()
+        records = fleet.records()
+        assert len(records) == 1
+        assert records[0].mode is MemoryMode.REMOTE
+        assert fleet.queued_remote == 0
+
+    def test_deploy_anywhere_skips_outaged_node(self):
+        # Node 0's link outage must not fail the whole fleet while node 1
+        # has a healthy pool with capacity.
+        fleet = ClusterFleet(n_nodes=2)
+        fleet.engines[0].remote_blocked = True
+        deployment = fleet.deploy_anywhere(
+            spark_profile("scan"), MemoryMode.REMOTE
+        )
+        assert deployment is not None
+        assert fleet.engines[1].running
+        assert not fleet.engines[0].running
+
+    def test_deploy_anywhere_parks_when_every_node_outaged(self):
+        fleet = ClusterFleet(n_nodes=3)
+        for engine in fleet.engines:
+            engine.remote_blocked = True
+        deployment = fleet.deploy_anywhere(
+            spark_profile("scan"), MemoryMode.REMOTE
+        )
+        assert deployment is None  # parked, not raised
+        assert fleet.queued_remote == 1
+
+    def test_deploy_anywhere_still_raises_when_genuinely_full(self):
+        config = TestbedConfig(node=NodeConfig(remote_gb=1.0))
+        fleet = ClusterFleet(n_nodes=2, testbed_config=config)
+        with pytest.raises(CapacityError):
+            fleet.deploy_anywhere(spark_profile("scan"), MemoryMode.REMOTE)
+
+    def test_deploy_threads_decided_s_to_record(self):
+        fleet = ClusterFleet(n_nodes=2)
+        fleet.run_for(5.0)
+        deployment = fleet.deploy(
+            spark_profile("scan"),
+            FleetDecision(0, MemoryMode.LOCAL),
+            decided_s=2.0,
+        )
+        assert deployment.decided_s == pytest.approx(2.0)
+        fleet.run_until_idle()
+        (record,) = fleet.records()
+        assert record.decided_s == pytest.approx(2.0)
+
+    def test_placement_skips_remote_blocked_node(self):
+        from repro.orchestrator import AllRemotePolicy
+
+        fleet = ClusterFleet(n_nodes=2)
+        fleet.engines[0].remote_blocked = True
+        decision = LeastLoadedPlacement(AllRemotePolicy())(
+            spark_profile("scan"), fleet
+        )
+        assert decision.node_index == 1
+        assert decision.mode is MemoryMode.REMOTE
+
+
+class TestRackPool:
+    def scan(self):
+        return spark_profile("scan")  # 8 GB footprint
+
+    def test_pooled_capacity_is_fungible_across_nodes(self):
+        config = TestbedConfig(node=NodeConfig(remote_gb=10.0))
+        fleet = ClusterFleet(
+            n_nodes=2, testbed_config=config,
+            pool=RemotePoolConfig(regime="pooled"),
+        )
+        # Node 0 draws 16 GB — beyond its 10 GB point-to-point share,
+        # fine against the 20 GB rack pool.
+        fleet.deploy(self.scan(), FleetDecision(0, MemoryMode.REMOTE))
+        fleet.deploy(self.scan(), FleetDecision(0, MemoryMode.REMOTE))
+        # Only 4 GB of pool remain, so node 1 cannot take 8 GB.
+        assert not fleet.engines[1].fits(self.scan(), MemoryMode.REMOTE)
+
+    def test_shared_segment_caps_each_node(self):
+        config = TestbedConfig(node=NodeConfig(remote_gb=10.0))
+        fleet = ClusterFleet(
+            n_nodes=2, testbed_config=config,
+            pool=RemotePoolConfig(regime="shared-segment"),
+        )
+        fleet.deploy(self.scan(), FleetDecision(0, MemoryMode.REMOTE))
+        # Node 0's 10 GB segment is nearly full; its sibling's idle
+        # segment cannot be borrowed.
+        assert not fleet.engines[0].fits(self.scan(), MemoryMode.REMOTE)
+        assert fleet.engines[1].fits(self.scan(), MemoryMode.REMOTE)
+
+    def test_arbitration_throttles_lanes_under_fabric_pressure(self):
+        fleet = ClusterFleet(
+            n_nodes=2,
+            pool=RemotePoolConfig(aggregate_bw_gbps=0.1),
+        )
+        for i in range(2):
+            fleet.deploy(
+                self.scan(), FleetDecision(i, MemoryMode.REMOTE),
+                duration_s=1e6,
+            )
+        fleet.tick()
+        assert all(e.pool_capacity_factor < 1.0 for e in fleet.engines)
+        assert fleet.pool_throttled_ticks >= 1
+
+    def test_unoversubscribed_pool_is_bit_inert(self):
+        # A default pool (rack capacity = N x node, fabric = N x link)
+        # must not perturb the simulation: per-node traces match the
+        # pool-less fleet bit for bit.
+        plain = ClusterFleet(n_nodes=2)
+        pooled = ClusterFleet(n_nodes=2, pool=RemotePoolConfig())
+        for fleet in (plain, pooled):
+            fleet.deploy(self.scan(), FleetDecision(0, MemoryMode.REMOTE))
+            fleet.deploy(self.scan(), FleetDecision(1, MemoryMode.LOCAL))
+            fleet.run_until_idle()
+        for a, b in zip(plain.engines, pooled.engines):
+            assert_traces_identical(a.trace, b.trace)
+
+    def test_pool_aware_placement_avoids_throttled_lane(self):
+        from repro.orchestrator import AllRemotePolicy
+
+        fleet = ClusterFleet(n_nodes=2, pool=RemotePoolConfig())
+        fleet.engines[0].pool_capacity_factor = 0.2
+        scheduler = PoolAwarePlacement(AllRemotePolicy(), throttle_weight=10.0)
+        decision = scheduler(self.scan(), fleet)
+        assert decision.node_index == 1
+
+    def test_fleet_tick_accounts_arbitration_phase(self):
+        from repro.obs.perf.accounting import phases_session
+
+        fleet = ClusterFleet(n_nodes=2, pool=RemotePoolConfig())
+        with phases_session() as acct:
+            fleet.run_for(5.0)
+        snapshot = acct.snapshot()
+        assert snapshot["fleet.arbitration"]["calls"] == 5

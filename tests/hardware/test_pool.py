@@ -1,0 +1,137 @@
+"""RemotePool: regime semantics, capacity accounting, bandwidth arbitration."""
+
+import pytest
+
+from repro.hardware.pool import (
+    PoolRegime,
+    RemotePool,
+    RemotePoolConfig,
+    _water_fill,
+)
+
+
+def make_pool(regime="pooled", capacity_gb=None, bw=None, n=4):
+    return RemotePool(
+        RemotePoolConfig(
+            capacity_gb=capacity_gb, aggregate_bw_gbps=bw, regime=regime
+        ),
+        n_nodes=n,
+        link_capacity_gbps=2.5,
+        node_remote_gb=100.0,
+    )
+
+
+class TestConfig:
+    def test_regime_accepts_plain_strings(self):
+        assert RemotePoolConfig(regime="shared-segment").regime is (
+            PoolRegime.SHARED_SEGMENT
+        )
+        assert RemotePoolConfig().regime is PoolRegime.POOLED
+
+    def test_unknown_regime_rejected(self):
+        with pytest.raises(ValueError):
+            RemotePoolConfig(regime="time-sliced")
+
+    def test_nonpositive_parameters_rejected(self):
+        with pytest.raises(ValueError):
+            RemotePoolConfig(capacity_gb=0.0)
+        with pytest.raises(ValueError):
+            RemotePoolConfig(aggregate_bw_gbps=-1.0)
+
+    def test_rack_defaults_derive_from_node_and_link(self):
+        pool = make_pool()
+        assert pool.capacity_gb == pytest.approx(400.0)  # 4 x 100
+        assert pool.aggregate_bw_gbps == pytest.approx(10.0)  # 4 x 2.5
+
+    def test_invalid_construction(self):
+        with pytest.raises(ValueError):
+            RemotePool(RemotePoolConfig(), 0, 2.5, 100.0)
+        with pytest.raises(ValueError):
+            RemotePool(RemotePoolConfig(), 2, 0.0, 100.0)
+
+
+class TestWaterFill:
+    def test_under_budget_everyone_satisfied(self):
+        assert _water_fill([1.0, 2.0], 10.0) == [1.0, 2.0]
+
+    def test_over_budget_is_max_min_fair(self):
+        # Budget 6 across demands (1, 4, 4): the small demand is fully
+        # served, the rest split the remainder equally.
+        alloc = _water_fill([1.0, 4.0, 4.0], 6.0)
+        assert alloc[0] == pytest.approx(1.0)
+        assert alloc[1] == pytest.approx(2.5)
+        assert alloc[2] == pytest.approx(2.5)
+        assert sum(alloc) == pytest.approx(6.0)
+
+    def test_zero_demands_get_nothing(self):
+        assert _water_fill([0.0, 3.0], 2.0) == [0.0, 2.0]
+
+
+class TestCapacity:
+    def test_pooled_capacity_is_fungible(self):
+        pool = make_pool()
+        # One node may draw far beyond its point-to-point share...
+        assert pool.fits([0.0, 0.0, 0.0, 0.0], 0, 350.0)
+        # ...but the rack total is a hard wall for everyone.
+        assert not pool.fits([350.0, 0.0, 0.0, 0.0], 1, 100.0)
+        assert pool.remaining_gb([350.0, 0.0, 0.0, 0.0], 1) == pytest.approx(50.0)
+
+    def test_shared_segment_is_a_static_slice(self):
+        pool = make_pool(regime="shared-segment")
+        assert pool.node_capacity_gb == pytest.approx(100.0)
+        # An idle sibling's headroom cannot be borrowed.
+        assert not pool.fits([0.0, 0.0, 0.0, 0.0], 0, 150.0)
+        assert pool.fits([0.0, 0.0, 0.0, 0.0], 0, 100.0)
+        assert pool.remaining_gb([60.0, 0.0, 0.0, 0.0], 0) == pytest.approx(40.0)
+
+    def test_node_index_validated(self):
+        with pytest.raises(ValueError):
+            make_pool().fits([0.0] * 4, 7, 1.0)
+
+
+class TestArbitration:
+    def test_uncontended_pool_is_bandwidth_neutral(self):
+        pool = make_pool()
+        assert pool.arbitrate([2.0, 2.0, 2.0, 2.0]) == [1.0] * 4
+
+    def test_pooled_throttles_only_under_aggregate_contention(self):
+        pool = make_pool(bw=5.0)  # oversubscribed: 4 lanes of 2.5 on 5
+        factors = pool.arbitrate([2.5, 2.5, 0.0, 0.0])
+        # Two hungry nodes water-fill to 2.5 each... budget exactly covers.
+        assert factors == [1.0, 1.0, 1.0, 1.0]
+        factors = pool.arbitrate([2.5, 2.5, 2.5, 2.5])
+        # Four hungry nodes split 5 Gbps: 1.25 each on a 2.5 lane.
+        assert all(f == pytest.approx(0.5) for f in factors)
+
+    def test_pooled_idle_nodes_donate_headroom(self):
+        pool = make_pool(bw=5.0)
+        factors = pool.arbitrate([2.5, 1.0, 0.5, 0.0])
+        # Total demand 4.0 <= 5.0: nobody is throttled, including the
+        # node at full lane rate.
+        assert factors == [1.0, 1.0, 1.0, 1.0]
+
+    def test_shared_segment_throttles_statically(self):
+        pool = make_pool(regime="shared-segment", bw=5.0)
+        # Every lane is clamped to 5/4 = 1.25 Gbps regardless of demand.
+        assert pool.arbitrate([0.0, 0.0, 0.0, 0.0]) == [0.5] * 4
+        assert pool.arbitrate([2.5, 0.0, 0.0, 0.0]) == [0.5] * 4
+
+    def test_small_demand_never_throttled_in_pooled(self):
+        pool = make_pool(bw=3.0)
+        factors = pool.arbitrate([0.5, 2.5, 2.5, 0.0])
+        assert factors[0] == 1.0  # fully served below the fair share
+        assert factors[3] == 1.0  # idle
+        assert factors[1] == pytest.approx(1.25 / 2.5)
+        assert factors[2] == pytest.approx(1.25 / 2.5)
+
+    def test_offered_length_and_sign_validated(self):
+        pool = make_pool()
+        with pytest.raises(ValueError):
+            pool.arbitrate([1.0, 1.0])
+        with pytest.raises(ValueError):
+            pool.arbitrate([1.0, -0.1, 0.0, 0.0])
+
+    def test_bandwidth_utilization(self):
+        pool = make_pool(bw=5.0)
+        assert pool.bandwidth_utilization([2.5, 2.5, 0.0, 0.0]) == pytest.approx(1.0)
+        assert pool.bandwidth_utilization([5.0, 5.0, 0.0, 0.0]) == pytest.approx(2.0)

@@ -43,11 +43,12 @@ class TestCapacityPlanning:
 
 
 class TestMultiNodeFleet:
-    def test_runs_and_balancing_helps(self, capsys):
+    def test_runs_and_pooling_throttles_less(self, capsys):
         load_example("multi_node_fleet").main()
         out = capsys.readouterr().out
-        assert "least-loaded node" in out
-        assert "improves the median runtime" in out
+        assert "pooled" in out
+        assert "shared-segment" in out
+        assert "more often than the pooled arbiter" in out
 
 
 class TestHeterogeneousTiers:
