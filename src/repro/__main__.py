@@ -275,7 +275,8 @@ def main(argv: list[str] | None = None) -> int:
     obs_cmd.add_argument(
         "target", nargs="+",
         help="directory written by --obs-out; 'watch STREAM.jsonl' to "
-             "render the live dashboard; 'profile' to print a ranked "
+             "render the live dashboard; 'report STREAM.jsonl' to print "
+             "an offline stream summary; 'profile' to print a ranked "
              "phase-cost table of a congested Adrias scenario; "
              "'perfcheck' to gate a benchmark report against the "
              "committed baseline",
@@ -283,6 +284,11 @@ def main(argv: list[str] | None = None) -> int:
     obs_cmd.add_argument(
         "--once", action="store_true",
         help="watch: print a single frame and exit (non-interactive/CI)",
+    )
+    obs_cmd.add_argument(
+        "--fleet", action="store_true",
+        help="watch/report: render the per-node rack view (node tables, "
+             "pool arbitration) instead of the single-engine dashboard",
     )
     obs_cmd.add_argument(
         "--interval", type=float, default=1.0,
@@ -525,8 +531,28 @@ def main(argv: list[str] | None = None) -> int:
             from repro.obs.live.watch import watch
 
             return watch(
-                args.target[1], interval=args.interval, once=args.once
+                args.target[1], interval=args.interval, once=args.once,
+                fleet=args.fleet,
             )
+        if args.target[0] == "report":
+            if len(args.target) != 2:
+                print("usage: python -m repro obs report STREAM.jsonl "
+                      "[--fleet]", file=sys.stderr)
+                return 2
+            from repro.obs.live.watch import read_stream, render_frame
+
+            try:
+                records, skipped = read_stream(args.target[1])
+            except FileNotFoundError as error:
+                print(str(error), file=sys.stderr)
+                return 2
+            if args.fleet:
+                from repro.obs.fleet.report import format_fleet_report
+
+                print(format_fleet_report(records, skipped))
+            else:
+                print(render_frame(records, skipped))
+            return 0
         from repro.obs.report import summarize_dir
 
         try:

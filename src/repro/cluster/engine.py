@@ -70,6 +70,16 @@ class ClusterEngine:
         #: for remote placements — the fleet wires this to the shared
         #: :class:`repro.hardware.pool.RemotePool` capacity accounting.
         self.remote_fits_hook: Callable[[WorkloadProfile], bool] | None = None
+        #: Fleet node label (``"n3"``), set by :class:`ClusterFleet`;
+        #: ``None`` outside a fleet.  Metric exports stamp their ``node``
+        #: label with this, defaulting to ``"n0"`` when unset, so every
+        #: engine-level family has one uniform label shape whether the
+        #: engine runs alone or as one lane of a rack.
+        self.node_label: str | None = None
+        #: Journey recorder (:class:`repro.obs.fleet.NodeJourney`) wired
+        #: by an obs-enabled fleet; ``None`` keeps every lifecycle-hop
+        #: site a single ``is not None`` test.
+        self.journey = None
         #: Deployments waiting out a remote outage: dicts with profile,
         #: duration_s, next_attempt_s, backoff_s and attempts, retried
         #: with exponential backoff at the start of each tick.
@@ -151,23 +161,38 @@ class ClusterEngine:
         )
         self._next_app_id += 1
         self.deployments.append(deployment)
+        if self.journey is not None:
+            self.journey.hop(
+                profile.name,
+                decided_s if decided_s is not None else self.now,
+                "admission",
+                self.now,
+                mode=mode.value,
+            )
         return deployment
 
     # -- outage retry queue --------------------------------------------------
     def queue_remote(
-        self, profile: WorkloadProfile, duration_s: float | None = None
+        self,
+        profile: WorkloadProfile,
+        duration_s: float | None = None,
+        decided_s: float | None = None,
     ) -> None:
         """Park a remote deployment until the link outage clears.
 
         The entry is retried at the start of each tick once its backoff
         expires; backoff doubles per failed attempt (capped) and the
-        entry is dropped after the attempt limit.
+        entry is dropped after the attempt limit.  ``decided_s``
+        preserves the original decision time across the park (it keys
+        the audit-log join and the journey journal); it defaults to the
+        park time.
         """
+        decided = decided_s if decided_s is not None else self.now
         self._retry_queue.append(
             {
                 "profile": profile,
                 "duration_s": duration_s,
-                "decided_s": self.now,
+                "decided_s": decided,
                 "next_attempt_s": self.now + self.dt,
                 "backoff_s": self.dt,
                 "attempts": 0,
@@ -177,7 +202,10 @@ class ClusterEngine:
             obs.metrics().counter(
                 "engine_remote_queued_total",
                 "Remote deployments parked during link outages",
-            ).inc()
+                labels=("node",),
+            ).labels(node=self.node_label or "n0").inc()
+        if self.journey is not None:
+            self.journey.hop(profile.name, decided, "parked", self.now)
 
     @property
     def queued_remote(self) -> int:
@@ -198,24 +226,39 @@ class ClusterEngine:
                 )
             except CapacityError:
                 entry["attempts"] += 1
+                decided = entry.get("decided_s")
+                decided = decided if decided is not None else self.now
                 if entry["attempts"] >= _RETRY_MAX_ATTEMPTS:
                     if obs.enabled():
                         obs.metrics().counter(
                             "engine_remote_retries_dropped_total",
                             "Parked deployments dropped after the retry limit",
-                        ).inc()
+                            labels=("node",),
+                        ).labels(node=self.node_label or "n0").inc()
+                    if self.journey is not None:
+                        self.journey.hop(
+                            entry["profile"].name, decided, "dropped",
+                            self.now, attempts=entry["attempts"],
+                        )
                     continue
                 entry["backoff_s"] = min(
                     entry["backoff_s"] * 2.0, _RETRY_BACKOFF_CAP_S
                 )
                 entry["next_attempt_s"] = self.now + entry["backoff_s"]
+                if self.journey is not None:
+                    self.journey.hop(
+                        entry["profile"].name, decided, "retry", self.now,
+                        attempt=entry["attempts"],
+                        backoff_s=entry["backoff_s"],
+                    )
                 keep.append(entry)
             else:
                 if obs.enabled():
                     obs.metrics().counter(
                         "engine_remote_retries_succeeded_total",
                         "Parked deployments placed after an outage cleared",
-                    ).inc()
+                        labels=("node",),
+                    ).labels(node=self.node_label or "n0").inc()
         self._retry_queue = keep
 
     # -- simulation ---------------------------------------------------------
@@ -271,6 +314,15 @@ class ClusterEngine:
                 finished += 1
                 record = deployment.record()
                 self.trace.add_record(record)
+                if self.journey is not None:
+                    decided = record.decided_s
+                    self.journey.hop(
+                        record.name,
+                        decided if decided is not None else record.arrival_time,
+                        "finished",
+                        self.now,
+                        mode=record.mode.value,
+                    )
                 if self.on_finish is not None:
                     self.on_finish(record)
         if acct is not None:
@@ -285,32 +337,47 @@ class ClusterEngine:
         if acct is not None:
             t0 = acct.lap("engine.tick_hooks", t0)
         if obs.enabled():
+            # Every engine family carries the node label (default "n0")
+            # so fleet and single-node runs share one family shape and
+            # the fleet registry aggregates per-node series natively.
             metrics = obs.metrics()
+            node = self.node_label or "n0"
             metrics.counter(
-                "engine_ticks_total", "Simulation ticks executed"
-            ).inc()
+                "engine_ticks_total", "Simulation ticks executed",
+                labels=("node",),
+            ).labels(node=node).inc()
             if finished:
                 metrics.counter(
                     "engine_deployments_finished_total",
                     "Deployments that completed",
-                ).inc(finished)
+                    labels=("node",),
+                ).labels(node=node).inc(finished)
             metrics.gauge(
-                "engine_running_apps", "Deployments running after the tick"
-            ).set(len(self.running))
+                "engine_running_apps", "Deployments running after the tick",
+                labels=("node",),
+            ).labels(node=node).set(len(self.running))
             metrics.gauge(
                 "engine_link_utilization",
                 "ThymesisFlow offered/capacity ratio at the tick",
-            ).set(pressure.link.utilization)
+                labels=("node",),
+            ).labels(node=node).set(pressure.link.utilization)
             metrics.gauge(
-                "engine_sim_time_seconds", "Current simulation clock"
-            ).set(self.now)
+                "engine_sim_time_seconds", "Current simulation clock",
+                labels=("node",),
+            ).labels(node=node).set(self.now)
             metrics.histogram(
                 "engine_tick_seconds",
                 "Wall-clock duration of one engine tick",
-            ).observe(obs.wall_time() - start)
+                labels=("node",),
+            ).labels(node=node).observe(obs.wall_time() - start)
         if acct is not None:
             t0 = acct.lap("engine.obs_export", t0)
-            acct.add("engine.tick", t0 - tick_start)
+            total = t0 - tick_start
+            acct.add("engine.tick", total)
+            if self.node_label is not None:
+                # Per-node envelope so a fleet profile attributes tick
+                # cost to individual lanes, not one collapsed phase.
+                acct.add(f"engine.tick[{self.node_label}]", total)
         return pressure
 
     def run_for(self, seconds: float) -> None:

@@ -31,6 +31,7 @@ from typing import Callable
 
 import numpy as np
 
+from repro import obs
 from repro.cluster.deployment import Deployment, DeploymentRecord
 from repro.cluster.engine import (
     CapacityError,
@@ -41,7 +42,7 @@ from repro.hardware.config import TestbedConfig
 from repro.hardware.pool import RemotePool, RemotePoolConfig
 from repro.hardware.testbed import Testbed
 from repro.obs.perf import accounting as perf_accounting
-from repro.workloads.base import MemoryMode, WorkloadProfile
+from repro.workloads.base import MemoryMode, WorkloadKind, WorkloadProfile
 
 __all__ = [
     "ClusterFleet",
@@ -101,11 +102,46 @@ class ClusterFleet:
         if self.pool is not None:
             for index, engine in enumerate(self.engines):
                 engine.remote_fits_hook = self._pool_check(index)
+        # Node labels are unconditional (a plain attribute write, never
+        # read on the disabled path); the journey journal only exists
+        # while observability is on, so disabled runs stay bit-inert.
+        for index, engine in enumerate(self.engines):
+            engine.node_label = f"n{index}"
+        self.journal = None
+        if obs.enabled():
+            from repro.obs.fleet.journey import NodeJourney, session_journal
+
+            self.journal = session_journal()
+            for engine in self.engines:
+                engine.journey = NodeJourney(self.journal, engine.node_label)
         self.dt = dt
         #: Single fleet clock: every engine advances in lockstep with it.
         self._now = 0.0
         #: Fleet ticks on which the pool arbiter throttled at least one lane.
         self.pool_throttled_ticks = 0
+        #: Last tick's throttled node set (edge detection for stream events).
+        self._last_throttled: tuple[str, ...] = ()
+
+    def adopt_engine(self, index: int, engine: ClusterEngine) -> None:
+        """Wire a restored engine into lane ``index`` (resume path).
+
+        Checkpoint restore rebuilds engines from scratch; adopting one
+        re-applies the fleet-side wiring a plain
+        ``fleet.engines[index] = engine`` would silently drop: the pool
+        fits hook, the node label, and the journey recorder.
+        """
+        if not 0 <= index < self.n_nodes:
+            raise ValueError(
+                f"node index {index} out of range [0, {self.n_nodes})"
+            )
+        engine.node_label = f"n{index}"
+        if self.pool is not None:
+            engine.remote_fits_hook = self._pool_check(index)
+        if self.journal is not None:
+            from repro.obs.fleet.journey import NodeJourney
+
+            engine.journey = NodeJourney(self.journal, engine.node_label)
+        self.engines[index] = engine
 
     @property
     def n_nodes(self) -> int:
@@ -128,9 +164,21 @@ class ClusterFleet:
 
     def _pool_check(self, index: int) -> Callable[[WorkloadProfile], bool]:
         def check(profile: WorkloadProfile) -> bool:
-            return self.pool.fits(
+            fits = self.pool.fits(
                 self._remote_used_gb(), index, profile.footprint_gb
             )
+            if not fits and obs.enabled():
+                engine = self.engines[index]
+                obs.metrics().counter(
+                    "pool_throttle_events_total",
+                    "Pool arbiter throttle events by node, cause and regime",
+                    labels=("node", "cause", "regime"),
+                ).labels(
+                    node=engine.node_label or f"n{index}",
+                    cause="capacity",
+                    regime=self.pool.regime.value,
+                ).inc()
+            return fits
 
         return check
 
@@ -143,13 +191,91 @@ class ClusterFleet:
             for engine in self.engines
         ]
         factors = self.pool.arbitrate(offered)
-        throttled = False
-        for engine, factor in zip(self.engines, factors):
+        throttled_nodes: list[str] = []
+        for index, (engine, factor) in enumerate(zip(self.engines, factors)):
             engine.pool_capacity_factor = factor
             if factor < 1.0 - 1e-12:
-                throttled = True
-        if throttled:
+                throttled_nodes.append(engine.node_label or f"n{index}")
+        if throttled_nodes:
             self.pool_throttled_ticks += 1
+        if obs.enabled():
+            self._export_pool_telemetry(offered, factors, throttled_nodes)
+
+    def _export_pool_telemetry(
+        self,
+        offered: list[float],
+        factors: list[float],
+        throttled_nodes: list[str],
+    ) -> None:
+        """Per-tick pool metrics + throttle stream records (obs on only)."""
+        metrics = obs.metrics()
+        regime = self.pool.regime.value
+        bw_util = self.pool.bandwidth_utilization(offered)
+        used = self._remote_used_gb()
+        metrics.gauge(
+            "pool_bandwidth_utilization",
+            "Aggregate offered remote bandwidth over the fabric budget",
+        ).set(bw_util)
+        metrics.gauge(
+            "pool_capacity_utilization",
+            "Remote memory drawn from the rack pool over its capacity",
+        ).set(sum(used) / self.pool.capacity_gb)
+        factor_gauge = metrics.gauge(
+            "pool_capacity_factor",
+            "Per-node ThymesisFlow capacity factor from the pool arbiter",
+            labels=("node",),
+        )
+        alloc_gauge = metrics.gauge(
+            "pool_waterfill_alloc_gbps",
+            "Per-node fabric bandwidth granted by the arbiter this tick",
+            labels=("node",),
+        )
+        cap = self.pool.link_capacity_gbps
+        throttle_counter = metrics.counter(
+            "pool_throttle_events_total",
+            "Pool arbiter throttle events by node, cause and regime",
+            labels=("node", "cause", "regime"),
+        )
+        node_factors: dict[str, float] = {}
+        for index, (engine, factor) in enumerate(zip(self.engines, factors)):
+            node = engine.node_label or f"n{index}"
+            node_factors[node] = factor
+            factor_gauge.labels(node=node).set(factor)
+            granted = (
+                min(offered[index], cap) if factor >= 1.0 - 1e-12
+                else factor * cap
+            )
+            alloc_gauge.labels(node=node).set(granted)
+            if factor < 1.0 - 1e-12:
+                throttle_counter.labels(
+                    node=node, cause="bandwidth", regime=regime
+                ).inc()
+        live = obs.live_session()
+        if live is None:
+            return
+        current = tuple(throttled_nodes)
+        if current:
+            # One "pool" record per throttled fleet tick: the offline
+            # report derives per-node throttled-tick counts from these.
+            live.note_pool(
+                sim=round(self._now, 6),
+                regime=regime,
+                throttled=list(current),
+                factors={
+                    node: round(factor, 6)
+                    for node, factor in node_factors.items()
+                },
+                bw_util=round(bw_util, 6),
+            )
+        if current != self._last_throttled:
+            # Edge-triggered event for the dashboard's event feed.
+            live.note_event(
+                "pool_throttle",
+                sim=round(self._now, 6),
+                regime=regime,
+                nodes=list(current),
+            )
+        self._last_throttled = current
 
     # -- placement ---------------------------------------------------------
     def deploy(
@@ -164,7 +290,16 @@ class ClusterFleet:
                 f"node index {decision.node_index} out of range "
                 f"[0, {self.n_nodes})"
             )
-        return self.engines[decision.node_index].deploy(
+        engine = self.engines[decision.node_index]
+        if engine.journey is not None:
+            engine.journey.hop(
+                profile.name,
+                decided_s if decided_s is not None else engine.now,
+                "placement",
+                engine.now,
+                mode=decision.mode.value,
+            )
+        return engine.deploy(
             profile, decision.mode, duration_s=duration_s, decided_s=decided_s
         )
 
@@ -188,6 +323,14 @@ class ClusterFleet:
         for index, engine in enumerate(self.engines):
             if not engine.fits(profile, mode):
                 continue
+            if engine.journey is not None:
+                engine.journey.hop(
+                    profile.name,
+                    decided_s if decided_s is not None else engine.now,
+                    "placement",
+                    engine.now,
+                    mode=mode.value,
+                )
             try:
                 return engine.deploy(
                     profile, mode, duration_s=duration_s, decided_s=decided_s
@@ -196,7 +339,9 @@ class ClusterFleet:
                 outaged.append(index)
         if outaged:
             target = min(outaged, key=self.node_load)
-            self.engines[target].queue_remote(profile, duration_s=duration_s)
+            self.engines[target].queue_remote(
+                profile, duration_s=duration_s, decided_s=decided_s
+            )
             return None
         raise CapacityError(
             f"{profile.name} does not fit in {mode.value} memory on any node"
@@ -324,13 +469,78 @@ class LeastLoadedPlacement:
         self, profile: WorkloadProfile, fleet: ClusterFleet
     ) -> FleetDecision:
         order = self.node_order(fleet)
-        mode = self.mode_policy.decide(profile, fleet.engines[order[0]])
+        acct = perf_accounting()
+        if acct is not None:
+            t0 = acct.clock()
+            mode = self.mode_policy.decide(profile, fleet.engines[order[0]])
+            acct.lap("policy.decide", t0)
+        else:
+            mode = self.mode_policy.decide(profile, fleet.engines[order[0]])
         # Fall back across nodes, then across pools.
         for candidate_mode in (mode, mode.other):
             for index in order:
                 if self._placeable(fleet.engines[index], profile, candidate_mode):
-                    return FleetDecision(index, candidate_mode)
+                    decision = FleetDecision(index, candidate_mode)
+                    if obs.enabled():
+                        self._observe(profile, fleet, decision, planned=mode)
+                    return decision
         raise CapacityError(f"{profile.name} fits nowhere in the fleet")
+
+    def _observe(
+        self,
+        profile: WorkloadProfile,
+        fleet: ClusterFleet,
+        decision: FleetDecision,
+        planned: MemoryMode,
+    ) -> None:
+        """Audit the *final* fleet placement, not the inner policy's plan.
+
+        The fleet layer calls ``mode_policy.decide()`` directly (the
+        node choice needs the mode first), which bypasses
+        ``_BasePolicy.__call__`` — without this hook fleet placements
+        would leave zero audit rows.  The row records the serving node
+        and the mode actually placed; when node/pool fallback overrode
+        the inner policy's plan the reason is tagged ``fleet-fallback``
+        so overrides stay distinguishable from first-choice placements.
+        """
+        engine = fleet.engines[decision.node_index]
+        node = engine.node_label or f"n{decision.node_index}"
+        obs.metrics().counter(
+            "orchestrator_decisions_total",
+            "Placement decisions by policy, chosen mode and workload kind",
+            labels=("policy", "mode", "kind", "node"),
+        ).labels(
+            policy=self.name,
+            mode=decision.mode.value,
+            kind=profile.kind.value,
+            node=node,
+        ).inc()
+        live = obs.live_session()
+        if live is not None:
+            live.note_decision(
+                self.name, decision.mode.value, profile.kind.value, node=node
+            )
+        if profile.kind is WorkloadKind.INTERFERENCE:
+            return  # the paper's policies only govern BE/LC placement
+        detail = (
+            self.mode_policy._audit_detail()
+            if hasattr(self.mode_policy, "_audit_detail")
+            else {}
+        )
+        if decision.mode is not planned:
+            reason = detail.get("reason", "")
+            detail["reason"] = (
+                f"{reason}+fleet-fallback" if reason else "fleet-fallback"
+            )
+        obs.audit().record(
+            engine=engine,
+            policy=self.name,
+            app_name=profile.name,
+            kind=profile.kind.value,
+            chosen_mode=decision.mode.value,
+            node=node,
+            **detail,
+        )
 
 
 class PoolAwarePlacement(LeastLoadedPlacement):

@@ -97,11 +97,15 @@ def _place_on_node(fleet: ClusterFleet, node: int, arrival: Arrival,
                    mode: MemoryMode) -> bool:
     """Single-node placement semantics, pinned to one fleet node."""
     engine = fleet.engines[node]
+    if engine.journey is not None:
+        engine.journey.hop(arrival.profile.name, fleet.now, "placement",
+                           fleet.now, mode=mode.value)
     try:
         engine.deploy(arrival.profile, mode, duration_s=arrival.duration_s,
                       decided_s=fleet.now)
     except RemoteUnavailableError:
-        engine.queue_remote(arrival.profile, duration_s=arrival.duration_s)
+        engine.queue_remote(arrival.profile, duration_s=arrival.duration_s,
+                            decided_s=fleet.now)
     except CapacityError:
         return False
     return True
@@ -192,6 +196,12 @@ def _fleet_replay(
                         policy=scheduler,
                     )
                     last_checkpoint_s = fleet.now
+                if fleet.journal is not None:
+                    # Journey hop 1: the arrival enters the fleet queue
+                    # (no node yet — placement picks one next).
+                    fleet.journal.hop(
+                        arrival.profile.name, fleet.now, "queued", fleet.now
+                    )
                 if scheduler is not None:
                     try:
                         decision = scheduler(arrival.profile, fleet)
@@ -206,7 +216,9 @@ def _fleet_replay(
                         )
                     except RemoteUnavailableError:
                         fleet.engines[decision.node_index].queue_remote(
-                            arrival.profile, duration_s=arrival.duration_s
+                            arrival.profile,
+                            duration_s=arrival.duration_s,
+                            decided_s=fleet.now,
                         )
                     except CapacityError:
                         continue
@@ -347,13 +359,12 @@ def resume_fleet_scenario(
     )
     for index, saved in enumerate(data["engines"]):
         # The skeleton engine's testbed config already carries the
-        # per-node seed and pool-derived remote ceiling.
+        # per-node seed and pool-derived remote ceiling; adoption
+        # re-applies the fleet wiring (fits hook, node label, journey).
         engine = _engine_from_dict(
             saved, fleet.engines[index].testbed.config, profiles
         )
-        if fleet.pool is not None:
-            engine.remote_fits_hook = fleet._pool_check(index)
-        fleet.engines[index] = engine
+        fleet.adopt_engine(index, engine)
     fleet._now = data["now"]
     fleet.pool_throttled_ticks = data.get("pool_throttled_ticks", 0)
 

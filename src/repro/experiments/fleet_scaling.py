@@ -67,6 +67,11 @@ class FleetCell:
     lc_qos_violation_rate: float
     offload_fraction: float
     pool_throttled_ticks: int
+    #: Completions per node lane (n0, n1, ...), summed over scenarios —
+    #: the deterministic per-node breakdown behind the fleet obs plane's
+    #: node-labeled counters (derived from engine traces, not metrics,
+    #: so it exists with observability off too).
+    node_completed: tuple[int, ...] = ()
 
 
 @dataclass(frozen=True)
@@ -89,12 +94,13 @@ class FleetScalingResult:
                 f"{cell.lc_qos_violation_rate * 100:.1f}%",
                 f"{cell.offload_fraction * 100:.1f}%",
                 str(cell.pool_throttled_ticks),
+                "/".join(str(n) for n in cell.node_completed) or "-",
             )
             for cell in self.cells
         ]
         return format_table(
             ["regime", "nodes", "BE jobs/h", "BE median s",
-             "LC QoS viol", "offload", "throttled ticks"],
+             "LC QoS viol", "offload", "throttled ticks", "per-node done"],
             rows,
             title="Fleet scaling — pooled vs shared-segment rack memory",
         )
@@ -114,6 +120,7 @@ def _run_cell(
     records = []
     throttled = 0
     total_sim_s = 0.0
+    node_completed = [0] * n_nodes
     for scenario in eval_scenario_configs(scale):
         low, high = scenario.spawn_interval
         config = FleetScenarioConfig(
@@ -126,6 +133,8 @@ def _run_cell(
         scheduler = PoolAwarePlacement(InterferenceThresholdPolicy())
         fleet = run_fleet_scenario(config, scheduler=scheduler)
         records.extend(fleet.records())
+        for index, engine in enumerate(fleet.engines):
+            node_completed[index] += len(engine.trace.records)
         throttled += fleet.pool_throttled_ticks
         total_sim_s += scenario.duration_s
     be = [r for r in records if r.kind is WorkloadKind.BEST_EFFORT]
@@ -145,6 +154,7 @@ def _run_cell(
         ),
         offload_fraction=remote / len(records) if records else float("nan"),
         pool_throttled_ticks=throttled,
+        node_completed=tuple(node_completed),
     )
 
 

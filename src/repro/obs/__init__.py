@@ -25,6 +25,7 @@ from repro.obs.metrics import (
 from repro.obs.fsio import atomic_write_bytes, atomic_write_text
 from repro.obs.runtime import (
     ARTIFACT_NAMES,
+    JOURNEY_ARTIFACT_NAMES,
     ObsHandles,
     audit,
     disable,
@@ -57,6 +58,7 @@ __all__ = [
     "dump",
     "ObsHandles",
     "ARTIFACT_NAMES",
+    "JOURNEY_ARTIFACT_NAMES",
     "atomic_write_text",
     "atomic_write_bytes",
     # metrics

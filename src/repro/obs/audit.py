@@ -57,6 +57,9 @@ class DecisionRecord:
     #: condition that sidelined the predictor, and the circuit state.
     cause: str | None = None
     circuit: str | None = None
+    #: The fleet node that served the decision; single-node runs (and
+    #: engines outside any fleet) default to ``n0``.
+    node: str = "n0"
     outcome: dict | None = None
 
     # -- post-hoc queries ---------------------------------------------------
@@ -96,6 +99,7 @@ class DecisionRecord:
             "reason": self.reason,
             "cause": self.cause,
             "circuit": self.circuit,
+            "node": self.node,
             "chosen_mode": self.chosen_mode,
             "outcome": self.outcome,
             "prediction_error": self.prediction_error,
@@ -135,8 +139,15 @@ class DecisionAuditLog:
         reason: str = "",
         cause: str | None = None,
         circuit: str | None = None,
+        node: str | None = None,
     ) -> DecisionRecord:
-        """Log one decision and arm its outcome join on ``engine``."""
+        """Log one decision and arm its outcome join on ``engine``.
+
+        ``node`` defaults to the engine's fleet label (``engine.
+        node_label``) so fleet placements are attributed to their
+        serving node without every call site knowing about fleets;
+        engines outside a fleet record ``n0``.
+        """
         record = DecisionRecord(
             decision_id=len(self.records),
             sim_time=engine.now,
@@ -151,6 +162,11 @@ class DecisionAuditLog:
             reason=reason,
             cause=cause,
             circuit=circuit,
+            node=(
+                node
+                if node is not None
+                else (getattr(engine, "node_label", None) or "n0")
+            ),
         )
         self.records.append(record)
         self._attach(engine)

@@ -1,0 +1,57 @@
+"""Fleet-wide observability plane over the single-engine obs primitives.
+
+Layered on :mod:`repro.obs` the way the rack fleet is layered on the
+single-node engine:
+
+* :mod:`repro.obs.fleet.journey` — cross-node deployment lifecycle
+  tracing (queued → placement → admission → park/retry → finish),
+  exportable as JSONL and Chrome-trace spans;
+* :mod:`repro.obs.fleet.rollup` — node-label metric merging (counters /
+  gauges / histograms) and worst-node / population-weighted SLO burn
+  rollups;
+* :mod:`repro.obs.fleet.report` — the per-node table behind
+  ``repro obs report --fleet`` and ``repro obs watch --fleet``.
+
+Node attribution itself lives at the sources: each
+:class:`~repro.cluster.engine.ClusterEngine` in a fleet carries a
+``node_label`` and writes its metric families with a ``node`` label
+(single-node runs default to ``n0``), and the
+:class:`~repro.cluster.fleet.ClusterFleet` emits pool-arbitration
+telemetry.  Everything is bit-inert while observability is disabled.
+"""
+
+from repro.obs.fleet.journey import (
+    DeploymentJourney,
+    FleetJournal,
+    JourneyHop,
+    NodeJourney,
+    active_journal,
+    reset_journal,
+    session_journal,
+)
+from repro.obs.fleet.report import (
+    fleet_summary,
+    format_fleet_report,
+    render_fleet_frame,
+)
+from repro.obs.fleet.rollup import (
+    fleet_burn_rollup,
+    fleet_rollup,
+    merge_node_series,
+)
+
+__all__ = [
+    "DeploymentJourney",
+    "FleetJournal",
+    "JourneyHop",
+    "NodeJourney",
+    "active_journal",
+    "reset_journal",
+    "session_journal",
+    "fleet_summary",
+    "format_fleet_report",
+    "render_fleet_frame",
+    "fleet_burn_rollup",
+    "fleet_rollup",
+    "merge_node_series",
+]

@@ -1,0 +1,221 @@
+"""Per-node fleet summaries from a recorded live stream.
+
+``repro obs report --fleet STREAM.jsonl`` and ``repro obs watch
+--fleet`` both render the same per-node table — QoS p99, offload rate,
+throttled ticks and peak burn rate — computed here from the stream
+records a fleet-aware :class:`LiveSession` emits:
+
+* ``tick`` records carry ``node`` (which engine ticked),
+* ``finish`` records carry each completed deployment's node, mode,
+  runtime/p99 and (when SLO targets are configured) its violation
+  verdict,
+* ``pool`` records carry the arbiter's per-tick throttle set and
+  capacity factors.
+
+Burn rates reuse :func:`repro.obs.live.slo.peak_burn_rate` — the same
+offline path :func:`repro.orchestrator.evaluation.burn_rate_summary`
+uses — over each node's ``(clock, violated)`` finish events, so the
+offline table agrees with what the live per-node gauges showed.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.analysis.reporting import format_kv, format_table
+from repro.obs.live.slo import peak_burn_rate
+
+__all__ = ["fleet_summary", "render_fleet_frame", "format_fleet_report"]
+
+#: Windows used when the stream's meta record does not carry any.
+_DEFAULT_WINDOWS = (60.0, 600.0)
+
+
+def fleet_summary(records: list[dict]) -> dict:
+    """Aggregate a parsed stream into per-node statistics.
+
+    Returns ``{"nodes": {node: {...}}, "pool": {...}, "meta": {...}}``;
+    nodes appear in label order.  Streams from single-node runs (no
+    ``node`` fields) produce an empty node table rather than an error.
+    """
+    meta = next((r for r in records if r.get("t") == "meta"), {})
+    objective = meta.get("objective", 0.99)
+    windows = tuple(meta.get("slo_windows") or _DEFAULT_WINDOWS)
+    nodes: dict[str, dict] = {}
+
+    def node_state(label: str) -> dict:
+        return nodes.setdefault(
+            label,
+            {
+                "ticks": 0,
+                "running": 0,
+                "link_util": 0.0,
+                "finished": 0,
+                "remote": 0,
+                "lc_p99": [],
+                "violations": 0,
+                "events": [],  # (clock, violated) for the burn replay
+                "throttled_ticks": 0,
+            },
+        )
+
+    pool = {"records": 0, "regime": None, "bw_util": 0.0, "throttle_events": 0}
+    for record in records:
+        kind = record.get("t")
+        if kind == "tick" and "node" in record:
+            state = node_state(record["node"])
+            state["ticks"] += 1
+            state["running"] = record.get("running", 0)
+            state["link_util"] = record.get("link_util", 0.0)
+        elif kind == "finish":
+            state = node_state(record.get("node", "n0"))
+            state["finished"] += 1
+            if record.get("mode") == "remote":
+                state["remote"] += 1
+            p99 = record.get("p99_ms")
+            if record.get("kind") == "lc" and p99 is not None:
+                state["lc_p99"].append(p99)
+            violated = record.get("violated")
+            if violated is not None:
+                state["events"].append((record.get("clock", 0.0), violated))
+                if violated:
+                    state["violations"] += 1
+        elif kind == "pool":
+            pool["records"] += 1
+            pool["regime"] = record.get("regime", pool["regime"])
+            pool["bw_util"] = record.get("bw_util", pool["bw_util"])
+            for label in record.get("throttled", []):
+                node_state(label)["throttled_ticks"] += 1
+        elif kind == "event" and record.get("kind") == "pool_throttle":
+            # Edge-triggered: an empty node set marks recovery, not onset.
+            if record.get("nodes"):
+                pool["throttle_events"] += 1
+
+    for state in nodes.values():
+        p99s = state.pop("lc_p99")
+        state["lc_p99_ms"] = (
+            float(np.percentile(p99s, 99)) if p99s else float("nan")
+        )
+        state["offload_rate"] = (
+            state["remote"] / state["finished"] if state["finished"] else float("nan")
+        )
+        events = state.pop("events")
+        state["peak_burn"] = {
+            f"{w:g}": (
+                round(peak_burn_rate(events, w, objective=objective), 4)
+                if events
+                else 0.0
+            )
+            for w in windows
+        }
+    return {
+        "nodes": {label: nodes[label] for label in sorted(nodes)},
+        "pool": pool,
+        "meta": {"objective": objective, "windows": list(windows)},
+    }
+
+
+def _fmt(value: float, pattern: str = "{:.3f}") -> str:
+    if value is None or (isinstance(value, float) and math.isnan(value)):
+        return "-"
+    return pattern.format(value)
+
+
+def _node_table(summary: dict) -> str | None:
+    nodes = summary["nodes"]
+    if not nodes:
+        return None
+    windows = summary["meta"]["windows"]
+    headers = [
+        "node", "ticks", "apps", "link util", "done", "offload",
+        "LC p99 ms", "throttled",
+        *(f"burn {w:g}s" for w in windows),
+    ]
+    rows = []
+    for label, state in nodes.items():
+        rows.append(
+            (
+                label,
+                state["ticks"],
+                state["running"],
+                _fmt(state["link_util"]),
+                state["finished"],
+                _fmt(state["offload_rate"], "{:.1%}"),
+                _fmt(state["lc_p99_ms"], "{:.2f}"),
+                state["throttled_ticks"],
+                *(
+                    _fmt(state["peak_burn"].get(f"{w:g}", 0.0), "{:.2f}")
+                    for w in windows
+                ),
+            )
+        )
+    return format_table(headers, rows, title="Fleet nodes")
+
+
+def render_fleet_frame(records: list[dict], skipped: int = 0) -> str:
+    """One ``watch --fleet`` dashboard frame from parsed stream records."""
+    summary = fleet_summary(records)
+    ticks = [r for r in records if r.get("t") == "tick"]
+    ended = any(r.get("t") == "end" for r in records)
+    if not ticks:
+        return "fleet stream: no tick records yet"
+    last = ticks[-1]
+    header = {
+        "status": "finished" if ended else "running",
+        "nodes": len(summary["nodes"]) or 1,
+        "session clock s": f"{last.get('clock', 0.0):.0f}",
+        "fleet sim s": f"{last.get('sim', 0.0):.0f}",
+    }
+    if skipped:
+        header["torn lines skipped"] = skipped
+    sections = [format_kv(header, title="Fleet observability")]
+    table = _node_table(summary)
+    if table is not None:
+        sections.append(table)
+    else:
+        sections.append(
+            "no node-labeled records: stream was not produced by a fleet "
+            "run (try repro obs watch without --fleet)"
+        )
+    pool = summary["pool"]
+    if pool["records"]:
+        sections.append(
+            format_kv(
+                {
+                    "regime": pool["regime"] or "?",
+                    "throttled fleet ticks": pool["records"],
+                    "throttle onsets": pool["throttle_events"],
+                    "last bw util": _fmt(pool["bw_util"]),
+                },
+                title="Rack pool arbitration",
+            )
+        )
+    return "\n\n".join(sections)
+
+
+def format_fleet_report(records: list[dict], skipped: int = 0) -> str:
+    """Offline per-node report (``repro obs report --fleet``)."""
+    summary = fleet_summary(records)
+    nodes = summary["nodes"]
+    sections = []
+    totals = {
+        "nodes": len(nodes),
+        "finished": sum(s["finished"] for s in nodes.values()),
+        "offloaded": sum(s["remote"] for s in nodes.values()),
+        "LC violations": sum(s["violations"] for s in nodes.values()),
+        "throttled node-ticks": sum(
+            s["throttled_ticks"] for s in nodes.values()
+        ),
+        "SLO objective": summary["meta"]["objective"],
+    }
+    if skipped:
+        totals["torn lines skipped"] = skipped
+    sections.append(format_kv(totals, title="Fleet stream report"))
+    table = _node_table(summary)
+    if table is not None:
+        sections.append(table)
+    else:
+        sections.append("no node-labeled records in this stream")
+    return "\n\n".join(sections)

@@ -1,0 +1,157 @@
+"""Fleet-level rollups over node-labeled observability data.
+
+Two families of pure functions:
+
+* **metric merging** — collapse the ``node`` label dimension of a
+  metric-family snapshot into fleet-aggregate series.  Counters and
+  gauges sum; histograms merge bucket-by-bucket (the buckets of every
+  node-labeled series share edges because they come from one
+  :class:`~repro.obs.metrics.MetricFamily` declaration), with count,
+  sum, min and max combined exactly.  This is how the one fleet
+  registry's per-node series roll up into rack totals without a second
+  registry.
+
+* **SLO burn rollups** — combine per-node :class:`SloEngine` snapshots
+  into the two fleet aggregates the multi-window burn policy needs at
+  rack scale: the **worst node** (the node a pager cares about) and the
+  **population-weighted** fleet burn (each node weighted by how many LC
+  completions it actually served, so an idle node cannot dilute a
+  burning one).
+
+Everything here is snapshot-in / plain-dict-out: no registry access, no
+RNG, trivially testable.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "merge_node_series",
+    "fleet_rollup",
+    "fleet_burn_rollup",
+]
+
+
+def _merge_histograms(values: list[dict]) -> dict:
+    """Merge histogram snapshots (shared bucket edges) exactly."""
+    buckets: dict[str, int] = {}
+    for value in values:
+        for edge, cumulative in value.get("buckets", {}).items():
+            buckets[edge] = buckets.get(edge, 0) + cumulative
+    count = sum(v.get("count", 0) for v in values)
+    total = sum(v.get("sum", 0.0) for v in values)
+    mins = [v["min"] for v in values if v.get("min") is not None]
+    maxs = [v["max"] for v in values if v.get("max") is not None]
+    return {
+        "count": count,
+        "sum": total,
+        "mean": total / count if count else None,
+        "min": min(mins) if mins else None,
+        "max": max(maxs) if maxs else None,
+        "buckets": buckets,
+    }
+
+
+def merge_node_series(
+    family_snapshot: dict, label: str = "node"
+) -> list[dict] | None:
+    """Collapse ``label`` out of one family snapshot.
+
+    Input is one entry of :meth:`MetricsRegistry.snapshot` (``{name,
+    kind, series: [{labels, value}]}``).  Returns aggregate series
+    grouped by the remaining labels, or ``None`` when the family does
+    not carry ``label`` at all.  Counter/gauge values sum; histogram
+    dicts merge via :func:`_merge_histograms`.
+    """
+    series = family_snapshot.get("series", [])
+    if not any(label in s.get("labels", {}) for s in series):
+        return None
+    kind = family_snapshot.get("kind")
+    groups: dict[tuple, list] = {}
+    keys: dict[tuple, dict] = {}
+    for entry in series:
+        labels = {k: v for k, v in entry["labels"].items() if k != label}
+        key = tuple(sorted(labels.items()))
+        groups.setdefault(key, []).append(entry["value"])
+        keys[key] = labels
+    merged = []
+    for key in sorted(groups):
+        values = groups[key]
+        if kind == "histogram":
+            value = _merge_histograms(values)
+        else:
+            value = sum(values)
+        merged.append({"labels": keys[key], "value": value, "nodes": len(values)})
+    return merged
+
+
+def fleet_rollup(metrics_snapshot: list[dict], label: str = "node") -> dict:
+    """Fleet aggregates for every node-labeled family in a snapshot.
+
+    ``metrics_snapshot`` is the ``metrics`` list of ``metrics.json``
+    (or :meth:`MetricsRegistry.snapshot`).  Returns ``{family name:
+    merged series}`` for the families that carry the node label —
+    the offline counterpart of a recording rule.
+    """
+    out = {}
+    for family in metrics_snapshot:
+        merged = merge_node_series(family, label=label)
+        if merged is not None:
+            out[family["name"]] = merged
+    return out
+
+
+def fleet_burn_rollup(node_snapshots: dict[str, dict[str, dict]]) -> dict:
+    """Worst-node and population-weighted burn across per-node SLO state.
+
+    ``node_snapshots`` maps node label → :meth:`SloEngine.snapshot`
+    output (app → ``{burn: {window: rate}, violations, total, ...}``).
+    Returns::
+
+        {
+          "worst": {window: {"burn": rate, "node": label}},
+          "weighted": {window: rate},
+          "violations": int,   # fleet-wide joined LC violations
+          "total": int,        # fleet-wide classified LC completions
+        }
+
+    The weighted burn weights each node's *max-app* burn by the node's
+    classified-completion count, so a node serving 10× the traffic
+    moves the fleet number 10× as much — the population-weighted
+    multi-window aggregate.
+    """
+    windows: set[str] = set()
+    for snapshot in node_snapshots.values():
+        for state in snapshot.values():
+            windows.update(state.get("burn", {}))
+    worst: dict[str, dict] = {}
+    weighted: dict[str, float] = {}
+    violations = 0
+    total = 0
+    for window in sorted(windows, key=float):
+        worst_rate, worst_node = 0.0, None
+        acc, weight_sum = 0.0, 0
+        for node in sorted(node_snapshots):
+            snapshot = node_snapshots[node]
+            node_burn = 0.0
+            node_events = 0
+            for state in snapshot.values():
+                node_burn = max(
+                    node_burn, state.get("burn", {}).get(window, 0.0)
+                )
+                node_events += state.get("total", 0)
+            if node_burn > worst_rate or worst_node is None:
+                worst_rate, worst_node = node_burn, node
+            acc += node_burn * node_events
+            weight_sum += node_events
+        worst[window] = {"burn": round(worst_rate, 4), "node": worst_node}
+        weighted[window] = round(acc / weight_sum, 4) if weight_sum else 0.0
+    for snapshot in node_snapshots.values():
+        for state in snapshot.values():
+            violations += state.get("violations", 0)
+            total += state.get("total", 0)
+    return {
+        "worst": worst,
+        "weighted": weighted,
+        "violations": violations,
+        "total": total,
+    }

@@ -113,6 +113,18 @@ class LiveSession:
             windows=slo_windows,
             alert_burn=alert_burn,
         )
+        #: Per-node SLO scorers (fleet runs only), created lazily the
+        #: first time a node-labeled engine finishes an LC deployment.
+        self._node_slo: dict[str, SloEngine] = {}
+        self._slo_kwargs = {
+            "targets": qos_p99_ms,
+            "objective": objective,
+            "windows": slo_windows,
+            "alert_burn": alert_burn,
+        }
+        #: Set on the first tick from a node-labeled engine; gates the
+        #: per-node drift streams and the fleet burn rollup.
+        self._fleet_seen = False
         self.profiler = (
             IntervalProfiler(interval_s=profile_interval_s) if profile else None
         )
@@ -137,6 +149,7 @@ class LiveSession:
                 "created_unix": time.time(),
                 "objective": objective,
                 "slo_windows": list(slo_windows),
+                "qos_apps": sorted(qos_p99_ms) if qos_p99_ms else [],
                 "drift": {
                     "delta": drift_delta,
                     "threshold": drift_threshold,
@@ -179,10 +192,29 @@ class LiveSession:
             return
         self.exporter.emit({"t": "event", "kind": kind, **fields})
 
-    def note_decision(self, policy: str, mode: str, kind: str) -> None:
-        """Count one placement decision into the current tick record."""
+    def note_decision(
+        self, policy: str, mode: str, kind: str, node: str | None = None
+    ) -> None:
+        """Count one placement decision into the current tick record.
+
+        ``node`` is accepted for fleet call sites; the per-tick decision
+        mix stays keyed by policy/mode (per-node decision counts live in
+        the node-labeled ``orchestrator_decisions_total`` counter).
+        """
         per_policy = self._tick_decisions.setdefault(policy, {})
         per_policy[mode] = per_policy.get(mode, 0) + 1
+
+    def note_pool(self, **fields) -> None:
+        """Emit one rack-pool arbitration record onto the stream.
+
+        Called by :class:`repro.cluster.fleet.ClusterFleet` on fleet
+        ticks where the arbiter throttled at least one lane; carries the
+        regime, the throttled node set, per-node capacity factors and
+        the aggregate bandwidth utilization.
+        """
+        if self._closed:
+            return
+        self.exporter.emit({"t": "pool", **fields})
 
     def note_state_forecast(
         self, s_hat: np.ndarray, horizon_s: float
@@ -211,10 +243,14 @@ class LiveSession:
         self._current = weakref.ref(engine)
         self.clock += engine.dt
         self.ticks += 1
+        if not self._fleet_seen and getattr(engine, "node_label", None):
+            self._fleet_seen = True
         self._join_forecasts(engine, state)
         self._drain_audit(engine)
         self._score_slo(engine, state)
         alerts = self.slo.advance(self.clock)
+        for node_slo in self._node_slo.values():
+            alerts.extend(node_slo.advance(self.clock))
         for alert in alerts:
             self.exporter.emit(
                 {"t": "event", "kind": "slo_alert", "sim": engine.now, **alert}
@@ -260,6 +296,14 @@ class LiveSession:
             self.drift.observe(
                 "system_state", error, sim_time=engine.now, clock=self.clock
             )
+            node = getattr(engine, "node_label", None)
+            if node is not None:
+                # Fleet runs additionally track drift per node, so one
+                # node's degrading forecasts stand out from the rack.
+                self.drift.observe(
+                    f"system_state@{node}", error,
+                    sim_time=engine.now, clock=self.clock,
+                )
         state.forecasts = remaining
 
     def _drain_audit(self, engine) -> None:
@@ -285,17 +329,62 @@ class LiveSession:
             self.drift.observe(
                 record.kind, relative, sim_time=engine.now, clock=self.clock
             )
+            if self._fleet_seen:
+                self.drift.observe(
+                    f"{record.kind}@{record.node}", relative,
+                    sim_time=engine.now, clock=self.clock,
+                )
         self._audit_pending = still_pending
 
     def _score_slo(self, engine, state: _EngineState) -> None:
-        """Classify newly finished LC deployments against their QoS."""
+        """Classify newly finished LC deployments against their QoS.
+
+        Fleet engines (``node_label`` set) additionally score against a
+        per-node :class:`SloEngine` (the ``slo_node_*`` families) and
+        emit one ``finish`` stream record per completion — the raw
+        material for ``repro obs report --fleet``'s per-node burn table.
+        """
         records = engine.trace.records
+        node = getattr(engine, "node_label", None)
+        node_slo = None
+        if node is not None:
+            node_slo = self._node_slo.get(node)
+            if node_slo is None:
+                node_slo = self._node_slo[node] = SloEngine(
+                    node=node, **self._slo_kwargs
+                )
         for record in records[state.records_seen :]:
+            violated = None
             if record.kind.value == "lc":
-                self.slo.record(record.name, record.p99_ms, self.clock)
+                violated = self.slo.record(
+                    record.name, record.p99_ms, self.clock
+                )
+                if node_slo is not None:
+                    node_violated = node_slo.record(
+                        record.name, record.p99_ms, self.clock
+                    )
+                    if violated is None:
+                        violated = node_violated
+            if node is not None:
+                p99 = record.p99_ms
+                self.exporter.emit(
+                    {
+                        "t": "finish",
+                        "node": node,
+                        "clock": round(self.clock, 6),
+                        "app": record.name,
+                        "kind": record.kind.value,
+                        "mode": record.mode.value,
+                        "p99_ms": (
+                            round(p99, 6) if np.isfinite(p99) else None
+                        ),
+                        "violated": violated,
+                    }
+                )
         state.records_seen = len(records)
 
     def _emit_tick(self, engine, state: _EngineState) -> None:
+        node = getattr(engine, "node_label", None)
         record = {
             "t": "tick",
             "n": self.ticks,
@@ -305,10 +394,15 @@ class LiveSession:
             "wall": round(time.perf_counter() - self._wall_epoch, 6),
             "running": len(engine.running),
         }
+        if node is not None:
+            record["node"] = node
         metrics = runtime.metrics()
         family = metrics.get("engine_link_utilization")
         if family is not None:
-            record["link_util"] = round(family.labels().snapshot(), 6)
+            # The family is node-labeled; standalone engines write n0.
+            record["link_util"] = round(
+                family.labels(node=node or "n0").snapshot(), 6
+            )
         regimes = self._regime_deltas(metrics)
         if regimes:
             record["regimes"] = regimes
@@ -321,7 +415,30 @@ class LiveSession:
         slo = self.slo.snapshot(self.clock)
         if slo:
             record["slo"] = slo
+        if self._node_slo:
+            record["fleet_slo"] = self._fleet_burn_rollup()
         self.exporter.emit(record)
+
+    def _fleet_burn_rollup(self) -> dict:
+        """Worst-node / weighted fleet burn; refreshes the fleet gauges."""
+        from repro.obs.fleet.rollup import fleet_burn_rollup
+
+        rollup = fleet_burn_rollup(
+            {
+                node: slo.snapshot(self.clock)
+                for node, slo in self._node_slo.items()
+            }
+        )
+        gauge = runtime.metrics().gauge(
+            "slo_fleet_burn_rate",
+            "Fleet burn-rate rollup (worst node / population-weighted)",
+            labels=("agg", "window"),
+        )
+        for window, entry in rollup["worst"].items():
+            gauge.labels(agg="worst", window=f"{window}s").set(entry["burn"])
+        for window, rate in rollup["weighted"].items():
+            gauge.labels(agg="weighted", window=f"{window}s").set(rate)
+        return rollup
 
     def _regime_deltas(self, metrics) -> dict[str, int]:
         """Per-tick link-resolve counts by saturation regime."""
@@ -371,15 +488,16 @@ class LiveSession:
                         **self.profiler.snapshot(),
                     }
                 )
-        self.exporter.emit(
-            {
-                "t": "end",
-                "ticks": self.ticks,
-                "clock": round(self.clock, 6),
-                "drift": self.drift.snapshot(),
-                "slo": self.slo.snapshot(self.clock),
-                "alarms": len(self.drift.alarms),
-                "slo_alerts": len(self.slo.alerts),
-            }
-        )
+        end = {
+            "t": "end",
+            "ticks": self.ticks,
+            "clock": round(self.clock, 6),
+            "drift": self.drift.snapshot(),
+            "slo": self.slo.snapshot(self.clock),
+            "alarms": len(self.drift.alarms),
+            "slo_alerts": len(self.slo.alerts),
+        }
+        if self._node_slo:
+            end["fleet_slo"] = self._fleet_burn_rollup()
+        self.exporter.emit(end)
         self.exporter.close()

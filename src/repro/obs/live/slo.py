@@ -72,6 +72,7 @@ class SloEngine:
         windows: tuple[float, ...] = (60.0, 600.0),
         alert_burn: float = 2.0,
         min_events: int = 5,
+        node: str | None = None,
     ) -> None:
         if not 0 < objective < 1:
             raise ValueError("objective must be in (0, 1)")
@@ -83,6 +84,11 @@ class SloEngine:
         self.windows = tuple(sorted(windows))
         self.alert_burn = alert_burn
         self.min_events = min_events
+        #: When set, this engine scores one fleet node and writes the
+        #: ``slo_node_*`` families (node-labeled) instead of the global
+        #: ``slo_*`` ones, so a fleet session can run one scorer per
+        #: node without colliding with the fleet-wide label shapes.
+        self.node = node
         self._targets: dict[str, float] = {}
         if targets:
             self.set_targets(targets)
@@ -116,11 +122,18 @@ class SloEngine:
         self._totals[app] = self._totals.get(app, 0) + 1
         if violated:
             self._violations[app] = self._violations.get(app, 0) + 1
-            runtime.metrics().counter(
-                "slo_violations_total",
-                "Finished LC deployments whose measured p99 missed the QoS",
-                labels=("app",),
-            ).labels(app=app).inc()
+            if self.node is None:
+                runtime.metrics().counter(
+                    "slo_violations_total",
+                    "Finished LC deployments whose measured p99 missed the QoS",
+                    labels=("app",),
+                ).labels(app=app).inc()
+            else:
+                runtime.metrics().counter(
+                    "slo_node_violations_total",
+                    "Per-node LC deployments whose measured p99 missed the QoS",
+                    labels=("node", "app"),
+                ).labels(node=self.node, app=app).inc()
         return violated
 
     # -- evaluation ----------------------------------------------------------
@@ -152,17 +165,29 @@ class SloEngine:
         its shortest-window burn dropped back below 1.
         """
         metrics = runtime.metrics()
-        burn_gauge = metrics.gauge(
-            "slo_burn_rate",
-            "Error-budget burn rate per application and trailing window",
-            labels=("app", "window"),
-        )
+        if self.node is None:
+            burn_gauge = metrics.gauge(
+                "slo_burn_rate",
+                "Error-budget burn rate per application and trailing window",
+                labels=("app", "window"),
+            )
+        else:
+            burn_gauge = metrics.gauge(
+                "slo_node_burn_rate",
+                "Per-node error-budget burn rate by application and window",
+                labels=("node", "app", "window"),
+            )
         fired = []
         for app in self._events:
             self._trim(app, clock)
             rates = self.burn_rates(app, clock)
             for window, rate in rates.items():
-                burn_gauge.labels(app=app, window=f"{window:g}s").set(rate)
+                if self.node is None:
+                    burn_gauge.labels(app=app, window=f"{window:g}s").set(rate)
+                else:
+                    burn_gauge.labels(
+                        node=self.node, app=app, window=f"{window:g}s"
+                    ).set(rate)
             short = self.windows[0]
             n_recent = sum(
                 1 for t, _ in self._events[app] if t > clock - short
@@ -179,13 +204,22 @@ class SloEngine:
                                  for w, r in rates.items()},
                         "violations": self._violations.get(app, 0),
                     }
+                    if self.node is not None:
+                        alert["node"] = self.node
                     self.alerts.append(alert)
                     fired.append(alert)
-                    metrics.counter(
-                        "slo_alerts_total",
-                        "Multi-window SLO burn alerts fired",
-                        labels=("app",),
-                    ).labels(app=app).inc()
+                    if self.node is None:
+                        metrics.counter(
+                            "slo_alerts_total",
+                            "Multi-window SLO burn alerts fired",
+                            labels=("app",),
+                        ).labels(app=app).inc()
+                    else:
+                        metrics.counter(
+                            "slo_node_alerts_total",
+                            "Per-node multi-window SLO burn alerts fired",
+                            labels=("node", "app"),
+                        ).labels(node=self.node, app=app).inc()
                     runtime.tracer().instant(
                         "slo_alert", category="obs.live", **alert
                     )

@@ -15,8 +15,15 @@ half-written exposition.
 Record types emitted by the live session:
 
 ``meta``     stream header (version, config) — always the first line;
-``tick``     one engine tick: clocks, load, link, decisions, drift, SLO;
-``event``    discrete alarms (``drift``, ``slo_alert``);
+``tick``     one engine tick: clocks, load, link, decisions, drift, SLO
+             (fleet runs add the engine's ``node`` and a ``fleet_slo``
+             burn rollup);
+``finish``   one completed deployment on a fleet node (node, mode, p99,
+             SLO verdict) — fleet runs only;
+``pool``     rack-pool arbitration on a throttled fleet tick (regime,
+             throttled nodes, capacity factors) — fleet runs only;
+``event``    discrete alarms (``drift``, ``slo_alert``,
+             ``pool_throttle``);
 ``profile``  interval-sampling profiler snapshot;
 ``end``      clean-shutdown marker — absent when the run was killed.
 """

@@ -254,20 +254,28 @@ def watch(
     max_frames: int | None = None,
     out=None,
     sleep=time.sleep,
+    fleet: bool = False,
 ) -> int:
     """Render the dashboard; refresh until the stream ends.
 
     ``once`` renders a single frame without clearing the screen (the CI
     mode); otherwise the terminal is redrawn every ``interval`` seconds
-    until an ``end`` record appears (or ``max_frames`` is reached).  A
-    stream file deleted mid-watch triggers the reconnect loop instead of
-    a crash; in ``once`` mode a missing stream fails fast with exit
-    code 2.  ``sleep`` is injectable so tests can drive the reconnect
-    path without waiting out the backoff.
+    until an ``end`` record appears (or ``max_frames`` is reached).
+    ``fleet`` switches to the per-node rack dashboard
+    (:func:`repro.obs.fleet.render_fleet_frame`) fed by the same
+    stream.  A stream file deleted mid-watch triggers the reconnect
+    loop instead of a crash; in ``once`` mode a missing stream fails
+    fast with exit code 2.  ``sleep`` is injectable so tests can drive
+    the reconnect path without waiting out the backoff.
     """
     out = out if out is not None else sys.stdout
     path = Path(path)
     frames = 0
+    if fleet:
+        from repro.obs.fleet.report import render_fleet_frame
+        renderer = render_fleet_frame
+    else:
+        renderer = render_frame
     while True:
         try:
             records, skipped = read_stream(path)
@@ -276,7 +284,7 @@ def watch(
                 print(f"watch: no stream at {path}", file=out, flush=True)
                 return 2
             continue
-        frame = render_frame(records, skipped)
+        frame = renderer(records, skipped)
         if once:
             print(frame, file=out)
             return 0

@@ -47,6 +47,9 @@ __all__ = [
 ]
 
 #: Canonical phase names recorded by the instrumented call sites.
+#: Fleet engines additionally record a dynamic ``engine.tick[nX]``
+#: envelope per node (same total as ``engine.tick``, attributed to the
+#: node label) so rack runs can rank nodes by simulation cost.
 PHASE_NAMES = (
     "engine.tick",          # whole-tick total (sum of the engine.* laps)
     "engine.retry_queue",   # outage retry-queue drain
@@ -139,15 +142,20 @@ class PhaseAccounting:
     def table(self, top: int | None = None) -> str:
         """Ranked (by total time) human-readable phase table.
 
-        ``engine.tick`` is the whole-tick envelope, not a separate cost,
-        so shares are computed against the sum of the *leaf* phases.
+        ``engine.tick`` is the whole-tick envelope, not a separate cost
+        — as are the per-node ``engine.tick[nX]`` envelopes fleet
+        engines record — so shares are computed against the sum of the
+        *leaf* phases.
         """
+        def is_envelope(name: str) -> bool:
+            return name == "engine.tick" or name.startswith("engine.tick[")
+
         rows = sorted(
             ((name, total, calls) for name, (total, calls) in self._acc.items()),
             key=lambda row: -row[1],
         )
         leaf_total = sum(
-            total for name, total, _ in rows if name != "engine.tick"
+            total for name, total, _ in rows if not is_envelope(name)
         )
         if top is not None:
             rows = rows[:top]
@@ -155,7 +163,11 @@ class PhaseAccounting:
             f"{'phase':<24} {'total':>10} {'calls':>10} {'mean':>10} {'share':>7}"
         ]
         for name, total, calls in rows:
-            share = total / leaf_total if leaf_total and name != "engine.tick" else 0.0
+            share = (
+                total / leaf_total
+                if leaf_total and not is_envelope(name)
+                else 0.0
+            )
             mean_us = total / calls * 1e6 if calls else 0.0
             lines.append(
                 f"{name:<24} {total * 1e3:>8.2f}ms {calls:>10d} "

@@ -51,6 +51,7 @@ __all__ = [
     "session",
     "dump",
     "ARTIFACT_NAMES",
+    "JOURNEY_ARTIFACT_NAMES",
 ]
 
 #: Files written by :func:`dump`, in a stable order.
@@ -60,6 +61,26 @@ ARTIFACT_NAMES = (
     "trace.json",
     "decisions.jsonl",
 )
+
+#: Extra artifacts written only when a fleet run recorded journeys.
+JOURNEY_ARTIFACT_NAMES = (
+    "journeys.jsonl",
+    "journeys_trace.json",
+)
+
+
+def _active_journal():
+    """The fleet journey journal, if the fleet obs layer was ever used.
+
+    Guarded on ``sys.modules`` so single-node runs never import the
+    fleet package just to discover there is nothing to dump.
+    """
+    import sys
+
+    module = sys.modules.get("repro.obs.fleet.journey")
+    if module is None:
+        return None
+    return module.active_journal()
 
 
 @dataclass
@@ -162,6 +183,11 @@ def disable() -> None:
     _metrics = NULL_REGISTRY
     _tracer = NULL_TRACER
     _audit = NULL_AUDIT
+    journal = _active_journal()
+    if journal is not None:
+        import repro.obs.fleet.journey as _journey
+
+        _journey.reset_journal()
 
 
 def reset() -> None:
@@ -169,6 +195,9 @@ def reset() -> None:
     _metrics.reset()
     _tracer.reset()
     _audit.reset()
+    journal = _active_journal()
+    if journal is not None:
+        journal.reset()
 
 
 @contextmanager
@@ -211,8 +240,20 @@ def dump(out_dir: str | Path) -> dict[str, Path]:
         "trace.json": _tracer.to_json(),
         "decisions.jsonl": _audit.to_jsonl(),
     }
+    journal = _active_journal()
+    if journal is not None and len(journal):
+        import json
+
+        # Fleet runs only: journey JSONL + Chrome-trace spans (nodes as
+        # trace threads).  Absent from single-node dumps by design.
+        contents["journeys.jsonl"] = journal.to_jsonl()
+        contents["journeys_trace.json"] = json.dumps(
+            journal.to_chrome_trace(), indent=1
+        )
     paths = {}
-    for name in ARTIFACT_NAMES:
+    for name in (*ARTIFACT_NAMES, *JOURNEY_ARTIFACT_NAMES):
+        if name not in contents:
+            continue
         path = out / name
         atomic_write_text(path, contents[name])
         paths[name] = path

@@ -78,14 +78,22 @@ class _BasePolicy:
     def _observe(
         self, profile: WorkloadProfile, engine: ClusterEngine, mode: MemoryMode
     ) -> None:
+        node = getattr(engine, "node_label", None) or "n0"
         obs.metrics().counter(
             "orchestrator_decisions_total",
             "Placement decisions by policy, chosen mode and workload kind",
-            labels=("policy", "mode", "kind"),
-        ).labels(policy=self.name, mode=mode.value, kind=profile.kind.value).inc()
+            labels=("policy", "mode", "kind", "node"),
+        ).labels(
+            policy=self.name,
+            mode=mode.value,
+            kind=profile.kind.value,
+            node=node,
+        ).inc()
         live = obs.live_session()
         if live is not None:
-            live.note_decision(self.name, mode.value, profile.kind.value)
+            live.note_decision(
+                self.name, mode.value, profile.kind.value, node=node
+            )
         if profile.kind is WorkloadKind.INTERFERENCE:
             return  # the paper's policies only govern BE/LC placement
         obs.audit().record(

@@ -1,0 +1,160 @@
+"""Node-labeled metrics, fleet audit attribution, per-node phase envelopes."""
+
+from repro import obs
+from repro.cluster.engine import ClusterEngine
+from repro.cluster.fleet import LeastLoadedPlacement
+from repro.cluster.fleet_scenario import FleetScenarioConfig, run_fleet_scenario
+from repro.cluster.scenario import ScenarioConfig
+from repro.hardware.pool import RemotePoolConfig
+from repro.obs.perf.accounting import PhaseAccounting, phases_session
+from repro.orchestrator.policies import InterferenceThresholdPolicy
+from repro.workloads.base import MemoryMode, WorkloadKind
+from repro.workloads.spark import spark_profile
+
+SCENARIO = ScenarioConfig(duration_s=400.0, spawn_interval=(15.0, 30.0), seed=3)
+
+
+def fleet_config(n_nodes=4):
+    return FleetScenarioConfig(
+        scenario=SCENARIO, n_nodes=n_nodes, pool=RemotePoolConfig(),
+    )
+
+
+def scheduler():
+    return LeastLoadedPlacement(InterferenceThresholdPolicy())
+
+
+class TestNodeLabels:
+    def test_single_node_series_default_to_n0(self):
+        with obs.session() as handles:
+            engine = ClusterEngine()
+            engine.deploy(spark_profile("scan"), MemoryMode.LOCAL)
+            engine.run_for(5.0)
+            snapshot = handles.metrics.get("engine_ticks_total").snapshot()
+        assert snapshot["series"] == [
+            {"labels": {"node": "n0"}, "value": 5}
+        ]
+
+    def test_fleet_run_exports_series_for_every_node(self):
+        with obs.session() as handles:
+            run_fleet_scenario(fleet_config(n_nodes=4), scheduler=scheduler())
+            prom = handles.metrics.to_prometheus()
+            snapshot = handles.metrics.get("engine_ticks_total").snapshot()
+        nodes = {s["labels"]["node"] for s in snapshot["series"]}
+        assert nodes == {"n0", "n1", "n2", "n3"}
+        for node in sorted(nodes):
+            assert f'engine_ticks_total{{node="{node}"}}' in prom
+
+    def test_one_registry_serves_the_whole_fleet(self):
+        # Node-labeled series live in the session registry, not
+        # per-node registries: family count is node-independent.
+        with obs.session() as handles:
+            run_fleet_scenario(fleet_config(n_nodes=2), scheduler=scheduler())
+            families_2 = len(handles.metrics)
+        with obs.session() as handles:
+            run_fleet_scenario(fleet_config(n_nodes=4), scheduler=scheduler())
+            families_4 = len(handles.metrics)
+        assert families_2 == families_4
+
+    def test_decision_counter_carries_the_serving_node(self):
+        with obs.session() as handles:
+            run_fleet_scenario(fleet_config(), scheduler=scheduler())
+            family = handles.metrics.get("orchestrator_decisions_total")
+            assert family is not None
+            snapshot = family.snapshot()
+        assert all("node" in s["labels"] for s in snapshot["series"])
+        assert len({s["labels"]["node"] for s in snapshot["series"]}) > 1
+
+
+class TestFleetAudit:
+    def test_fleet_placements_produce_audit_rows(self):
+        # Regression: the fleet scheduler used to call the wrapped
+        # policy's decide() directly, bypassing _observe — fleet runs
+        # produced zero audit rows.
+        with obs.session() as handles:
+            fleet = run_fleet_scenario(fleet_config(), scheduler=scheduler())
+            records = list(handles.audit.records)
+        # Interference co-runners are deliberately unaudited, so the
+        # floor is every completed BE/LC deployment.
+        completed = sum(
+            1 for r in fleet.records()
+            if r.kind is not WorkloadKind.INTERFERENCE
+        )
+        assert len(records) >= completed > 0
+
+    def test_audit_rows_attribute_the_serving_node(self):
+        with obs.session() as handles:
+            run_fleet_scenario(fleet_config(n_nodes=4), scheduler=scheduler())
+            records = list(handles.audit.records)
+        nodes = {record.node for record in records}
+        assert nodes <= {"n0", "n1", "n2", "n3"}
+        assert len(nodes) > 1  # placement really spread across the rack
+        assert all(record.to_dict()["node"] == record.node
+                   for record in records)
+
+    def test_audit_joins_journeys_by_decision_key(self):
+        with obs.session() as handles:
+            fleet = run_fleet_scenario(fleet_config(), scheduler=scheduler())
+            journal = fleet.journal
+            journey_keys = {
+                (j.app_name, round(j.decided_s, 6)) for j in journal.journeys
+            }
+            audit_keys = {
+                (r.app_name, round(r.sim_time, 6))
+                for r in handles.audit.records
+            }
+        assert audit_keys
+        assert audit_keys <= journey_keys
+
+    def test_single_node_audit_defaults_to_n0(self):
+        from repro.cluster.scenario import run_scenario
+        from repro.orchestrator.policies import RandomPolicy
+
+        with obs.session() as handles:
+            run_scenario(
+                ScenarioConfig(duration_s=150.0, seed=6),
+                scheduler=RandomPolicy(seed=3),
+            )
+            records = list(handles.audit.records)
+        assert records
+        assert {record.node for record in records} == {"n0"}
+
+
+class TestPerNodePhaseEnvelopes:
+    def test_fleet_tick_records_per_node_envelopes(self):
+        with phases_session() as acct:
+            fleet = run_fleet_scenario(
+                fleet_config(n_nodes=2), scheduler=scheduler()
+            )
+        snapshot = acct.snapshot()
+        assert "engine.tick[n0]" in snapshot
+        assert "engine.tick[n1]" in snapshot
+        per_node_calls = sum(
+            snapshot[f"engine.tick[n{i}]"]["calls"] for i in range(2)
+        )
+        assert per_node_calls == snapshot["engine.tick"]["calls"]
+        assert fleet.now > 0
+
+    def test_single_node_engine_records_no_bracket_envelope(self):
+        engine = ClusterEngine()
+        with phases_session() as acct:
+            engine.run_for(3.0)
+        assert "engine.tick" in acct.snapshot()
+        assert not any("[" in name for name in acct.snapshot())
+
+    def test_table_excludes_envelopes_from_leaf_share(self):
+        acct = PhaseAccounting()
+        acct.add("engine.tick", 2.0)
+        acct.add("engine.tick[n0]", 1.0)
+        acct.add("engine.tick[n1]", 1.0)
+        acct.add("engine.tick_hooks", 3.0)  # leaf despite the prefix
+        acct.add("engine.advance", 1.0)
+        table = acct.table()
+        lines = {
+            line.split()[0]: line for line in table.splitlines()[1:]
+        }
+        assert lines["engine.tick"].endswith("0.0%")
+        assert lines["engine.tick[n0]"].endswith("0.0%")
+        # Leaves share 3.0 + 1.0 = 4.0s between them.
+        assert lines["engine.tick_hooks"].endswith("75.0%")
+        assert lines["engine.advance"].endswith("25.0%")

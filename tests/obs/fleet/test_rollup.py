@@ -1,0 +1,146 @@
+"""Fleet metric merging and SLO burn rollups (pure snapshot math)."""
+
+import pytest
+
+from repro.obs.fleet.rollup import (
+    fleet_burn_rollup,
+    fleet_rollup,
+    merge_node_series,
+)
+from repro.obs.metrics import MetricsRegistry
+
+
+def node_counter_family(registry=None):
+    registry = registry if registry is not None else MetricsRegistry()
+    counter = registry.counter(
+        "engine_ticks_total", "ticks", labels=("node",)
+    )
+    counter.labels(node="n0").inc(3)
+    counter.labels(node="n1").inc(5)
+    return registry
+
+
+class TestMergeNodeSeries:
+    def test_counters_sum_across_nodes(self):
+        registry = node_counter_family()
+        family = registry.snapshot()[0]
+        merged = merge_node_series(family)
+        assert merged == [{"labels": {}, "value": 8, "nodes": 2}]
+
+    def test_remaining_labels_are_preserved(self):
+        registry = MetricsRegistry()
+        counter = registry.counter(
+            "orchestrator_decisions_total", "d", labels=("mode", "node")
+        )
+        counter.labels(mode="local", node="n0").inc(2)
+        counter.labels(mode="local", node="n1").inc(1)
+        counter.labels(mode="remote", node="n0").inc(7)
+        merged = merge_node_series(registry.snapshot()[0])
+        by_mode = {m["labels"]["mode"]: m for m in merged}
+        assert by_mode["local"]["value"] == 3
+        assert by_mode["local"]["nodes"] == 2
+        assert by_mode["remote"]["value"] == 7
+        assert by_mode["remote"]["nodes"] == 1
+
+    def test_family_without_node_label_returns_none(self):
+        registry = MetricsRegistry()
+        registry.counter("plain_total", "p", labels=("app",)).labels(
+            app="redis"
+        ).inc()
+        assert merge_node_series(registry.snapshot()[0]) is None
+
+    def test_histograms_merge_exactly(self):
+        registry = MetricsRegistry()
+        hist = registry.histogram(
+            "engine_tick_seconds", "t", labels=("node",)
+        )
+        for value in (0.001, 0.002):
+            hist.labels(node="n0").observe(value)
+        hist.labels(node="n1").observe(0.5)
+        merged = merge_node_series(registry.snapshot()[0])
+        assert len(merged) == 1
+        value = merged[0]["value"]
+        assert value["count"] == 3
+        assert value["sum"] == pytest.approx(0.503)
+        assert value["min"] == pytest.approx(0.001)
+        assert value["max"] == pytest.approx(0.5)
+        # Bucket-by-bucket: cumulative counts add because every node's
+        # series shares the family's bucket edges.
+        per_node = [
+            entry["value"]["buckets"]
+            for entry in registry.snapshot()[0]["series"]
+        ]
+        for edge, cumulative in value["buckets"].items():
+            assert cumulative == sum(b.get(edge, 0) for b in per_node)
+
+
+class TestFleetRollup:
+    def test_only_node_labeled_families_roll_up(self):
+        registry = node_counter_family()
+        registry.counter("plain_total", "p", labels=("app",)).labels(
+            app="x"
+        ).inc()
+        rollup = fleet_rollup(registry.snapshot())
+        assert "engine_ticks_total" in rollup
+        assert "plain_total" not in rollup
+
+
+def burn_snapshot(burn, violations=0, total=0):
+    return {"app": {"burn": burn, "violations": violations, "total": total}}
+
+
+class TestFleetBurnRollup:
+    def test_worst_node_is_the_max_burner(self):
+        rollup = fleet_burn_rollup(
+            {
+                "n0": burn_snapshot({"60": 0.5}, total=10),
+                "n1": burn_snapshot({"60": 2.5}, total=10),
+            }
+        )
+        assert rollup["worst"]["60"] == {"burn": 2.5, "node": "n1"}
+
+    def test_weighted_burn_weights_by_completions(self):
+        # n0 burns 4.0 over 90 completions, n1 burns 0.0 over 10: the
+        # busy node dominates the population-weighted aggregate.
+        rollup = fleet_burn_rollup(
+            {
+                "n0": burn_snapshot({"60": 4.0}, total=90),
+                "n1": burn_snapshot({"60": 0.0}, total=10),
+            }
+        )
+        assert rollup["weighted"]["60"] == pytest.approx(3.6)
+
+    def test_idle_node_cannot_dilute_a_burning_one(self):
+        rollup = fleet_burn_rollup(
+            {
+                "n0": burn_snapshot({"60": 4.0}, total=50),
+                "idle": burn_snapshot({"60": 0.0}, total=0),
+            }
+        )
+        assert rollup["weighted"]["60"] == pytest.approx(4.0)
+
+    def test_violations_and_totals_sum_fleet_wide(self):
+        rollup = fleet_burn_rollup(
+            {
+                "n0": burn_snapshot({"60": 1.0}, violations=3, total=30),
+                "n1": burn_snapshot({"60": 0.0}, violations=1, total=20),
+            }
+        )
+        assert rollup["violations"] == 4
+        assert rollup["total"] == 50
+
+    def test_empty_input(self):
+        rollup = fleet_burn_rollup({})
+        assert rollup == {
+            "worst": {}, "weighted": {}, "violations": 0, "total": 0,
+        }
+
+    def test_windows_union_across_nodes(self):
+        rollup = fleet_burn_rollup(
+            {
+                "n0": burn_snapshot({"60": 1.0}, total=5),
+                "n1": burn_snapshot({"600": 2.0}, total=5),
+            }
+        )
+        assert set(rollup["worst"]) == {"60", "600"}
+        assert rollup["worst"]["600"]["node"] == "n1"
