@@ -15,6 +15,8 @@ Usage::
     python -m repro train --ckpt fit.ckpt           # crash-safe fit
     python -m repro train --ckpt fit.ckpt --resume  # continue after a crash
     python -m repro retrain --gate                  # gated model promotion
+    python -m repro serve --safety env.json         # orchestrator daemon
+    python -m repro client health --port 7000       # poke the daemon
 
 Each experiment prints the same rows/series the paper reports.  The
 training-based experiments honour ``--scale`` (quick | default | paper).
@@ -213,6 +215,11 @@ def main(argv: list[str] | None = None) -> int:
              "write failures, retrain timeouts on the epoch clock)",
     )
     sample.add_argument(
+        "--daemon", action="store_true",
+        help="emit a serving-daemon plan instead (connection drops and a "
+             "wedged tick loop for 'repro serve --faults')",
+    )
+    sample.add_argument(
         "--epochs", type=int, default=12,
         help="trainer plans: epoch runway (default: 12)",
     )
@@ -291,6 +298,12 @@ def main(argv: list[str] | None = None) -> int:
              "pool arbitration) instead of the single-engine dashboard",
     )
     obs_cmd.add_argument(
+        "--exit-on-end", action=argparse.BooleanOptionalAction, default=None,
+        help="watch: exit when the stream's end record arrives (default); "
+             "--no-exit-on-end keeps following so the watcher rides across "
+             "a daemon warm restart appending to the same stream",
+    )
+    obs_cmd.add_argument(
         "--interval", type=float, default=1.0,
         help="watch: seconds between dashboard refreshes (default: 1)",
     )
@@ -343,6 +356,113 @@ def main(argv: list[str] | None = None) -> int:
         help="perfcheck: run the full (non-smoke) bench when measuring "
              "in-process",
     )
+    serve_cmd = sub.add_parser(
+        "serve",
+        help="run the long-running orchestrator daemon with a declarative "
+             "safety envelope (DESIGN.md §15)",
+    )
+    serve_cmd.add_argument("--host", default="127.0.0.1")
+    serve_cmd.add_argument(
+        "--port", type=int, default=0,
+        help="TCP port (default: 0 = OS-assigned, printed on startup)",
+    )
+    serve_cmd.add_argument("--nodes", type=int, default=2,
+                           help="fleet size (default: 2)")
+    serve_cmd.add_argument(
+        "--max-link-utilization", type=float, default=0.7,
+        help="interference-threshold policy knob (default: 0.7)",
+    )
+    serve_cmd.add_argument(
+        "--tick-interval", type=float, default=0.01, metavar="S",
+        help="wall seconds per simulated tick (default: 0.01)",
+    )
+    serve_cmd.add_argument(
+        "--watchdog-timeout", type=float, default=1.0, metavar="S",
+        help="wall seconds without a completed tick before the watchdog "
+             "restarts the engine loop (default: 1)",
+    )
+    serve_cmd.add_argument(
+        "--request-timeout", type=float, default=5.0, metavar="S",
+        help="idle seconds before a half-sent request is rejected "
+             "(default: 5)",
+    )
+    serve_cmd.add_argument(
+        "--breaker-cooldown", type=float, default=30.0, metavar="S",
+        help="simulated seconds the engine breaker stays open after a "
+             "watchdog restart (default: 30)",
+    )
+    serve_cmd.add_argument(
+        "--pool-regime", choices=("pooled", "shared-segment"), default=None,
+        help="attach a rack memory pool in this regime",
+    )
+    serve_cmd.add_argument("--pool-capacity", type=float, default=None,
+                           metavar="GB", help="rack pool capacity override")
+    serve_cmd.add_argument("--pool-bw", type=float, default=None,
+                           metavar="GBPS",
+                           help="rack fabric aggregate bandwidth override")
+    serve_cmd.add_argument("--seed", type=int, default=0)
+    serve_cmd.add_argument(
+        "--safety", metavar="ENVELOPE.json", default=None,
+        help="declarative safety envelope (see --sample-envelope)",
+    )
+    serve_cmd.add_argument(
+        "--sample-envelope", metavar="FILE", nargs="?", const="-",
+        default=None,
+        help="write a sample safety envelope to FILE (or stdout) and exit",
+    )
+    serve_cmd.add_argument(
+        "--faults", metavar="PLAN.json", default=None,
+        help="daemon-side fault plan (see 'repro faults sample --daemon')",
+    )
+    serve_cmd.add_argument(
+        "--checkpoint", metavar="FILE", default=None,
+        help="write the crash-safe daemon checkpoint here on drain",
+    )
+    serve_cmd.add_argument(
+        "--resume", metavar="FILE", default=None,
+        help="warm-restart from a daemon checkpoint (config, envelope and "
+             "fault plan come from the checkpoint)",
+    )
+    serve_cmd.add_argument(
+        "--max-wall-s", type=float, default=None, metavar="S",
+        help="auto-drain after this much wall time (soak/CI guard)",
+    )
+    serve_cmd.add_argument(
+        "--paused", action="store_true",
+        help="start with the tick loop paused (tests drive 'tick' ops)",
+    )
+    serve_cmd.add_argument(
+        "--obs-out", metavar="DIR", default=None,
+        help="enable observability; dump artifacts to DIR after the drain",
+    )
+    serve_cmd.add_argument(
+        "--obs-stream", action="store_true",
+        help="also stream live telemetry to DIR/stream.jsonl "
+             "(requires --obs-out)",
+    )
+    client_cmd = sub.add_parser(
+        "client", help="send one op to a running 'repro serve' daemon"
+    )
+    client_cmd.add_argument(
+        "client_op",
+        choices=("deploy", "complete", "query", "drain", "health", "tick"),
+        metavar="OP",
+        help="deploy | complete | query | drain | health | tick",
+    )
+    client_cmd.add_argument("--host", default="127.0.0.1")
+    client_cmd.add_argument("--port", type=int, required=True)
+    client_cmd.add_argument("--app", default=None,
+                            help="deploy: workload name (e.g. redis)")
+    client_cmd.add_argument("--duration", type=float, default=None,
+                            help="deploy: interference duration override")
+    client_cmd.add_argument("--id", dest="req_id", default=None,
+                            help="complete/query: deployment id")
+    client_cmd.add_argument("--count", type=int, default=1,
+                            help="deploy: repeat N times (default: 1)")
+    client_cmd.add_argument("--n", type=int, default=1,
+                            help="tick: ticks to advance (default: 1)")
+    client_cmd.add_argument("--timeout", type=float, default=5.0)
+    client_cmd.add_argument("--retries", type=int, default=5)
     args = parser.parse_args(argv)
 
     if args.command == "list":
@@ -357,9 +477,17 @@ def main(argv: list[str] | None = None) -> int:
 
         if args.faults_command == "sample":
             try:
+                if args.trainer and args.daemon:
+                    print("--trainer and --daemon are mutually exclusive",
+                          file=sys.stderr)
+                    return 2
                 if args.trainer:
                     plan = FaultPlan.sample_trainer(
                         seed=args.seed, epochs=args.epochs
+                    )
+                elif args.daemon:
+                    plan = FaultPlan.sample_daemon(
+                        seed=args.seed, duration_s=args.duration
                     )
                 else:
                     plan = FaultPlan.sample(
@@ -473,6 +601,125 @@ def main(argv: list[str] | None = None) -> int:
         print(f"promoted {summary['promoted']}, rejected {summary['rejected']}")
         return 0
 
+    if args.command == "serve":
+        from repro.faults.errors import CheckpointError, FaultPlanError
+        from repro.faults.plan import FaultPlan
+        from repro.serve import (
+            DaemonConfig,
+            DaemonServer,
+            OrchestratorDaemon,
+            SafetyConfigError,
+            SafetyEnvelope,
+        )
+
+        if args.sample_envelope is not None:
+            envelope = SafetyEnvelope.sample()
+            if args.sample_envelope == "-":
+                import json as _json
+
+                print(_json.dumps(envelope.to_dict(), indent=2))
+            else:
+                envelope.to_file(args.sample_envelope)
+                print(f"wrote {args.sample_envelope}: "
+                      f"{len(envelope.constraints)} constraints")
+            return 0
+        envelope = None
+        if args.safety is not None:
+            try:
+                envelope = SafetyEnvelope.from_file(args.safety)
+            except SafetyConfigError as error:
+                print(f"--safety: {error}", file=sys.stderr)
+                return 2
+        plan = None
+        if args.faults is not None:
+            try:
+                plan = FaultPlan.from_file(args.faults)
+            except (FileNotFoundError, FaultPlanError) as error:
+                print(f"--faults: {error}", file=sys.stderr)
+                return 2
+        if args.obs_stream and args.obs_out is None:
+            parser.error("--obs-stream requires --obs-out DIR")
+        if args.obs_out is not None:
+            if args.obs_stream:
+                obs.enable_live(args.obs_out)
+            else:
+                obs.enable()
+        try:
+            if args.resume is not None:
+                daemon = OrchestratorDaemon.restore(args.resume)
+                print(f"serve: warm restart from {args.resume} "
+                      f"(clock {daemon.fleet.now:g}s, "
+                      f"{len(daemon.ledger)} ledger entries)")
+            else:
+                config = DaemonConfig(
+                    n_nodes=args.nodes,
+                    max_link_utilization=args.max_link_utilization,
+                    tick_interval_s=args.tick_interval,
+                    watchdog_timeout_s=args.watchdog_timeout,
+                    request_timeout_s=args.request_timeout,
+                    breaker_cooldown_s=args.breaker_cooldown,
+                    pool_regime=args.pool_regime,
+                    pool_capacity_gb=args.pool_capacity,
+                    pool_bw_gbps=args.pool_bw,
+                    seed=args.seed,
+                    checkpoint_path=args.checkpoint,
+                )
+                daemon = OrchestratorDaemon(config, envelope=envelope,
+                                            plan=plan)
+        except CheckpointError as error:
+            print(f"serve: {error}", file=sys.stderr)
+            return 2
+        daemon.paused = args.paused
+        server = DaemonServer(
+            daemon, host=args.host, port=args.port,
+            max_wall_s=args.max_wall_s,
+        )
+        code = server.serve()
+        if args.obs_out is not None:
+            paths = obs.dump(args.obs_out)
+            obs.disable()
+            print("observability artifacts:")
+            for name in sorted(paths):
+                print(f"  {paths[name]}")
+        return code
+
+    if args.command == "client":
+        import json as _json
+
+        from repro.serve import DaemonClient, DaemonClientError
+
+        client = DaemonClient(
+            host=args.host, port=args.port,
+            timeout_s=args.timeout, retries=args.retries,
+        )
+        try:
+            if args.client_op == "deploy":
+                if args.app is None:
+                    print("client deploy requires --app", file=sys.stderr)
+                    return 2
+                responses = [
+                    client.deploy(args.app, duration=args.duration)
+                    for _ in range(max(1, args.count))
+                ]
+                for response in responses:
+                    print(_json.dumps(response))
+                return 0 if all(r.get("ok") for r in responses) else 1
+            if args.client_op in ("complete", "query"):
+                if args.req_id is None:
+                    print(f"client {args.client_op} requires --id",
+                          file=sys.stderr)
+                    return 2
+                response = getattr(client, args.client_op)(args.req_id)
+            elif args.client_op == "tick":
+                response = client.tick(args.n)
+            else:
+                response = getattr(client, args.client_op)()
+        except DaemonClientError as error:
+            print(str(error), file=sys.stderr)
+            return 2
+        print(_json.dumps(response))
+        return 0 if response.get("ok") else 1
+
     if args.command == "obs":
         if args.target[0] == "profile":
             from repro.obs.perf.bench import profile_run
@@ -532,7 +779,7 @@ def main(argv: list[str] | None = None) -> int:
 
             return watch(
                 args.target[1], interval=args.interval, once=args.once,
-                fleet=args.fleet,
+                fleet=args.fleet, exit_on_end=args.exit_on_end,
             )
         if args.target[0] == "report":
             if len(args.target) != 2:

@@ -400,6 +400,20 @@ class ClusterEngine:
                 f"{len(self._retry_queue)} queued after {max_seconds} s drain"
             )
 
+    def drain(self, max_seconds: float = 86400.0) -> bool:
+        """Best-effort :meth:`run_until_idle`: advance until every
+        deployment and retry-queue entry has drained or the deadline
+        passes; returns whether the engine is fully idle.  Unlike
+        :meth:`run_until_idle` a missed deadline is not an error — the
+        serving daemon parks whatever is still in flight into its
+        checkpoint instead of crashing the shutdown path.
+        """
+        waited = 0.0
+        while (self.running or self._retry_queue) and waited < max_seconds - 1e-9:
+            self.tick()
+            waited += self.dt
+        return not (self.running or self._retry_queue)
+
     # -- measurement helpers -------------------------------------------------
     def measure_isolated(
         self, profile: WorkloadProfile, mode: MemoryMode

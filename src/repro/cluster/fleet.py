@@ -390,6 +390,25 @@ class ClusterFleet:
                 f"{self.queued_remote} queued after {max_seconds} s drain"
             )
 
+    def drain(self, max_seconds: float = 86400.0) -> bool:
+        """Best-effort :meth:`run_until_idle` under one fleet clock.
+
+        Advances whole fleet ticks until every node is idle (no running
+        deployments, no outage-parked retries) or the deadline passes;
+        returns whether the rack fully drained.  A missed deadline is
+        not an error: the serving daemon checkpoints whatever is still
+        in flight rather than failing its shutdown path.
+        """
+        waited = 0.0
+        while (
+            any(engine.running for engine in self.engines) or self.queued_remote
+        ) and waited < max_seconds - 1e-9:
+            self.tick()
+            waited += self.dt
+        return not (
+            any(engine.running for engine in self.engines) or self.queued_remote
+        )
+
     # -- queries -----------------------------------------------------------
     def records(self) -> list[DeploymentRecord]:
         out: list[DeploymentRecord] = []

@@ -10,9 +10,12 @@ successful probe re-closes the circuit, a failed one re-opens it (and
 restarts the cooldown).
 
 State is exported as ``policy_circuit_state`` (0 = closed, 1 = open,
-2 = half-open) and every transition is counted and pushed onto the live
-event stream, so an outage's open → half-open → closed arc is visible
-in both the metrics and the ``repro obs watch`` dashboard.
+2 = half-open), labeled by policy *and* node — fleet runs stamp the
+label of the node whose decision drove the transition, so per-node
+breaker arcs survive the fleet rollup — and every transition is counted
+and pushed onto the live event stream, so an outage's open → half-open
+→ closed arc is visible in both the metrics and the ``repro obs watch``
+dashboard.
 """
 
 from __future__ import annotations
@@ -46,6 +49,7 @@ class CircuitBreaker:
         failure_threshold: int = 3,
         cooldown_s: float = 120.0,
         name: str = "adrias",
+        node: str | None = None,
     ) -> None:
         if failure_threshold < 1:
             raise ValueError("failure_threshold must be >= 1")
@@ -54,6 +58,10 @@ class CircuitBreaker:
         self.failure_threshold = failure_threshold
         self.cooldown_s = cooldown_s
         self.name = name
+        #: Node label stamped on metric exports; callers on fleet paths
+        #: (e.g. AdriasPolicy.decide) refresh it per decision so a shared
+        #: breaker attributes each transition to the node that drove it.
+        self.node = node
         self.state = CircuitState.CLOSED
         self.consecutive_failures = 0
         self.opened_at: float | None = None
@@ -96,13 +104,14 @@ class CircuitBreaker:
     def _transition(self, new: CircuitState, now: float) -> None:
         old, self.state = self.state, new
         self.transitions.append((now, old.value, new.value))
+        node = self.node or "n0"
         if obs.enabled():
             metrics = obs.metrics()
             metrics.gauge(
                 "policy_circuit_state",
                 "Decision-path circuit state (0 closed, 1 open, 2 half-open)",
-                labels=("policy",),
-            ).labels(policy=self.name).set(_STATE_GAUGE[new])
+                labels=("policy", "node"),
+            ).labels(policy=self.name, node=node).set(_STATE_GAUGE[new])
             metrics.counter(
                 "policy_circuit_transitions_total",
                 "Circuit-breaker state transitions",
@@ -111,7 +120,7 @@ class CircuitBreaker:
         live = obs.live_session()
         if live is not None:
             live.note_event(
-                "circuit", policy=self.name, sim=now,
+                "circuit", policy=self.name, node=node, sim=now,
                 transition=f"{old.value}->{new.value}",
             )
 

@@ -42,6 +42,22 @@ CHECKPOINT_VERSION = 1
 
 
 # -- serialization helpers ----------------------------------------------------
+def _require(data: dict, key: str, where: str):
+    """Index a required checkpoint field with a diagnosable failure.
+
+    Payloads from an older format (or hand-edited ones) surface as a
+    clear :class:`CheckpointError` naming the missing field instead of
+    an opaque ``KeyError`` from deep inside the deserializers.
+    """
+    try:
+        return data[key]
+    except KeyError:
+        raise CheckpointError(
+            f"stale or truncated checkpoint: {where} payload is missing "
+            f"field {key!r} — re-create the checkpoint with this version"
+        ) from None
+
+
 def _scenario_to_dict(config: ScenarioConfig) -> dict:
     return {
         "duration_s": config.duration_s,
@@ -54,11 +70,13 @@ def _scenario_to_dict(config: ScenarioConfig) -> dict:
 
 def _scenario_from_dict(data: dict) -> ScenarioConfig:
     return ScenarioConfig(
-        duration_s=data["duration_s"],
-        spawn_interval=tuple(data["spawn_interval"]),
-        seed=data["seed"],
-        interference_duration=tuple(data["interference_duration"]),
-        drain=data["drain"],
+        duration_s=_require(data, "duration_s", "scenario"),
+        spawn_interval=tuple(_require(data, "spawn_interval", "scenario")),
+        seed=_require(data, "seed", "scenario"),
+        interference_duration=tuple(
+            _require(data, "interference_duration", "scenario")
+        ),
+        drain=_require(data, "drain", "scenario"),
     )
 
 
@@ -83,30 +101,31 @@ def _deployment_to_dict(d: Deployment) -> dict:
 
 
 def _deployment_from_dict(data: dict, profiles: dict) -> Deployment:
+    name = _require(data, "profile", "deployment")
     try:
-        profile = profiles[data["profile"]]
+        profile = profiles[name]
     except KeyError:
         raise CheckpointError(
-            f"checkpoint references unknown workload {data['profile']!r}; "
+            f"checkpoint references unknown workload {name!r}; "
             "resume with the pool the original run used"
         ) from None
     deployment = Deployment(
-        app_id=data["app_id"],
+        app_id=_require(data, "app_id", "deployment"),
         profile=profile,
-        mode=MemoryMode(data["mode"]),
-        arrival_time=data["arrival_time"],
-        duration_s=data["duration_s"],
+        mode=MemoryMode(_require(data, "mode", "deployment")),
+        arrival_time=_require(data, "arrival_time", "deployment"),
+        duration_s=_require(data, "duration_s", "deployment"),
         decided_s=data.get("decided_s"),
     )
-    deployment.state = DeploymentState(data["state"])
-    deployment.finish_time = data["finish_time"]
-    deployment.progress_s = data["progress_s"]
-    deployment.served_ops = data["served_ops"]
-    deployment._slowdown_sum = data["slowdown_sum"]
-    deployment._slowdown_ticks = data["slowdown_ticks"]
-    deployment.p99_samples = list(data["p99_samples"])
-    deployment.p999_samples = list(data["p999_samples"])
-    deployment.link_traffic_gb = data["link_traffic_gb"]
+    deployment.state = DeploymentState(_require(data, "state", "deployment"))
+    deployment.finish_time = _require(data, "finish_time", "deployment")
+    deployment.progress_s = _require(data, "progress_s", "deployment")
+    deployment.served_ops = _require(data, "served_ops", "deployment")
+    deployment._slowdown_sum = _require(data, "slowdown_sum", "deployment")
+    deployment._slowdown_ticks = _require(data, "slowdown_ticks", "deployment")
+    deployment.p99_samples = list(_require(data, "p99_samples", "deployment"))
+    deployment.p999_samples = list(_require(data, "p999_samples", "deployment"))
+    deployment.link_traffic_gb = _require(data, "link_traffic_gb", "deployment")
     return deployment
 
 
@@ -129,17 +148,17 @@ def _record_to_dict(r: DeploymentRecord) -> dict:
 
 def _record_from_dict(data: dict) -> DeploymentRecord:
     return DeploymentRecord(
-        app_id=data["app_id"],
-        name=data["name"],
-        kind=WorkloadKind(data["kind"]),
-        mode=MemoryMode(data["mode"]),
-        arrival_time=data["arrival_time"],
-        finish_time=data["finish_time"],
-        runtime_s=data["runtime_s"],
-        p99_ms=data["p99_ms"],
-        p999_ms=data["p999_ms"],
-        mean_slowdown=data["mean_slowdown"],
-        link_traffic_gb=data["link_traffic_gb"],
+        app_id=_require(data, "app_id", "record"),
+        name=_require(data, "name", "record"),
+        kind=WorkloadKind(_require(data, "kind", "record")),
+        mode=MemoryMode(_require(data, "mode", "record")),
+        arrival_time=_require(data, "arrival_time", "record"),
+        finish_time=_require(data, "finish_time", "record"),
+        runtime_s=_require(data, "runtime_s", "record"),
+        p99_ms=_require(data, "p99_ms", "record"),
+        p999_ms=_require(data, "p999_ms", "record"),
+        mean_slowdown=_require(data, "mean_slowdown", "record"),
+        link_traffic_gb=_require(data, "link_traffic_gb", "record"),
         decided_s=data.get("decided_s"),
     )
 
@@ -168,28 +187,36 @@ def _engine_to_dict(engine: ClusterEngine) -> dict:
 def _engine_from_dict(
     data: dict, testbed_config: TestbedConfig, profiles: dict
 ) -> ClusterEngine:
-    engine = ClusterEngine(testbed=Testbed(testbed_config), dt=data["dt"])
-    engine.now = data["now"]
-    engine._next_app_id = data["next_app_id"]
-    engine.remote_blocked = data["remote_blocked"]
-    for entry in data["retry_queue"]:
-        name = entry["profile"]
+    engine = ClusterEngine(
+        testbed=Testbed(testbed_config), dt=_require(data, "dt", "engine")
+    )
+    engine.now = _require(data, "now", "engine")
+    engine._next_app_id = _require(data, "next_app_id", "engine")
+    engine.remote_blocked = _require(data, "remote_blocked", "engine")
+    for entry in _require(data, "retry_queue", "engine"):
+        name = _require(entry, "profile", "retry-queue")
         if name not in profiles:
             raise CheckpointError(
                 f"retry queue references unknown workload {name!r}"
             )
         engine._retry_queue.append({**entry, "profile": profiles[name]})
-    engine.testbed.counters._rng.bit_generator.state = data["counter_rng"]
+    engine.testbed.counters._rng.bit_generator.state = _require(
+        data, "counter_rng", "engine"
+    )
     engine.deployments = [
-        _deployment_from_dict(d, profiles) for d in data["deployments"]
+        _deployment_from_dict(d, profiles)
+        for d in _require(data, "deployments", "engine")
     ]
-    trace = data["trace"]
-    engine.trace.times = list(trace["times"])
+    trace = _require(data, "trace", "engine")
+    engine.trace.times = list(_require(trace, "times", "trace"))
     engine.trace._counter_rows = [
-        np.asarray(row, dtype=np.float64) for row in trace["rows"]
+        np.asarray(row, dtype=np.float64)
+        for row in _require(trace, "rows", "trace")
     ]
-    engine.trace.concurrency = list(trace["concurrency"])
-    engine.trace.records = [_record_from_dict(r) for r in trace["records"]]
+    engine.trace.concurrency = list(_require(trace, "concurrency", "trace"))
+    engine.trace.records = [
+        _record_from_dict(r) for r in _require(trace, "records", "trace")
+    ]
     return engine
 
 

@@ -50,6 +50,21 @@ or *retrain-attempt indices* (``retrain_timeout``) by
     Covered retrain attempts are given ``timeout_s`` seconds of wall
     clock; a candidate fit exceeding it is abandoned and the incumbent
     model stays in place.
+
+Daemon-side kinds target the serving loop of
+:class:`repro.serve.OrchestratorDaemon`; their windows run on the
+daemon's simulated fleet clock.
+
+``conn_drop``
+    While the window is open, each incoming client request is dropped
+    (the connection is closed before a response is written) with
+    ``probability`` — exercising client retry and the daemon's
+    request-error accounting.
+``wedged_tick``
+    The daemon's tick loop stops advancing simulated time while the
+    window covers the fleet clock — a stand-in for a hung engine tick.
+    The watchdog detects the stall on the wall clock, opens the daemon
+    breaker and restarts the tick machinery.
 """
 
 from __future__ import annotations
@@ -62,7 +77,13 @@ import numpy as np
 
 from repro.faults.errors import FaultPlanError
 
-__all__ = ["FAULT_KINDS", "TRAINER_KINDS", "FaultSpec", "FaultPlan"]
+__all__ = [
+    "FAULT_KINDS",
+    "TRAINER_KINDS",
+    "DAEMON_KINDS",
+    "FaultSpec",
+    "FaultPlan",
+]
 
 PLAN_VERSION = 1
 
@@ -97,6 +118,10 @@ _PARAM_SCHEMAS: dict[str, dict[str, tuple[bool, str]]] = {
     "retrain_timeout": {
         "timeout_s": (True, "positive"),
     },
+    "conn_drop": {
+        "probability": (True, "probability"),
+    },
+    "wedged_tick": {},
 }
 
 FAULT_KINDS: tuple[str, ...] = tuple(_PARAM_SCHEMAS)
@@ -107,6 +132,8 @@ TELEMETRY_KINDS = ("telemetry_dropout", "telemetry_corrupt")
 PREDICTOR_KINDS = ("predictor_nan", "predictor_delay")
 #: Trainer-side kinds; windows run on the epoch / retrain-attempt clock.
 TRAINER_KINDS = ("nan_grad", "ckpt_write_fail", "retrain_timeout")
+#: Daemon-side kinds; windows run on the serving daemon's fleet clock.
+DAEMON_KINDS = ("conn_drop", "wedged_tick")
 
 
 def _check_param(kind: str, name: str, rule: str, value) -> None:
@@ -356,6 +383,45 @@ class FaultPlan:
             description=(
                 f"sample plan (seed={seed}): link outage + degradation, "
                 "telemetry dropouts/corruption, predictor NaNs and delays"
+            ),
+        )
+
+    @classmethod
+    def sample_daemon(cls, seed: int = 0, duration_s: float = 120.0) -> "FaultPlan":
+        """A representative *daemon-side* plan on the fleet clock.
+
+        One connection-drop window early (client retry + request-error
+        accounting) and one wedged-tick window later (watchdog recovery
+        behind the daemon breaker).  Same seed ⇒ bit-identical plan.
+        """
+        if duration_s < 30.0:
+            raise FaultPlanError("daemon sample plans need at least 30 s of runway")
+        rng = np.random.default_rng([seed, 0xDA3])
+
+        def jitter(low: float, high: float) -> float:
+            return float(np.round(rng.uniform(low, high), 1))
+
+        drop_start = jitter(0.05 * duration_s, 0.15 * duration_s)
+        wedge_start = jitter(0.45 * duration_s, 0.55 * duration_s)
+        faults = (
+            FaultSpec(
+                kind="conn_drop",
+                start_s=drop_start,
+                duration_s=jitter(0.10 * duration_s, 0.20 * duration_s),
+                params={"probability": 1.0},
+            ),
+            FaultSpec(
+                kind="wedged_tick",
+                start_s=wedge_start,
+                duration_s=jitter(0.05 * duration_s, 0.10 * duration_s),
+            ),
+        )
+        return cls(
+            faults=faults,
+            seed=seed,
+            description=(
+                f"daemon sample plan (seed={seed}): connection drops from "
+                f"{drop_start:.0f}s, wedged tick loop from {wedge_start:.0f}s"
             ),
         )
 

@@ -473,8 +473,13 @@ class LiveSession:
             )
         return paths
 
-    def close(self) -> None:
-        """Emit the end marker and release resources (idempotent)."""
+    def close(self, reason: str | None = None) -> None:
+        """Emit the end marker and release resources (idempotent).
+
+        ``reason`` annotates the end record (e.g. ``"daemon draining"``)
+        so stream consumers such as ``repro obs watch`` can tell a
+        graceful drain apart from an ordinary run completion.
+        """
         if self._closed:
             return
         self._closed = True
@@ -499,5 +504,7 @@ class LiveSession:
         }
         if self._node_slo:
             end["fleet_slo"] = self._fleet_burn_rollup()
+        if reason is not None:
+            end["reason"] = reason
         self.exporter.emit(end)
         self.exporter.close()

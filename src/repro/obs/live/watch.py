@@ -176,6 +176,33 @@ def render_frame(records: list[dict], skipped: int = 0) -> str:
             )
         )
 
+    safety = [e for e in events if e.get("kind") in ("safety_veto",
+                                                     "safety_clear")]
+    if safety:
+        state: dict[str, dict] = {}
+        for event in safety:
+            constraint = event.get("constraint", "?")
+            entry = state.setdefault(
+                constraint, {"vetoes": 0, "clock": 0.0, "state": "clear"}
+            )
+            entry["clock"] = event.get("clock", 0.0)
+            if event.get("kind") == "safety_veto":
+                entry["vetoes"] += 1
+                entry["state"] = "TRIPPED"
+            else:
+                entry["state"] = "clear"
+        sections.append(
+            format_table(
+                ["constraint", "vetoes", "last clock s", "state"],
+                [
+                    (name, entry["vetoes"], f"{entry['clock']:.0f}",
+                     entry["state"])
+                    for name, entry in sorted(state.items())
+                ],
+                title="Safety envelope",
+            )
+        )
+
     if events:
         rows = [
             (
@@ -247,6 +274,14 @@ def _await_stream(path: Path, interval: float, out, sleep) -> bool:
     return False
 
 
+def _end_reason(records: list[dict]) -> str:
+    """Reason annotated on the last ``end`` record, if any."""
+    for record in reversed(records):
+        if record.get("t") == "end":
+            return record.get("reason") or "run completed"
+    return "run completed"
+
+
 def watch(
     path: str | Path,
     interval: float = 1.0,
@@ -255,13 +290,19 @@ def watch(
     out=None,
     sleep=time.sleep,
     fleet: bool = False,
+    exit_on_end: bool | None = None,
 ) -> int:
     """Render the dashboard; refresh until the stream ends.
 
     ``once`` renders a single frame without clearing the screen (the CI
     mode); otherwise the terminal is redrawn every ``interval`` seconds
     until an ``end`` record appears (or ``max_frames`` is reached).
-    ``fleet`` switches to the per-node rack dashboard
+    When an ``end`` record arrives the watcher says *why* the stream
+    ended (daemon drains annotate the record with a reason) instead of
+    exiting wordlessly.  ``exit_on_end=False`` keeps following past the
+    marker — a warm-restarted daemon appends to the same stream, so the
+    watcher should be able to ride across the restart.  ``fleet``
+    switches to the per-node rack dashboard
     (:func:`repro.obs.fleet.render_fleet_frame`) fed by the same
     stream.  A stream file deleted mid-watch triggers the reconnect
     loop instead of a crash; in ``once`` mode a missing stream fails
@@ -271,6 +312,7 @@ def watch(
     out = out if out is not None else sys.stdout
     path = Path(path)
     frames = 0
+    announced_end = False
     if fleet:
         from repro.obs.fleet.report import render_fleet_frame
         renderer = render_fleet_frame
@@ -291,7 +333,17 @@ def watch(
         print("\x1b[2J\x1b[H" + frame, file=out, flush=True)
         frames += 1
         if any(r.get("t") == "end" for r in records):
-            return 0
+            if exit_on_end is None or exit_on_end:
+                print(f"watch: stream ended: {_end_reason(records)}",
+                      file=out, flush=True)
+                return 0
+            if not announced_end:
+                announced_end = True
+                print(
+                    f"watch: stream ended: {_end_reason(records)} "
+                    "(following for a restart; interrupt to stop)",
+                    file=out, flush=True,
+                )
         if max_frames is not None and frames >= max_frames:
             return 0
         sleep(interval)

@@ -51,6 +51,13 @@ class Policy(Protocol):
 class _BasePolicy:
     name = "base"
 
+    #: Optional admission safety hook (:class:`repro.serve.SafetyMonitor`
+    #: or anything with ``review_mode(policy, profile, engine, mode)``).
+    #: When set, every decision flows through it after :meth:`decide` and
+    #: may be downgraded before the placement is observed/audited.  The
+    #: ``None`` default keeps the disabled path a single attribute test.
+    safety = None
+
     def decide(self, profile: WorkloadProfile, engine: ClusterEngine) -> MemoryMode:
         raise NotImplementedError
 
@@ -62,6 +69,8 @@ class _BasePolicy:
             acct.lap("policy.decide", t0)
         else:
             mode = self.decide(profile, engine)
+        if self.safety is not None:
+            mode = self.safety.review_mode(self, profile, engine, mode)
         if obs.enabled():
             self._observe(profile, engine, mode)
         return mode
@@ -307,6 +316,9 @@ class AdriasPolicy(_BasePolicy):
         # they do not pollute the link on their own.
         if profile.kind is WorkloadKind.INTERFERENCE:
             return MemoryMode.LOCAL
+        # Attribute breaker transitions to the node whose decision drives
+        # them (fleet runs share one policy — and breaker — across nodes).
+        self.breaker.node = getattr(engine, "node_label", None)
         if not self.predictor.has_signature(profile):
             # First encounter: schedule on remote and capture (§V-C).
             self.predictor.signatures.capture(profile)

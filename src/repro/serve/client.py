@@ -1,0 +1,98 @@
+"""Minimal retrying client for the daemon's line-JSON protocol."""
+
+from __future__ import annotations
+
+import json
+import socket
+import time
+
+__all__ = ["DaemonClient", "DaemonClientError"]
+
+
+class DaemonClientError(RuntimeError):
+    """The daemon could not be reached or answered garbage."""
+
+
+class DaemonClient:
+    """One-request-per-call client with reconnect-retry.
+
+    The daemon's ``conn_drop`` fault windows sever connections *before*
+    a request is processed (at-most-once), so blind retries are safe:
+    a dropped deploy was never admitted.
+    """
+
+    def __init__(
+        self,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        timeout_s: float = 5.0,
+        retries: int = 5,
+        backoff_s: float = 0.05,
+        sleep=time.sleep,
+    ) -> None:
+        if port <= 0:
+            raise DaemonClientError("client needs the daemon's port")
+        self.host = host
+        self.port = port
+        self.timeout_s = timeout_s
+        self.retries = retries
+        self.backoff_s = backoff_s
+        self.sleep = sleep
+
+    def request(self, payload: dict) -> dict:
+        """Send one request; retries dropped/failed connections."""
+        line = json.dumps(payload).encode("utf-8") + b"\n"
+        last_error: Exception | None = None
+        for attempt in range(self.retries + 1):
+            if attempt:
+                self.sleep(self.backoff_s * attempt)
+            try:
+                with socket.create_connection(
+                    (self.host, self.port), timeout=self.timeout_s
+                ) as sock:
+                    sock.sendall(line)
+                    raw = self._read_line(sock)
+                return json.loads(raw)
+            except (OSError, json.JSONDecodeError, EOFError) as error:
+                last_error = error
+        raise DaemonClientError(
+            f"daemon at {self.host}:{self.port} unreachable after "
+            f"{self.retries + 1} attempts: {last_error}"
+        )
+
+    @staticmethod
+    def _read_line(sock: socket.socket) -> str:
+        chunks = []
+        while True:
+            chunk = sock.recv(65536)
+            if not chunk:
+                raise EOFError("connection closed before a full response")
+            chunks.append(chunk)
+            if b"\n" in chunk:
+                break
+        return b"".join(chunks).split(b"\n", 1)[0].decode("utf-8")
+
+    # -- convenience wrappers ------------------------------------------------
+    def deploy(self, app: str, duration: float | None = None) -> dict:
+        payload: dict = {"op": "deploy", "app": app}
+        if duration is not None:
+            payload["duration"] = duration
+        return self.request(payload)
+
+    def complete(self, req_id: str) -> dict:
+        return self.request({"op": "complete", "id": req_id})
+
+    def query(self, req_id: str) -> dict:
+        return self.request({"op": "query", "id": req_id})
+
+    def health(self) -> dict:
+        return self.request({"op": "health"})
+
+    def drain(self, reason: str | None = None) -> dict:
+        payload: dict = {"op": "drain"}
+        if reason is not None:
+            payload["reason"] = reason
+        return self.request(payload)
+
+    def tick(self, n: int = 1) -> dict:
+        return self.request({"op": "tick", "n": n})

@@ -1,0 +1,204 @@
+"""Line-delimited-JSON socket front end for the orchestrator daemon.
+
+One request per line, one JSON response per line.  The server is a
+single-threaded ``selectors`` loop that interleaves socket readiness
+with :meth:`OrchestratorDaemon.pump` so the simulation keeps ticking
+between requests.  Robustness contract:
+
+* a malformed request gets an error *response*, never a crash;
+* a connection idle mid-line for longer than the daemon's
+  ``request_timeout_s`` is answered with a timeout error and closed;
+* an active ``conn_drop`` fault window drops the connection *before*
+  the request is handled (at-most-once semantics — a retrying client
+  never double-deploys);
+* SIGTERM/SIGINT begin a graceful drain: in-flight deployments are
+  parked into the daemon checkpoint, observability is flushed, and the
+  process exits 0.
+"""
+
+from __future__ import annotations
+
+import json
+import selectors
+import signal
+import socket
+import sys
+
+from repro.serve.daemon import OrchestratorDaemon
+
+__all__ = ["DaemonServer"]
+
+#: selector poll granularity; also bounds drain latency.
+_POLL_S = 0.01
+
+#: Hard cap on one request line (defense against unbounded buffering).
+_MAX_LINE_BYTES = 1 << 20
+
+
+class _Connection:
+    def __init__(self, sock: socket.socket, clock) -> None:
+        self.sock = sock
+        self.buffer = b""
+        self.last_activity = clock()
+
+
+class DaemonServer:
+    """Serve a daemon over TCP on localhost until it drains."""
+
+    def __init__(
+        self,
+        daemon: OrchestratorDaemon,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        max_wall_s: float | None = None,
+        out=None,
+    ) -> None:
+        self.daemon = daemon
+        self.host = host
+        self.port = port
+        self.max_wall_s = max_wall_s
+        self.out = out if out is not None else sys.stdout
+
+    def _install_signals(self) -> None:
+        def handler(signum, frame):
+            self.daemon.begin_drain(signal.Signals(signum).name.lower())
+
+        for signum in (signal.SIGTERM, signal.SIGINT):
+            signal.signal(signum, handler)
+
+    def serve(self) -> int:
+        """Run until drained; returns the process exit code (0)."""
+        self._install_signals()
+        listener = socket.create_server(
+            (self.host, self.port), reuse_port=False
+        )
+        listener.setblocking(False)
+        self.port = listener.getsockname()[1]
+        sel = selectors.DefaultSelector()
+        sel.register(listener, selectors.EVENT_READ, data=None)
+        print(
+            f"serve: listening on {self.host}:{self.port}",
+            file=self.out, flush=True,
+        )
+        started = self.daemon.clock()
+        try:
+            while True:
+                for key, _ in sel.select(timeout=_POLL_S):
+                    if key.data is None:
+                        self._accept(sel, listener)
+                    else:
+                        self._service(sel, key)
+                self.daemon.pump()
+                self._reap_stalled(sel)
+                if (
+                    self.max_wall_s is not None
+                    and self.daemon.clock() - started >= self.max_wall_s
+                ):
+                    self.daemon.begin_drain("max wall time reached")
+                if self.daemon.draining:
+                    break
+        finally:
+            for key in list(sel.get_map().values()):
+                if key.data is not None:
+                    self._close(sel, key.data)
+            sel.unregister(listener)
+            listener.close()
+            sel.close()
+        path = self.daemon.finalize()
+        print(
+            "serve: drained"
+            + (f" ({self.daemon.drain_reason})" if self.daemon.drain_reason
+               else "")
+            + (f", checkpoint at {path}" if path else ""),
+            file=self.out, flush=True,
+        )
+        return 0
+
+    # -- connection handling -------------------------------------------------
+    def _accept(self, sel, listener) -> None:
+        try:
+            sock, _ = listener.accept()
+        except OSError:
+            return
+        sock.setblocking(False)
+        sel.register(
+            sock, selectors.EVENT_READ,
+            data=_Connection(sock, self.daemon.clock),
+        )
+
+    def _service(self, sel, key) -> None:
+        conn: _Connection = key.data
+        try:
+            chunk = conn.sock.recv(65536)
+        except (BlockingIOError, InterruptedError):
+            return
+        except OSError:
+            self._close(sel, conn)
+            return
+        if not chunk:
+            self._close(sel, conn)
+            return
+        conn.last_activity = self.daemon.clock()
+        conn.buffer += chunk
+        if len(conn.buffer) > _MAX_LINE_BYTES:
+            self._respond(
+                sel, conn,
+                {"ok": False, "error": "request line too long"},
+                close=True,
+            )
+            return
+        while b"\n" in conn.buffer:
+            line, conn.buffer = conn.buffer.split(b"\n", 1)
+            if not line.strip():
+                continue
+            if self.daemon.maybe_drop_connection():
+                # Fault injection: the request vanishes mid-transport,
+                # *before* it reaches the daemon (at-most-once).
+                self._close(sel, conn)
+                return
+            response = self.daemon.handle_line(
+                line.decode("utf-8", errors="replace")
+            )
+            self._respond(sel, conn, response)
+            if not self._is_open(sel, conn):
+                return
+
+    def _reap_stalled(self, sel) -> None:
+        """Time out connections idle mid-request-line."""
+        timeout = self.daemon.config.request_timeout_s
+        now = self.daemon.clock()
+        for key in list(sel.get_map().values()):
+            conn = key.data
+            if conn is None or not conn.buffer:
+                continue
+            if now - conn.last_activity >= timeout:
+                self._respond(
+                    sel, conn,
+                    {"ok": False,
+                     "error": f"request timed out after {timeout:g}s"},
+                    close=True,
+                )
+
+    def _respond(self, sel, conn, payload: dict, close: bool = False) -> None:
+        try:
+            conn.sock.sendall(json.dumps(payload).encode("utf-8") + b"\n")
+        except OSError:
+            close = True
+        if close:
+            self._close(sel, conn)
+
+    def _is_open(self, sel, conn) -> bool:
+        try:
+            return sel.get_key(conn.sock).data is conn
+        except (KeyError, ValueError):
+            return False
+
+    def _close(self, sel, conn) -> None:
+        try:
+            sel.unregister(conn.sock)
+        except (KeyError, ValueError):
+            pass
+        try:
+            conn.sock.close()
+        except OSError:
+            pass

@@ -210,3 +210,74 @@ class TestCheckpoint:
         path.write_text(json.dumps({"version": 1, "scenario": {}}))
         with pytest.raises(CheckpointError, match="missing fields"):
             load_fleet_checkpoint(path)
+
+
+class TestStaleFleetPayloads:
+    """Stale nested payloads fail with CheckpointError on the fleet path."""
+
+    @pytest.fixture()
+    def ckpt(self, tmp_path):
+        path = tmp_path / "fleet.ckpt.json"
+        run_fleet_scenario(
+            fleet_config(),
+            scheduler=scheduler(),
+            checkpoint_path=path,
+            checkpoint_every_s=120.0,
+        )
+        return path, json.loads(path.read_text())
+
+    def mutate(self, ckpt, strip):
+        path, data = ckpt
+        strip(data)
+        path.write_text(json.dumps(data))
+        with pytest.raises(CheckpointError, match="missing\\s+field"):
+            resume_fleet_scenario(path, scheduler=scheduler())
+
+    def test_engine_field_missing(self, ckpt):
+        self.mutate(ckpt, lambda d: d["engines"][0].pop("counter_rng"))
+
+    def test_trace_field_missing(self, ckpt):
+        self.mutate(ckpt, lambda d: d["engines"][1]["trace"].pop("rows"))
+
+    def test_record_field_missing(self, ckpt):
+        path, data = ckpt
+        records = next(
+            e["trace"]["records"] for e in data["engines"]
+            if e["trace"]["records"]
+        )
+        records[0].pop("runtime_s")
+        path.write_text(json.dumps(data))
+        with pytest.raises(CheckpointError, match="runtime_s"):
+            resume_fleet_scenario(path, scheduler=scheduler())
+
+
+class TestDrain:
+    def test_drain_runs_the_rack_to_idle(self):
+        from repro.cluster.fleet import ClusterFleet
+        from repro.cluster.scenario import default_pool
+
+        fleet = ClusterFleet(n_nodes=2)
+        profile = default_pool()[0]
+        fleet.deploy(
+            profile, FleetDecision(0, MemoryMode.LOCAL), duration_s=30.0
+        )
+        fleet.deploy(
+            profile, FleetDecision(1, MemoryMode.REMOTE), duration_s=50.0
+        )
+        assert fleet.drain(max_seconds=500.0) is True
+        assert all(not e.running for e in fleet.engines)
+        assert len(fleet.records()) == 2
+
+    def test_missed_deadline_reports_false_not_raises(self):
+        from repro.cluster.fleet import ClusterFleet
+        from repro.cluster.scenario import default_pool
+
+        fleet = ClusterFleet(n_nodes=1)
+        fleet.deploy(
+            default_pool()[0],
+            FleetDecision(0, MemoryMode.LOCAL),
+            duration_s=1000.0,
+        )
+        assert fleet.drain(max_seconds=5.0) is False
+        assert fleet.engines[0].running  # still in flight, not dropped
+        assert fleet.now == pytest.approx(5.0)

@@ -90,3 +90,60 @@ class TestValidationAndState:
         assert restored.consecutive_failures == breaker.consecutive_failures
         assert restored.opened_at == breaker.opened_at
         assert restored.transitions == breaker.transitions
+
+
+class TestObservability:
+    @pytest.fixture(autouse=True)
+    def _clean_obs(self):
+        from repro import obs
+
+        yield
+        obs.disable()
+
+    def test_state_gauge_carries_policy_and_node_labels(self, tmp_path):
+        from repro import obs
+
+        live = obs.enable_live(tmp_path / "live", flush_every=1,
+                               profile=False)
+        breaker = CircuitBreaker(
+            failure_threshold=1, cooldown_s=10.0, name="adrias", node="n3"
+        )
+        breaker.record_failure(5.0)
+        family = next(
+            f for f in obs.metrics().snapshot()
+            if f["name"] == "policy_circuit_state"
+        )
+        (series,) = family["series"]
+        assert series["labels"] == {"policy": "adrias", "node": "n3"}
+        assert series["value"] == 1  # open
+        breaker.allow(20.0)  # half-open
+        family = next(
+            f for f in obs.metrics().snapshot()
+            if f["name"] == "policy_circuit_state"
+        )
+        assert family["series"][0]["value"] == 2
+        live.flush()
+        import json
+
+        events = [
+            json.loads(line)
+            for line in live.exporter.path.read_text().splitlines()
+        ]
+        circuits = [e for e in events if e.get("kind") == "circuit"]
+        assert circuits and circuits[0]["node"] == "n3"
+        assert circuits[0]["policy"] == "adrias"
+
+    def test_node_label_defaults_to_n0(self):
+        from repro import obs
+
+        obs.enable()
+        breaker = CircuitBreaker(failure_threshold=1, cooldown_s=10.0,
+                                 name="solo")
+        breaker.record_failure(0.0)
+        family = next(
+            f for f in obs.metrics().snapshot()
+            if f["name"] == "policy_circuit_state"
+        )
+        assert family["series"][0]["labels"] == {
+            "policy": "solo", "node": "n0"
+        }

@@ -111,6 +111,63 @@ class TestValidation:
             resume_scenario(ckpt, scheduler=RandomPolicy(seed=5), pool=[])
 
 
+class TestStalePayloads:
+    """Old/hand-edited payloads raise CheckpointError, not KeyError."""
+
+    @pytest.fixture()
+    def ckpt(self, tmp_path):
+        from repro.cluster.engine import ClusterEngine
+        from repro.cluster.scenario import default_pool
+        from repro.hardware import Testbed, TestbedConfig
+        from repro.workloads.base import MemoryMode, WorkloadKind
+
+        pool = default_pool()
+        engine = ClusterEngine(testbed=Testbed(TestbedConfig(seed=CONFIG.seed)))
+        ibench = next(
+            p for p in pool if p.kind is WorkloadKind.INTERFERENCE
+        )
+        engine.deploy(ibench, MemoryMode.LOCAL, duration_s=5.0)
+        engine.run_for(10.0)  # -> one finished record
+        engine.deploy(ibench, MemoryMode.LOCAL, duration_s=1000.0)
+        path = save_checkpoint(
+            tmp_path / "stale.json",
+            config=CONFIG,
+            engine=engine,
+            arrivals_done=0,
+        )
+        data = json.loads(path.read_text())
+        assert data["engine"]["deployments"], "fixture needs a live deployment"
+        assert data["engine"]["trace"]["records"], "fixture needs a record"
+        return path, data
+
+    def mutate(self, ckpt, strip):
+        path, data = ckpt
+        strip(data)
+        path.write_text(json.dumps(data))
+        with pytest.raises(CheckpointError, match="missing\\s+field"):
+            resume_scenario(path, scheduler=RandomPolicy(seed=5))
+
+    def test_scenario_field_missing(self, ckpt):
+        self.mutate(ckpt, lambda d: d["scenario"].pop("seed"))
+
+    def test_engine_field_missing(self, ckpt):
+        self.mutate(ckpt, lambda d: d["engine"].pop("counter_rng"))
+
+    def test_deployment_field_missing(self, ckpt):
+        self.mutate(
+            ckpt, lambda d: d["engine"]["deployments"][0].pop("app_id")
+        )
+
+    def test_record_field_missing(self, ckpt):
+        self.mutate(
+            ckpt,
+            lambda d: d["engine"]["trace"]["records"][0].pop("finish_time"),
+        )
+
+    def test_trace_field_missing(self, ckpt):
+        self.mutate(ckpt, lambda d: d["engine"]["trace"].pop("times"))
+
+
 class TestManualSave:
     def test_save_mid_run_and_resume(self, tmp_path):
         """save_checkpoint is usable outside the scenario loop too."""

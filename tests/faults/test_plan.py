@@ -3,7 +3,13 @@
 import pytest
 
 from repro.faults.errors import FaultPlanError
-from repro.faults.plan import FAULT_KINDS, TRAINER_KINDS, FaultPlan, FaultSpec
+from repro.faults.plan import (
+    DAEMON_KINDS,
+    FAULT_KINDS,
+    TRAINER_KINDS,
+    FaultPlan,
+    FaultSpec,
+)
 
 
 def outage(start=100.0, duration=60.0):
@@ -127,11 +133,12 @@ class TestSampleDerivation:
         assert FaultPlan.sample(seed=5) != FaultPlan.sample(seed=6)
 
     def test_covers_every_subsystem(self):
-        # Engine-clock kinds only; trainer-clock kinds are sampled by
-        # FaultPlan.sample_trainer instead.
+        # Engine-clock kinds only; trainer- and daemon-clock kinds
+        # come from sample_trainer / sample_daemon instead.
         plan = FaultPlan.sample(seed=0)
         kinds = {s.kind for s in plan.faults}
-        assert kinds == set(FAULT_KINDS) - set(TRAINER_KINDS)
+        expected = set(FAULT_KINDS) - set(TRAINER_KINDS) - set(DAEMON_KINDS)
+        assert kinds == expected
 
     def test_trainer_sample_covers_trainer_kinds(self):
         plan = FaultPlan.sample_trainer(seed=0)
@@ -161,3 +168,41 @@ class TestSampleDerivation:
     def test_short_runway_rejected(self):
         with pytest.raises(FaultPlanError, match="runway"):
             FaultPlan.sample(seed=0, duration_s=120.0)
+
+
+class TestDaemonKinds:
+    def test_conn_drop_requires_probability(self):
+        with pytest.raises(FaultPlanError, match="requires parameter"):
+            FaultSpec(kind="conn_drop", start_s=0.0, duration_s=10.0)
+
+    def test_wedged_tick_takes_no_params(self):
+        with pytest.raises(FaultPlanError, match="does not accept"):
+            FaultSpec(
+                kind="wedged_tick", start_s=0.0, duration_s=10.0,
+                params={"probability": 0.5},
+            )
+        spec = FaultSpec(kind="wedged_tick", start_s=5.0, duration_s=3.0)
+        assert spec.active(5.0) and not spec.active(8.0)
+
+    def test_daemon_kind_grouping(self):
+        assert set(DAEMON_KINDS) == {"conn_drop", "wedged_tick"}
+        assert set(DAEMON_KINDS) <= set(FAULT_KINDS)
+
+    def test_sample_daemon_covers_daemon_kinds(self):
+        plan = FaultPlan.sample_daemon(seed=0)
+        assert {s.kind for s in plan.faults} == set(DAEMON_KINDS)
+        assert FaultPlan.sample_daemon(seed=2) == FaultPlan.sample_daemon(seed=2)
+        assert FaultPlan.sample_daemon(seed=2) != FaultPlan.sample_daemon(seed=3)
+
+    def test_sample_daemon_fits_within_runway(self):
+        for seed in range(5):
+            plan = FaultPlan.sample_daemon(seed=seed, duration_s=120.0)
+            assert plan.horizon_s <= 120.0
+            drop, wedge = plan.of_kind("conn_drop") + plan.of_kind("wedged_tick")
+            # The drop window closes before the wedge opens: client
+            # retries never race the watchdog restart.
+            assert drop.end_s <= wedge.start_s
+
+    def test_sample_daemon_short_runway_rejected(self):
+        with pytest.raises(FaultPlanError, match="runway"):
+            FaultPlan.sample_daemon(seed=0, duration_s=10.0)

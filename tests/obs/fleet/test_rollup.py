@@ -74,6 +74,38 @@ class TestMergeNodeSeries:
             assert cumulative == sum(b.get(edge, 0) for b in per_node)
 
 
+class TestMergeBreakerState:
+    def test_circuit_state_gauge_rolls_up_per_policy(self):
+        """policy_circuit_state{policy,node} sums to open-breaker count.
+
+        State encoding is 0 = closed, 1 = open, 2 = half-open, so a
+        per-policy sum of 0 means "all breakers closed" and anything
+        else flags a node mid-recovery — the fleet pager signal.
+        """
+        registry = MetricsRegistry()
+        gauge = registry.gauge(
+            "policy_circuit_state", "state", labels=("policy", "node")
+        )
+        gauge.labels(policy="adrias", node="n0").set(0)
+        gauge.labels(policy="adrias", node="n1").set(1)
+        gauge.labels(policy="daemon-engine", node="fleet").set(0)
+        merged = merge_node_series(registry.snapshot()[0])
+        by_policy = {m["labels"]["policy"]: m for m in merged}
+        assert by_policy["adrias"]["value"] == 1
+        assert by_policy["adrias"]["nodes"] == 2
+        assert by_policy["daemon-engine"]["value"] == 0
+
+    def test_circuit_state_included_in_fleet_rollup(self):
+        registry = node_counter_family()
+        registry.gauge(
+            "policy_circuit_state", "state", labels=("policy", "node")
+        ).labels(policy="adrias", node="n0").set(2)
+        rollup = fleet_rollup(registry.snapshot())
+        assert rollup["policy_circuit_state"] == [
+            {"labels": {"policy": "adrias"}, "value": 2, "nodes": 1}
+        ]
+
+
 class TestFleetRollup:
     def test_only_node_labeled_families_roll_up(self):
         registry = node_counter_family()

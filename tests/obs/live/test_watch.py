@@ -184,3 +184,73 @@ class TestCli:
         assert records[-1]["t"] == "end"
         assert (out / "stream.prom").exists()
         assert not obs.enabled()  # no leak into the process
+
+
+class TestEndReason:
+    def test_end_line_reports_stream_reason(self, tmp_path):
+        live = obs.enable_live(tmp_path / "live", flush_every=1,
+                               profile=False)
+        path = live.exporter.path
+        live.close(reason="daemon draining")
+        obs.disable()
+        out = io.StringIO()
+        assert watch(path, interval=0.01, out=out) == 0
+        assert "watch: stream ended: daemon draining" in out.getvalue()
+
+    def test_end_line_defaults_when_reason_absent(self, stream_path):
+        out = io.StringIO()
+        assert watch(stream_path, interval=0.01, out=out) == 0
+        assert "watch: stream ended: run completed" in out.getvalue()
+
+    def test_no_exit_on_end_keeps_following(self, stream_path):
+        out = io.StringIO()
+        code = watch(
+            stream_path, interval=0.01, out=out,
+            exit_on_end=False, max_frames=3,
+        )
+        assert code == 0
+        text = out.getvalue()
+        # Announced once, then kept rendering until max_frames bounded it.
+        assert text.count("following for a restart") == 1
+        assert text.count("Live observability") == 3
+
+    def test_cli_exit_on_end_flag(self, stream_path, capsys):
+        assert main(
+            ["obs", "watch", str(stream_path), "--exit-on-end"]
+        ) == 0
+        assert "stream ended" in capsys.readouterr().out
+
+
+class TestSafetyPanel:
+    def events(self):
+        return [
+            {"t": "tick", "n": 1, "clock": 1.0},
+            {
+                "t": "event", "kind": "safety_veto", "clock": 2.0,
+                "constraint": "max_concurrent_remote", "action": "veto",
+            },
+            {
+                "t": "event", "kind": "safety_veto", "clock": 3.0,
+                "constraint": "max_concurrent_remote", "action": "veto",
+            },
+            {
+                "t": "event", "kind": "safety_clear", "clock": 4.0,
+                "constraint": "max_concurrent_remote",
+            },
+            {
+                "t": "event", "kind": "safety_veto", "clock": 5.0,
+                "constraint": "max_pool_capacity", "action": "veto",
+            },
+        ]
+
+    def test_panel_rendered_with_per_constraint_state(self):
+        frame = render_frame(self.events())
+        assert "Safety envelope" in frame
+        assert "max_concurrent_remote" in frame
+        assert "max_pool_capacity" in frame
+        assert "TRIPPED" in frame  # pool capacity never cleared
+        assert "clear" in frame    # concurrency veto recovered
+
+    def test_panel_absent_without_safety_events(self, stream_path):
+        records, _ = read_stream(stream_path)
+        assert "Safety envelope" not in render_frame(records)

@@ -1,0 +1,28 @@
+import pytest
+
+from repro import obs
+
+
+@pytest.fixture(autouse=True)
+def _obs_disabled_after_test():
+    """Never leak an enabled observability session into other tests."""
+    yield
+    obs.disable()
+
+
+class FakeClock:
+    """Injectable wall clock for the daemon's pacer and watchdog."""
+
+    def __init__(self, t: float = 0.0) -> None:
+        self.t = t
+
+    def __call__(self) -> float:
+        return self.t
+
+    def advance(self, dt: float) -> None:
+        self.t += dt
+
+
+@pytest.fixture()
+def clock():
+    return FakeClock()
