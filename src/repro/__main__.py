@@ -34,6 +34,7 @@ from typing import Callable
 from repro import obs
 from repro.experiments import (
     ablations,
+    availability,
     fig02_link_saturation,
     fig03_spark_isolation,
     fig04_lc_isolation,
@@ -136,6 +137,8 @@ EXPERIMENTS: dict[str, tuple[str, Callable[[ExperimentScale], str]]] = {
                 _scaled(traffic_reduction.run)),
     "fleet": ("Fleet scaling on the rack memory pool (§VII)",
               _scaled(fleet_scaling.run)),
+    "availability": ("Fleet availability under crash/rejoin + device loss",
+                     _scaled(availability.run)),
     "fig16-faults": ("BE orchestration under fault injection",
                      _scaled(under_faults.run_fig16)),
     "fig17-faults": ("LC QoS retention under fault injection",
@@ -177,6 +180,10 @@ def main(argv: list[str] | None = None) -> int:
              "(default: $ADRIAS_SCALE or quick)",
     )
     run.add_argument(
+        "--quick", action="store_true",
+        help="shorthand for --scale quick (CI-sized run)",
+    )
+    run.add_argument(
         "--faults", metavar="PLAN.json", default=None,
         help="inject faults: run every scheduled scenario under the "
              "FaultPlan loaded from PLAN.json (see 'repro faults sample')",
@@ -199,6 +206,11 @@ def main(argv: list[str] | None = None) -> int:
         "validate", help="check a plan file and print its schedule"
     )
     validate.add_argument("plan", help="path to a FaultPlan JSON file")
+    validate.add_argument(
+        "--nodes", type=int, default=None, metavar="N",
+        help="also cross-check node_crash/node_rejoin targets against an "
+             "N-node fleet (n0..n{N-1})",
+    )
     sample = faults_sub.add_parser(
         "sample", help="emit a representative seeded plan"
     )
@@ -218,6 +230,16 @@ def main(argv: list[str] | None = None) -> int:
         "--daemon", action="store_true",
         help="emit a serving-daemon plan instead (connection drops and a "
              "wedged tick loop for 'repro serve --faults')",
+    )
+    sample.add_argument(
+        "--availability", action="store_true",
+        help="emit a fleet-side plan instead (node crash/rejoin windows "
+             "and a pool-device failure for 'repro run availability')",
+    )
+    sample.add_argument(
+        "--nodes", type=int, default=4,
+        help="availability plans: fleet size the node targets are drawn "
+             "from (default: 4)",
     )
     sample.add_argument(
         "--epochs", type=int, default=12,
@@ -477,9 +499,10 @@ def main(argv: list[str] | None = None) -> int:
 
         if args.faults_command == "sample":
             try:
-                if args.trainer and args.daemon:
-                    print("--trainer and --daemon are mutually exclusive",
-                          file=sys.stderr)
+                variants = [args.trainer, args.daemon, args.availability]
+                if sum(variants) > 1:
+                    print("--trainer, --daemon and --availability are "
+                          "mutually exclusive", file=sys.stderr)
                     return 2
                 if args.trainer:
                     plan = FaultPlan.sample_trainer(
@@ -488,6 +511,11 @@ def main(argv: list[str] | None = None) -> int:
                 elif args.daemon:
                     plan = FaultPlan.sample_daemon(
                         seed=args.seed, duration_s=args.duration
+                    )
+                elif args.availability:
+                    plan = FaultPlan.sample_availability(
+                        seed=args.seed, duration_s=args.duration,
+                        n_nodes=args.nodes,
                     )
                 else:
                     plan = FaultPlan.sample(
@@ -505,14 +533,17 @@ def main(argv: list[str] | None = None) -> int:
             return 0
         try:
             plan = FaultPlan.from_file(args.plan)
+            if args.nodes is not None:
+                plan.validate(args.nodes)
         except FileNotFoundError:
             print(f"no such plan file: {args.plan}", file=sys.stderr)
             return 2
         except FaultPlanError as error:
             print(f"invalid plan: {error}", file=sys.stderr)
             return 2
+        shape = "" if args.nodes is None else f", {args.nodes}-node fleet"
         print(f"{args.plan}: valid (seed={plan.seed}, "
-              f"{len(plan)} windows, horizon {plan.horizon_s:.0f}s)")
+              f"{len(plan)} windows, horizon {plan.horizon_s:.0f}s{shape})")
         for spec in plan.faults:
             params = ", ".join(f"{k}={v}" for k, v in sorted(spec.params.items()))
             print(f"  {spec.start_s:8.1f}s +{spec.duration_s:6.1f}s  "
@@ -809,6 +840,8 @@ def main(argv: list[str] | None = None) -> int:
             return 2
         return 0
 
+    if args.quick and args.scale is None:
+        args.scale = "quick"
     if args.scale is not None:
         import os
 

@@ -9,7 +9,12 @@ correlation analysis, the Predictor datasets and the §VI-B evaluation.
 """
 
 from repro.cluster.deployment import Deployment, DeploymentRecord, DeploymentState
-from repro.cluster.engine import CapacityError, ClusterEngine
+from repro.cluster.engine import CapacityError, ClusterEngine, NodeDownError
+from repro.cluster.failover import (
+    FailoverConfig,
+    FleetHealthManager,
+    NodeHealth,
+)
 from repro.cluster.fleet import (
     ClusterFleet,
     FleetDecision,
@@ -32,9 +37,13 @@ __all__ = [
     "ClusterEngine",
     "ClusterFleet",
     "Deployment",
+    "FailoverConfig",
     "FleetDecision",
+    "FleetHealthManager",
     "FleetScenarioConfig",
     "LeastLoadedPlacement",
+    "NodeDownError",
+    "NodeHealth",
     "PoolAwarePlacement",
     "DeploymentRecord",
     "DeploymentState",

@@ -16,14 +16,22 @@ from __future__ import annotations
 
 from typing import Callable
 
+import numpy as np
+
 from repro import obs
 from repro.cluster.deployment import Deployment
 from repro.cluster.trace import Trace
+from repro.hardware.counters import METRIC_NAMES, PerfCounters
 from repro.hardware.testbed import SystemPressure, Testbed
 from repro.obs.perf import accounting as perf_accounting
 from repro.workloads.base import MemoryMode, WorkloadProfile
 
-__all__ = ["ClusterEngine", "CapacityError", "RemoteUnavailableError"]
+__all__ = [
+    "ClusterEngine",
+    "CapacityError",
+    "RemoteUnavailableError",
+    "NodeDownError",
+]
 
 
 class CapacityError(RuntimeError):
@@ -34,10 +42,20 @@ class RemoteUnavailableError(CapacityError):
     """The remote pool is unreachable (link outage); retry or re-route."""
 
 
+class NodeDownError(CapacityError):
+    """The node is crashed (fail-stop); place elsewhere or park."""
+
+
 #: Retry-queue backoff parameters: first retry after one tick, doubling
 #: up to the cap, dropped after the attempt limit.
 _RETRY_BACKOFF_CAP_S = 64.0
 _RETRY_MAX_ATTEMPTS = 8
+#: Seeded jitter spread on the doubled backoff: each failed attempt
+#: waits ``backoff * (1 + U[0, _RETRY_JITTER_FRAC))`` so deployments
+#: parked by the same outage decorrelate instead of thundering back on
+#: one tick.  Worst case keeps the 8-attempt drop under ~287 simulated
+#: seconds (the un-jittered base is ~191 s).
+_RETRY_JITTER_FRAC = 0.5
 
 
 class ClusterEngine:
@@ -84,6 +102,20 @@ class ClusterEngine:
         #: duration_s, next_attempt_s, backoff_s and attempts, retried
         #: with exponential backoff at the start of each tick.
         self._retry_queue: list[dict] = []
+        #: Seeded jitter source for retry backoff (checkpointed so a
+        #: resumed run replays the same retry schedule bit-for-bit).
+        self._retry_rng = np.random.default_rng(
+            [int(self.testbed.config.seed), 0x5E77]
+        )
+        #: Parked deployments dropped after the retry limit — the
+        #: conservation ledger's ``dropped`` term (see ClusterFleet
+        #: ``accounting``).
+        self.dropped_retries = 0
+        #: Fail-stop flag driven by the fleet health manager: a dead
+        #: node accepts no placements and its ticks only advance the
+        #: clock, recording all-NaN telemetry gaps (it stopped
+        #: reporting).  False (the default) is bit-inert.
+        self.dead = False
         # Stream this engine when a live observability session is active
         # (obs.live_session() is None on the disabled path — one read, no hooks).
         live = obs.live_session()
@@ -120,6 +152,8 @@ class ClusterEngine:
                    if d.mode is MemoryMode.REMOTE)
 
     def fits(self, profile: WorkloadProfile, mode: MemoryMode) -> bool:
+        if self.dead:
+            return False
         node = self.testbed.config.node
         capacity = node.dram_gb if mode is MemoryMode.LOCAL else node.remote_gb
         if self.used_capacity_gb(mode) + profile.footprint_gb > capacity:
@@ -142,6 +176,10 @@ class ClusterEngine:
         :class:`CapacityError`) — callers either fall back to local or
         park the workload via :meth:`queue_remote`.
         """
+        if self.dead:
+            raise NodeDownError(
+                f"{profile.name}: node {self.node_label or 'n0'} is down"
+            )
         if mode is MemoryMode.REMOTE and self.remote_blocked:
             raise RemoteUnavailableError(
                 f"{profile.name}: remote pool unavailable (link outage)"
@@ -229,6 +267,7 @@ class ClusterEngine:
                 decided = entry.get("decided_s")
                 decided = decided if decided is not None else self.now
                 if entry["attempts"] >= _RETRY_MAX_ATTEMPTS:
+                    self.dropped_retries += 1
                     if obs.enabled():
                         obs.metrics().counter(
                             "engine_remote_retries_dropped_total",
@@ -244,7 +283,8 @@ class ClusterEngine:
                 entry["backoff_s"] = min(
                     entry["backoff_s"] * 2.0, _RETRY_BACKOFF_CAP_S
                 )
-                entry["next_attempt_s"] = self.now + entry["backoff_s"]
+                jitter = 1.0 + _RETRY_JITTER_FRAC * float(self._retry_rng.random())
+                entry["next_attempt_s"] = self.now + entry["backoff_s"] * jitter
                 if self.journey is not None:
                     self.journey.hop(
                         entry["profile"].name, decided, "retry", self.now,
@@ -295,6 +335,8 @@ class ClusterEngine:
         few ``is not None`` tests: no clock reads, no allocations, and
         bit-identical simulation output.
         """
+        if self.dead:
+            return self._tick_dead()
         start = obs.wall_time()
         acct = perf_accounting()
         t0 = tick_start = acct.clock() if acct is not None else 0.0
@@ -379,6 +421,47 @@ class ClusterEngine:
                 # cost to individual lanes, not one collapsed phase.
                 acct.add(f"engine.tick[{self.node_label}]", total)
         return pressure
+
+    def _tick_dead(self) -> SystemPressure:
+        """One tick of a fail-stopped node.
+
+        Only the clock advances (the fleet's lockstep drift guard
+        requires it).  Telemetry records an all-NaN gap *without*
+        consuming the counter RNG — a crashed Watcher reports nothing —
+        and no deployments advance: in-flight work is frozen until the
+        health manager drains it into the failover queue.
+        """
+        self.now += self.dt
+        self.trace.append(
+            self.now,
+            PerfCounters.from_array(np.full(len(METRIC_NAMES), np.nan)),
+            0,
+        )
+        for hook in tuple(self._tick_hooks):
+            hook(self)
+        if obs.enabled():
+            metrics = obs.metrics()
+            node = self.node_label or "n0"
+            metrics.counter(
+                "engine_ticks_total", "Simulation ticks executed",
+                labels=("node",),
+            ).labels(node=node).inc()
+            metrics.gauge(
+                "engine_running_apps", "Deployments running after the tick",
+                labels=("node",),
+            ).labels(node=node).set(0.0)
+            metrics.gauge(
+                "engine_link_utilization",
+                "ThymesisFlow offered/capacity ratio at the tick",
+                labels=("node",),
+            ).labels(node=node).set(0.0)
+            metrics.gauge(
+                "engine_sim_time_seconds", "Current simulation clock",
+                labels=("node",),
+            ).labels(node=node).set(self.now)
+        return self.testbed.resolve(
+            [], link_capacity_factor=self.pool_capacity_factor
+        )
 
     def run_for(self, seconds: float) -> None:
         """Run the clock forward by ``seconds``."""

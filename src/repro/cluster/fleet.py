@@ -121,6 +121,17 @@ class ClusterFleet:
         self.pool_throttled_ticks = 0
         #: Last tick's throttled node set (edge detection for stream events).
         self._last_throttled: tuple[str, ...] = ()
+        #: Optional :class:`repro.cluster.failover.FleetHealthManager`;
+        #: when set, it heartbeats at the top of every tick (before pool
+        #: arbitration, so drains/derates shape the same tick).
+        self.health = None
+        #: Hooks invoked with the fleet at the end of every tick.
+        self.tick_hooks: list[Callable[["ClusterFleet"], None]] = []
+        #: Deployments logically admitted to the fleet (deployed or
+        #: parked) — the left-hand side of the conservation ledger.
+        #: Admission sites call :meth:`note_submitted`; failover replays
+        #: must not (a replay is the same logical deployment moving).
+        self.submitted = 0
 
     def adopt_engine(self, index: int, engine: ClusterEngine) -> None:
         """Wire a restored engine into lane ``index`` (resume path).
@@ -155,6 +166,39 @@ class ClusterFleet:
     def queued_remote(self) -> int:
         """Deployments parked fleet-wide in per-node outage retry queues."""
         return sum(engine.queued_remote for engine in self.engines)
+
+    @property
+    def pending_failover(self) -> int:
+        """Deployments parked in the health manager's failover queue."""
+        return self.health.pending if self.health is not None else 0
+
+    def note_submitted(self, n: int = 1) -> None:
+        """Count ``n`` logical admissions toward the conservation ledger."""
+        self.submitted += n
+
+    def accounting(self) -> dict:
+        """Conservation ledger: where every admitted deployment is now.
+
+        ``submitted == finished + running + parked + dropped`` must hold
+        at every tick — across node crashes, failovers and pool device
+        loss — whenever every admission site reported via
+        :meth:`note_submitted` (the fleet replay driver and the serving
+        daemon both do).  A frozen deployment on a crashed-but-not-yet-
+        declared node still counts as running; once drained it counts
+        as parked until replayed on a survivor.
+        """
+        finished = sum(len(engine.trace.records) for engine in self.engines)
+        running = sum(len(engine.running) for engine in self.engines)
+        parked = self.queued_remote + self.pending_failover
+        dropped = sum(engine.dropped_retries for engine in self.engines)
+        return {
+            "submitted": self.submitted,
+            "finished": finished,
+            "running": running,
+            "parked": parked,
+            "dropped": dropped,
+            "total": finished + running + parked + dropped,
+        }
 
     # -- rack pool ---------------------------------------------------------
     def _remote_used_gb(self) -> list[float]:
@@ -219,7 +263,7 @@ class ClusterFleet:
         metrics.gauge(
             "pool_capacity_utilization",
             "Remote memory drawn from the rack pool over its capacity",
-        ).set(sum(used) / self.pool.capacity_gb)
+        ).set(sum(used) / max(self.pool.effective_capacity_gb, 1e-12))
         factor_gauge = metrics.gauge(
             "pool_capacity_factor",
             "Per-node ThymesisFlow capacity factor from the pool arbiter",
@@ -351,6 +395,13 @@ class ClusterFleet:
     def tick(self) -> None:
         acct = perf_accounting()
         t0 = acct.clock() if acct is not None else 0.0
+        if self.health is not None:
+            # Heartbeats, drains and pool derates land before
+            # arbitration so this tick's water-fill and placements see
+            # the post-failure fleet.
+            self.health.step(self)
+            if acct is not None:
+                t0 = acct.lap("fleet.health", t0)
         self._arbitrate()
         if acct is not None:
             acct.lap("fleet.arbitration", t0)
@@ -361,6 +412,8 @@ class ClusterFleet:
             raise RuntimeError(
                 "fleet clock drift: an engine was advanced outside the fleet"
             )
+        for hook in tuple(self.tick_hooks):
+            hook(self)
 
     def run_for(self, seconds: float) -> None:
         if seconds < 0:
@@ -379,15 +432,18 @@ class ClusterFleet:
         """
         waited = 0.0
         while (
-            any(engine.running for engine in self.engines) or self.queued_remote
+            any(engine.running for engine in self.engines)
+            or self.queued_remote
+            or self.pending_failover
         ) and waited < max_seconds:
             self.tick()
             waited += self.dt
         still_running = sum(len(engine.running) for engine in self.engines)
-        if still_running or self.queued_remote:
+        if still_running or self.queued_remote or self.pending_failover:
             raise RuntimeError(
-                f"{still_running} deployments still running and "
-                f"{self.queued_remote} queued after {max_seconds} s drain"
+                f"{still_running} deployments still running, "
+                f"{self.queued_remote} queued and {self.pending_failover} "
+                f"awaiting failover after {max_seconds} s drain"
             )
 
     def drain(self, max_seconds: float = 86400.0) -> bool:
@@ -401,12 +457,16 @@ class ClusterFleet:
         """
         waited = 0.0
         while (
-            any(engine.running for engine in self.engines) or self.queued_remote
+            any(engine.running for engine in self.engines)
+            or self.queued_remote
+            or self.pending_failover
         ) and waited < max_seconds - 1e-9:
             self.tick()
             waited += self.dt
         return not (
-            any(engine.running for engine in self.engines) or self.queued_remote
+            any(engine.running for engine in self.engines)
+            or self.queued_remote
+            or self.pending_failover
         )
 
     # -- queries -----------------------------------------------------------
@@ -423,7 +483,10 @@ class ClusterFleet:
         the three pressure axes the characterization identified as
         performance-relevant.
         """
-        pressure = self.engines[node_index].current_pressure()
+        engine = self.engines[node_index]
+        if engine.dead:
+            return float("inf")
+        pressure = engine.current_pressure()
         return (
             pressure.cpu_utilization
             + pressure.llc.occupancy
@@ -432,6 +495,8 @@ class ClusterFleet:
 
     def least_loaded_node(self) -> int:
         loads = [self.node_load(i) for i in range(self.n_nodes)]
+        if not np.isfinite(min(loads)):
+            raise CapacityError("every node in the fleet is down")
         return int(np.argmin(loads))
 
 
@@ -471,9 +536,10 @@ class LeastLoadedPlacement:
 
     # -- global step: node ranking ----------------------------------------
     def node_order(self, fleet: ClusterFleet) -> list[int]:
-        """Candidate nodes, most preferred first."""
-        loads = [fleet.node_load(i) for i in range(fleet.n_nodes)]
-        return sorted(range(fleet.n_nodes), key=lambda i: (loads[i], i))
+        """Candidate nodes, most preferred first; dead nodes excluded."""
+        alive = [i for i in range(fleet.n_nodes) if not fleet.engines[i].dead]
+        loads = {i: fleet.node_load(i) for i in alive}
+        return sorted(alive, key=lambda i: (loads[i], i))
 
     @staticmethod
     def _placeable(
@@ -488,6 +554,10 @@ class LeastLoadedPlacement:
         self, profile: WorkloadProfile, fleet: ClusterFleet
     ) -> FleetDecision:
         order = self.node_order(fleet)
+        if not order:
+            raise CapacityError(
+                f"{profile.name}: every node in the fleet is down"
+            )
         acct = perf_accounting()
         if acct is not None:
             t0 = acct.clock()
@@ -585,4 +655,5 @@ class PoolAwarePlacement(LeastLoadedPlacement):
                 index,
             )
 
-        return sorted(range(fleet.n_nodes), key=score)
+        alive = [i for i in range(fleet.n_nodes) if not fleet.engines[i].dead]
+        return sorted(alive, key=score)

@@ -93,6 +93,25 @@ def _attach_injectors(config: FleetScenarioConfig, fleet: ClusterFleet, schedule
     return injectors
 
 
+def _attach_health(fleet: ClusterFleet, plan, scheduler):
+    """Wire the health manager when the plan has fleet-side windows.
+
+    Also cross-validates node targets against the actual fleet shape —
+    a typo'd ``node`` label fails loudly here instead of silently never
+    firing.
+    """
+    from repro.faults.plan import FLEET_KINDS
+
+    if not any(spec.kind in FLEET_KINDS for spec in plan.faults):
+        return None
+    from repro.cluster.failover import FleetHealthManager
+
+    plan.validate(fleet.n_nodes)
+    manager = FleetHealthManager(plan, scheduler=scheduler)
+    fleet.health = manager
+    return manager
+
+
 def _place_on_node(fleet: ClusterFleet, node: int, arrival: Arrival,
                    mode: MemoryMode) -> bool:
     """Single-node placement semantics, pinned to one fleet node."""
@@ -141,6 +160,8 @@ def run_fleet_scenario(
         config.scenario, pool=workload_pool, random_modes=scheduler is None
     )
     injectors = _attach_injectors(config, fleet, scheduler)
+    if injectors:
+        _attach_health(fleet, injectors[0].plan, scheduler)
     return _fleet_replay(
         config,
         scheduler,
@@ -222,11 +243,16 @@ def _fleet_replay(
                         )
                     except CapacityError:
                         continue
+                    # Deployed or parked: either way the arrival is now
+                    # the fleet's responsibility (conservation ledger).
+                    fleet.note_submitted()
                 else:
                     node = index % fleet.n_nodes
                     mode = arrival.mode if arrival.mode is not None else MemoryMode.LOCAL
-                    if not _place_on_node(fleet, node, arrival, mode):
+                    if _place_on_node(fleet, node, arrival, mode) or (
                         _place_on_node(fleet, node, arrival, mode.other)
+                    ):
+                        fleet.note_submitted()
 
             remaining = scenario.duration_s - fleet.now
             if remaining > 0:
@@ -285,6 +311,8 @@ def save_fleet_checkpoint(
         "arrivals_done": arrivals_done,
         "now": fleet.now,
         "pool_throttled_ticks": fleet.pool_throttled_ticks,
+        "submitted": fleet.submitted,
+        "health": fleet.health.state_dict() if fleet.health is not None else None,
         "engines": [_engine_to_dict(engine) for engine in fleet.engines],
         "injectors": (
             [injector.state_dict() for injector in injectors]
@@ -367,6 +395,7 @@ def resume_fleet_scenario(
         fleet.adopt_engine(index, engine)
     fleet._now = data["now"]
     fleet.pool_throttled_ticks = data.get("pool_throttled_ticks", 0)
+    fleet.submitted = int(data.get("submitted", 0))
 
     injectors = None
     if data.get("injectors"):
@@ -386,6 +415,11 @@ def resume_fleet_scenario(
             )
             injector.load_state_dict(saved)
             injectors.append(injector)
+
+    if injectors:
+        manager = _attach_health(fleet, injectors[0].plan, scheduler)
+        if manager is not None and data.get("health") is not None:
+            manager.load_state_dict(data["health"], profiles)
 
     if (
         scheduler is not None

@@ -20,12 +20,14 @@ Modules
 - ``fig16_be_orchestration`` — Fig. 16 (β comparison vs baselines)
 - ``fig17_lc_orchestration`` — Fig. 17 (QoS violations/offloads)
 - ``fleet_scaling`` — §VII rack scale-out (pooled vs shared-segment)
+- ``availability`` — failure domains: crash/rejoin + device-loss recovery
 - ``traffic_reduction`` — §VI-B traffic accounting
 - ``ablations`` — DESIGN.md §5 extra ablations
 """
 
 from repro.experiments import (
     ablations,
+    availability,
     fig02_link_saturation,
     fig03_spark_isolation,
     fig04_lc_isolation,
@@ -56,6 +58,7 @@ __all__ = [
     "PAPER",
     "QUICK",
     "ablations",
+    "availability",
     "fig02_link_saturation",
     "fig03_spark_isolation",
     "fig04_lc_isolation",

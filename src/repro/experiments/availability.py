@@ -1,0 +1,238 @@
+"""Experiment — fleet availability under crash/rejoin and device loss.
+
+A fig16-style comparison for the failure-domain layer: replay the
+held-out arrival sequences against a 4-node pooled-memory rack twice —
+once healthy, once under the seeded
+:meth:`~repro.faults.plan.FaultPlan.sample_availability` schedule (a
+long crash of ``n1`` cut short by an explicit rejoin, a shorter crash
+of ``n2`` overlapping a pool-device failure that halves the pool).
+
+Three questions, one answer each:
+
+* **Did anything get lost?**  The conservation invariant
+  ``submitted == finished + running + parked + dropped`` is asserted on
+  *every* fleet tick via a tick hook — across crashes, drains, replays
+  and evictions.  A single violating tick fails the run.
+* **Did the fleet recover?**  Recovered fraction = failover entries
+  re-placed on survivors over entries drained/evicted, plus
+  time-to-recover samples (drain start → failover queue empty).
+* **What did the survivors pay?**  Healthy-vs-faulted deltas on BE
+  completion throughput/median runtime and the LC QoS violation rate.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+import numpy as np
+
+from repro.analysis.reporting import format_table
+from repro.cluster.fleet import ClusterFleet, LeastLoadedPlacement
+from repro.cluster.fleet_scenario import FleetScenarioConfig, run_fleet_scenario
+from repro.experiments.common import (
+    ExperimentScale,
+    eval_scenario_configs,
+    scale_from_env,
+)
+from repro.faults.plan import FaultPlan
+from repro.faults.runtime import active_plan
+from repro.hardware.config import TestbedConfig
+from repro.hardware.pool import PoolRegime, RemotePoolConfig
+from repro.orchestrator.policies import InterferenceThresholdPolicy
+from repro.workloads.base import WorkloadKind
+
+__all__ = ["AvailabilityCondition", "AvailabilityResult", "run", "N_NODES"]
+
+N_NODES = 4
+
+#: Same rack fabric oversubscription and LC QoS bound the fleet-scaling
+#: experiment uses, so the healthy columns are comparable across both.
+_FABRIC_OVERSUB = 0.6
+_LC_QOS_MS = 6.0
+
+
+@dataclass(frozen=True)
+class AvailabilityCondition:
+    """Aggregated outcome of one condition (healthy or faulted)."""
+
+    completed: int
+    be_jobs_per_hour: float
+    be_median_runtime_s: float
+    lc_qos_violation_rate: float
+    conservation_checks: int
+    conservation_violations: int
+
+
+@dataclass(frozen=True)
+class AvailabilityResult:
+    n_scenarios: int
+    n_nodes: int
+    plan_windows: int
+    healthy: AvailabilityCondition
+    faulted: AvailabilityCondition
+    #: Failover-queue traffic summed over the faulted scenarios.
+    drained: int
+    evicted: int
+    replayed: int
+    #: Entries still awaiting placement after the drain (silent losses
+    #: if nonzero — the acceptance gate requires exactly 0).
+    residual_parked: int
+    recovery_time_mean_s: float
+    recovery_time_max_s: float
+
+    @property
+    def recovered_fraction(self) -> float:
+        displaced = self.drained + self.evicted
+        return self.replayed / displaced if displaced else float("nan")
+
+    def format(self) -> str:
+        rows = [
+            (
+                name,
+                str(cond.completed),
+                f"{cond.be_jobs_per_hour:.1f}",
+                f"{cond.be_median_runtime_s:.0f}",
+                f"{cond.lc_qos_violation_rate * 100:.1f}%",
+                f"{cond.conservation_violations}/{cond.conservation_checks}",
+            )
+            for name, cond in (("healthy", self.healthy),
+                               ("faulted", self.faulted))
+        ]
+        table = format_table(
+            ["condition", "completed", "BE jobs/h", "BE median s",
+             "LC QoS viol", "ledger viol/ticks"],
+            rows,
+            title=(
+                f"Availability — {self.n_nodes}-node rack under "
+                "crash/rejoin + pool device loss"
+            ),
+        )
+        recovered = self.recovered_fraction
+        return (
+            f"{table}\n"
+            f"fault schedule: {self.plan_windows} windows/scenario over "
+            f"{self.n_scenarios} scenario(s)\n"
+            f"failover: drained {self.drained} (node crash) + "
+            f"evicted {self.evicted} (device loss), "
+            f"replayed {self.replayed} on survivors, "
+            f"residual parked {self.residual_parked}\n"
+            f"recovered fraction: "
+            + (f"{recovered * 100:.1f}%" if np.isfinite(recovered) else "n/a")
+            + "\n"
+            f"time to recover: mean {self.recovery_time_mean_s:.1f}s, "
+            f"max {self.recovery_time_max_s:.1f}s"
+        )
+
+
+def _pool_for(base: TestbedConfig) -> RemotePoolConfig:
+    return RemotePoolConfig(
+        capacity_gb=base.node.remote_gb * N_NODES,
+        aggregate_bw_gbps=(
+            base.link.capacity_gbps * N_NODES * _FABRIC_OVERSUB
+        ),
+        regime=PoolRegime.POOLED,
+    )
+
+
+def _run_condition(
+    scale: ExperimentScale, faulted: bool
+) -> tuple[AvailabilityCondition, dict]:
+    records = []
+    total_sim_s = 0.0
+    checks = violations = 0
+    failover = {
+        "drained": 0, "evicted": 0, "replayed": 0,
+        "residual": 0, "recovery_times": [],
+    }
+    for scenario in eval_scenario_configs(scale):
+        low, high = scenario.spawn_interval
+        base = TestbedConfig(seed=scenario.seed)
+        config = FleetScenarioConfig(
+            scenario=replace(
+                scenario, spawn_interval=(low / N_NODES, high / N_NODES)
+            ),
+            n_nodes=N_NODES,
+            pool=_pool_for(base),
+        )
+        fleet = ClusterFleet(
+            n_nodes=N_NODES, testbed_config=base, pool=config.pool
+        )
+        ledger_log: list[int] = []
+
+        def check(f: ClusterFleet, _log=ledger_log) -> None:
+            acc = f.accounting()
+            _log.append(1 if acc["submitted"] != acc["total"] else 0)
+
+        fleet.tick_hooks.append(check)
+        scheduler = LeastLoadedPlacement(InterferenceThresholdPolicy())
+        if faulted:
+            plan = FaultPlan.sample_availability(
+                seed=scenario.seed,
+                duration_s=scenario.duration_s,
+                n_nodes=N_NODES,
+            )
+            with active_plan(plan):
+                run_fleet_scenario(config, scheduler=scheduler, fleet=fleet)
+            failover["plan_windows"] = len(plan)
+            manager = fleet.health
+            if manager is not None:
+                failover["drained"] += manager.counters["drained"]
+                failover["evicted"] += manager.counters["evicted"]
+                failover["replayed"] += manager.counters["replayed"]
+                failover["residual"] += manager.pending
+                failover["recovery_times"].extend(manager.recovery_times)
+        else:
+            run_fleet_scenario(config, scheduler=scheduler, fleet=fleet)
+        records.extend(fleet.records())
+        checks += len(ledger_log)
+        violations += sum(ledger_log)
+        total_sim_s += scenario.duration_s
+    be = [r for r in records if r.kind is WorkloadKind.BEST_EFFORT]
+    lc_p99 = np.array([
+        r.p99_ms for r in records
+        if r.kind is WorkloadKind.LATENCY_CRITICAL and not np.isnan(r.p99_ms)
+    ])
+    condition = AvailabilityCondition(
+        completed=len(records),
+        be_jobs_per_hour=(
+            len(be) / total_sim_s * 3600.0 if total_sim_s else 0.0
+        ),
+        be_median_runtime_s=(
+            float(np.median([r.runtime_s for r in be])) if be else float("nan")
+        ),
+        lc_qos_violation_rate=(
+            float(np.mean(lc_p99 > _LC_QOS_MS)) if lc_p99.size else float("nan")
+        ),
+        conservation_checks=checks,
+        conservation_violations=violations,
+    )
+    return condition, failover
+
+
+def run(scale: ExperimentScale | None = None) -> AvailabilityResult:
+    scale = scale if scale is not None else scale_from_env()
+    healthy, _ = _run_condition(scale, faulted=False)
+    faulted, failover = _run_condition(scale, faulted=True)
+    times = failover["recovery_times"]
+    result = AvailabilityResult(
+        n_scenarios=scale.n_eval_scenarios,
+        n_nodes=N_NODES,
+        plan_windows=failover.get("plan_windows", 0),
+        healthy=healthy,
+        faulted=faulted,
+        drained=failover["drained"],
+        evicted=failover["evicted"],
+        replayed=failover["replayed"],
+        residual_parked=failover["residual"],
+        recovery_time_mean_s=float(np.mean(times)) if times else float("nan"),
+        recovery_time_max_s=float(np.max(times)) if times else float("nan"),
+    )
+    if result.healthy.conservation_violations or (
+        result.faulted.conservation_violations
+    ):
+        raise AssertionError(
+            "conservation invariant violated: "
+            f"healthy {result.healthy.conservation_violations}, "
+            f"faulted {result.faulted.conservation_violations} ticks"
+        )
+    return result

@@ -174,6 +174,9 @@ def _engine_to_dict(engine: ClusterEngine) -> dict:
             for entry in engine._retry_queue
         ],
         "counter_rng": engine.testbed.counters._rng.bit_generator.state,
+        "retry_rng": engine._retry_rng.bit_generator.state,
+        "dropped_retries": engine.dropped_retries,
+        "dead": engine.dead,
         "deployments": [_deployment_to_dict(d) for d in engine.deployments],
         "trace": {
             "times": list(engine.trace.times),
@@ -203,6 +206,12 @@ def _engine_from_dict(
     engine.testbed.counters._rng.bit_generator.state = _require(
         data, "counter_rng", "engine"
     )
+    # Added after v1 checkpoints shipped; absent fields keep defaults so
+    # older payloads still resume.
+    if data.get("retry_rng") is not None:
+        engine._retry_rng.bit_generator.state = data["retry_rng"]
+    engine.dropped_retries = int(data.get("dropped_retries", 0))
+    engine.dead = bool(data.get("dead", False))
     engine.deployments = [
         _deployment_from_dict(d, profiles)
         for d in _require(data, "deployments", "engine")

@@ -31,6 +31,7 @@ import numpy as np
 from repro import obs
 from repro.faults.errors import InferenceTimeout
 from repro.faults.plan import (
+    FLEET_KINDS,
     LINK_KINDS,
     PREDICTOR_KINDS,
     TELEMETRY_KINDS,
@@ -175,8 +176,13 @@ class FaultInjector:
     def _update_windows(self) -> None:
         """Track window transitions; emit begin/end events and flags."""
         now = self.now()
+        # Fleet-side kinds (node crashes, pool device loss) belong to the
+        # FleetHealthManager — tracking them here would emit duplicate
+        # transition events from every node's injector.
         current = {
-            i for i, spec in enumerate(self.plan.faults) if spec.active(now)
+            i
+            for i, spec in enumerate(self.plan.faults)
+            if spec.kind not in FLEET_KINDS and spec.active(now)
         }
         for index in sorted(current - self._active):
             self._note_transition(self.plan.faults[index], "begin", now)

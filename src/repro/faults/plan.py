@@ -65,6 +65,28 @@ daemon's simulated fleet clock.
     window covers the fleet clock — a stand-in for a hung engine tick.
     The watchdog detects the stall on the wall clock, opens the daemon
     breaker and restarts the tick machinery.
+
+Fleet-side kinds target whole failure domains of a
+:class:`repro.cluster.ClusterFleet`; their windows run on the fleet
+clock and are consumed by the :class:`repro.cluster.FleetHealthManager`
+(the per-node :class:`FaultInjector` ignores them).
+
+``node_crash``
+    Fail-stop crash of one borrower node (``node`` = ``"n<index>"``).
+    The node stops heartbeating at ``start_s``; its in-flight
+    deployments are lost and — once the failure detector declares it
+    DOWN — drained into the failover queue and replayed on survivors.
+    The node reboots (rejoins with cold telemetry) when the window
+    closes.
+``node_rejoin``
+    Forces a crashed ``node`` back up while active — an explicit early
+    reboot that overrides any covering ``node_crash`` window.
+``pool_device_fail``
+    A ``fraction`` of the remote pool's memory devices fail: pool
+    capacity and aggregate bandwidth shrink by that fraction (bandwidth
+    override via ``bandwidth_fraction``), forcing immediate water-fill
+    re-arbitration and eviction-or-park of remote segments that no
+    longer fit.  Devices are replaced when the window closes.
 """
 
 from __future__ import annotations
@@ -81,6 +103,9 @@ __all__ = [
     "FAULT_KINDS",
     "TRAINER_KINDS",
     "DAEMON_KINDS",
+    "NODE_KINDS",
+    "POOL_KINDS",
+    "FLEET_KINDS",
     "FaultSpec",
     "FaultPlan",
 ]
@@ -122,6 +147,16 @@ _PARAM_SCHEMAS: dict[str, dict[str, tuple[bool, str]]] = {
         "probability": (True, "probability"),
     },
     "wedged_tick": {},
+    "node_crash": {
+        "node": (True, "node_label"),
+    },
+    "node_rejoin": {
+        "node": (True, "node_label"),
+    },
+    "pool_device_fail": {
+        "fraction": (True, "fraction"),
+        "bandwidth_fraction": (False, "fraction"),
+    },
 }
 
 FAULT_KINDS: tuple[str, ...] = tuple(_PARAM_SCHEMAS)
@@ -134,6 +169,12 @@ PREDICTOR_KINDS = ("predictor_nan", "predictor_delay")
 TRAINER_KINDS = ("nan_grad", "ckpt_write_fail", "retrain_timeout")
 #: Daemon-side kinds; windows run on the serving daemon's fleet clock.
 DAEMON_KINDS = ("conn_drop", "wedged_tick")
+#: Node-lifecycle kinds; windows run on the fleet clock, targeted per node.
+NODE_KINDS = ("node_crash", "node_rejoin")
+#: Remote-pool device kinds; windows run on the fleet clock.
+POOL_KINDS = ("pool_device_fail",)
+#: Kinds consumed by the fleet health manager, not the per-node injector.
+FLEET_KINDS = NODE_KINDS + POOL_KINDS
 
 
 def _check_param(kind: str, name: str, rule: str, value) -> None:
@@ -161,6 +202,16 @@ def _check_param(kind: str, name: str, rule: str, value) -> None:
         if value not in ("nan", "inf"):
             raise FaultPlanError(
                 f"{kind}.{name} must be 'nan' or 'inf', got {value!r}"
+            )
+    elif rule == "node_label":
+        ok = (
+            isinstance(value, str)
+            and value.startswith("n")
+            and value[1:].isdigit()
+        )
+        if not ok:
+            raise FaultPlanError(
+                f"{kind}.{name} must be a node label like 'n0', got {value!r}"
             )
     else:  # pragma: no cover - schema typo guard
         raise AssertionError(f"unknown validation rule {rule!r}")
@@ -259,6 +310,65 @@ class FaultPlan:
 
     def of_kind(self, kind: str) -> tuple[FaultSpec, ...]:
         return tuple(s for s in self.faults if s.kind == kind)
+
+    def node_crashed(self, node: str, now: float) -> bool:
+        """Whether ``node`` is fail-stopped at fleet time ``now``.
+
+        An active ``node_rejoin`` window for the node overrides any
+        covering ``node_crash`` window (explicit early reboot).
+        """
+        rejoined = any(
+            s.kind == "node_rejoin" and s.param("node") == node and s.active(now)
+            for s in self.faults
+        )
+        if rejoined:
+            return False
+        return any(
+            s.kind == "node_crash" and s.param("node") == node and s.active(now)
+            for s in self.faults
+        )
+
+    def device_fault_factors(self, now: float) -> tuple[float, float]:
+        """Surviving ``(capacity_factor, bandwidth_factor)`` of the pool.
+
+        Concurrent ``pool_device_fail`` windows compound: each active
+        window removes its ``fraction`` of the devices that survived the
+        previous one.  ``(1.0, 1.0)`` when no device fault is active.
+        """
+        capacity = 1.0
+        bandwidth = 1.0
+        for spec in self.faults:
+            if spec.kind != "pool_device_fail" or not spec.active(now):
+                continue
+            lost = float(spec.param("fraction"))
+            capacity *= max(0.0, 1.0 - lost)
+            bw_lost = float(spec.param("bandwidth_fraction", lost))
+            bandwidth *= max(0.0, 1.0 - bw_lost)
+        return capacity, bandwidth
+
+    def validate(self, n_nodes: int | None = None) -> "FaultPlan":
+        """Cross-check the plan against a concrete fleet shape.
+
+        Construction already validates kinds and parameters; this adds
+        the checks that need context — currently that every node target
+        of a ``node_crash``/``node_rejoin`` window exists in a fleet of
+        ``n_nodes`` nodes (a typo'd label would otherwise silently never
+        fire).  Returns ``self`` so calls chain.
+        """
+        if n_nodes is not None:
+            if n_nodes <= 0:
+                raise FaultPlanError("n_nodes must be positive")
+            valid = {f"n{i}" for i in range(n_nodes)}
+            for spec in self.faults:
+                if spec.kind not in NODE_KINDS:
+                    continue
+                target = spec.param("node")
+                if target not in valid:
+                    raise FaultPlanError(
+                        f"{spec.kind} targets unknown node {target!r}; "
+                        f"fleet has {n_nodes} nodes (n0..n{n_nodes - 1})"
+                    )
+        return self
 
     @property
     def horizon_s(self) -> float:
@@ -424,6 +534,80 @@ class FaultPlan:
                 f"{drop_start:.0f}s, wedged tick loop from {wedge_start:.0f}s"
             ),
         )
+
+    @classmethod
+    def sample_availability(
+        cls,
+        seed: int = 0,
+        duration_s: float = 900.0,
+        n_nodes: int = 4,
+    ) -> "FaultPlan":
+        """A representative *fleet-side* crash/rejoin schedule.
+
+        One long crash of ``n1`` cut short by an explicit early rejoin,
+        a later shorter crash of ``n2`` overlapping a pool-device
+        failure that halves the remote pool — every failure domain the
+        health manager owns, with all windows closing well before
+        ``duration_s`` so the fleet demonstrates recovery.  Same seed ⇒
+        bit-identical plan.
+        """
+        if duration_s < 300.0:
+            raise FaultPlanError(
+                "availability sample plans need at least 300 s of runway"
+            )
+        if n_nodes < 3:
+            raise FaultPlanError(
+                "availability sample plans target n1 and n2; need >= 3 nodes"
+            )
+        rng = np.random.default_rng([seed, 0xFA17])
+
+        def jitter(low: float, high: float) -> float:
+            return float(np.round(rng.uniform(low, high), 1))
+
+        crash1_start = jitter(0.20 * duration_s, 0.25 * duration_s)
+        crash1_dur = jitter(0.18 * duration_s, 0.22 * duration_s)
+        # Early reboot ~70% through the crash window, covering its
+        # remainder so n1 stays up once rejoined (no flapping).
+        rejoin_start = float(np.round(crash1_start + 0.7 * crash1_dur, 1))
+        rejoin_dur = float(np.round(crash1_start + crash1_dur - rejoin_start, 1))
+        crash2_start = jitter(0.55 * duration_s, 0.60 * duration_s)
+        crash2_dur = jitter(0.08 * duration_s, 0.12 * duration_s)
+        device_start = jitter(0.60 * duration_s, 0.63 * duration_s)
+        faults = (
+            FaultSpec(
+                kind="node_crash",
+                start_s=crash1_start,
+                duration_s=crash1_dur,
+                params={"node": "n1"},
+            ),
+            FaultSpec(
+                kind="node_rejoin",
+                start_s=rejoin_start,
+                duration_s=rejoin_dur,
+                params={"node": "n1"},
+            ),
+            FaultSpec(
+                kind="node_crash",
+                start_s=crash2_start,
+                duration_s=crash2_dur,
+                params={"node": "n2"},
+            ),
+            FaultSpec(
+                kind="pool_device_fail",
+                start_s=device_start,
+                duration_s=jitter(0.08 * duration_s, 0.10 * duration_s),
+                params={"fraction": 0.5},
+            ),
+        )
+        return cls(
+            faults=faults,
+            seed=seed,
+            description=(
+                f"availability sample plan (seed={seed}): n1 crash at "
+                f"{crash1_start:.0f}s with early rejoin, n2 crash at "
+                f"{crash2_start:.0f}s overlapping a half-pool device loss"
+            ),
+        ).validate(n_nodes)
 
     @classmethod
     def sample_trainer(cls, seed: int = 0, epochs: int = 12) -> "FaultPlan":

@@ -85,6 +85,11 @@ class RemotePool:
 
     Stateless between ticks — both queries are pure functions of the
     fleet's current usage, which keeps seeded fleet runs bit-identical.
+    The only mutable knobs are the *device survival factors*: a
+    ``pool_device_fail`` fault shrinks the surviving capacity/bandwidth
+    via :meth:`set_device_factors` (driven deterministically from the
+    fault plan each fleet tick), and every query below works against the
+    effective (derated) values.
     """
 
     def __init__(
@@ -113,17 +118,37 @@ class RemotePool:
             if config.aggregate_bw_gbps is not None
             else link_capacity_gbps * n_nodes
         )
+        #: Fraction of pool devices surviving (1.0 = no device fault).
+        self.device_capacity_factor = 1.0
+        self.device_bw_factor = 1.0
 
     @property
     def regime(self) -> PoolRegime:
         return self.config.regime
 
     @property
+    def effective_capacity_gb(self) -> float:
+        """Pool capacity surviving the current device faults."""
+        return self.capacity_gb * self.device_capacity_factor
+
+    @property
+    def effective_bw_gbps(self) -> float:
+        """Fabric bandwidth surviving the current device faults."""
+        return self.aggregate_bw_gbps * self.device_bw_factor
+
+    def set_device_factors(self, capacity: float, bandwidth: float) -> None:
+        """Set surviving capacity/bandwidth fractions from device faults."""
+        if not (0.0 <= capacity <= 1.0 and 0.0 <= bandwidth <= 1.0):
+            raise ValueError("device survival factors must be in [0, 1]")
+        self.device_capacity_factor = float(capacity)
+        self.device_bw_factor = float(bandwidth)
+
+    @property
     def node_capacity_gb(self) -> float:
         """Hard per-node draw ceiling the regime imposes."""
         if self.regime is PoolRegime.POOLED:
-            return self.capacity_gb
-        return self.capacity_gb / self.n_nodes
+            return self.effective_capacity_gb
+        return self.effective_capacity_gb / self.n_nodes
 
     # -- capacity -----------------------------------------------------------
     def fits(
@@ -136,7 +161,10 @@ class RemotePool:
         if not 0 <= node_index < self.n_nodes:
             raise ValueError(f"node index {node_index} out of range")
         if self.regime is PoolRegime.POOLED:
-            return sum(used_per_node) + footprint_gb <= self.capacity_gb + 1e-9
+            return (
+                sum(used_per_node) + footprint_gb
+                <= self.effective_capacity_gb + 1e-9
+            )
         return (
             used_per_node[node_index] + footprint_gb
             <= self.node_capacity_gb + 1e-9
@@ -145,7 +173,7 @@ class RemotePool:
     def remaining_gb(self, used_per_node: list[float], node_index: int) -> float:
         """Remote headroom visible to ``node_index`` under the regime."""
         if self.regime is PoolRegime.POOLED:
-            return max(0.0, self.capacity_gb - sum(used_per_node))
+            return max(0.0, self.effective_capacity_gb - sum(used_per_node))
         return max(0.0, self.node_capacity_gb - used_per_node[node_index])
 
     # -- bandwidth ----------------------------------------------------------
@@ -164,18 +192,19 @@ class RemotePool:
         if any(o < 0 for o in offered_gbps):
             raise ValueError("offered bandwidth cannot be negative")
         cap = self.link_capacity_gbps
+        budget = self.effective_bw_gbps
         if self.regime is PoolRegime.SHARED_SEGMENT:
-            static = min(1.0, (self.aggregate_bw_gbps / self.n_nodes) / cap)
+            static = min(1.0, (budget / self.n_nodes) / cap)
             return [static] * self.n_nodes
         demands = [min(o, cap) for o in offered_gbps]
-        if sum(demands) <= self.aggregate_bw_gbps + 1e-12:
+        if sum(demands) <= budget + 1e-12:
             return [1.0] * self.n_nodes
-        alloc = _water_fill(demands, self.aggregate_bw_gbps)
+        alloc = _water_fill(demands, budget)
         return [
             1.0 if alloc[i] >= demands[i] - 1e-12 else max(alloc[i] / cap, 0.0)
             for i in range(self.n_nodes)
         ]
 
     def bandwidth_utilization(self, offered_gbps: list[float]) -> float:
-        """Aggregate offered load over the fabric budget (can exceed 1)."""
-        return sum(offered_gbps) / self.aggregate_bw_gbps
+        """Aggregate offered load over the surviving fabric budget."""
+        return sum(offered_gbps) / max(self.effective_bw_gbps, 1e-12)

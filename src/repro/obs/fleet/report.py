@@ -32,6 +32,13 @@ __all__ = ["fleet_summary", "render_fleet_frame", "format_fleet_report"]
 #: Windows used when the stream's meta record does not carry any.
 _DEFAULT_WINDOWS = (60.0, 600.0)
 
+#: Detector stream-event kinds -> the health cell they leave behind.
+_HEALTH_EVENTS = {
+    "node_up": "UP",
+    "node_suspect": "SUSPECT",
+    "node_down": "DOWN",
+}
+
 
 def fleet_summary(records: list[dict]) -> dict:
     """Aggregate a parsed stream into per-node statistics.
@@ -58,6 +65,8 @@ def fleet_summary(records: list[dict]) -> dict:
                 "violations": 0,
                 "events": [],  # (clock, violated) for the burn replay
                 "throttled_ticks": 0,
+                "health": "UP",
+                "failovers": 0,
             },
         )
 
@@ -92,6 +101,12 @@ def fleet_summary(records: list[dict]) -> dict:
             # Edge-triggered: an empty node set marks recovery, not onset.
             if record.get("nodes"):
                 pool["throttle_events"] += 1
+        elif kind == "event" and record.get("kind") in _HEALTH_EVENTS:
+            # Edge-triggered detector verdicts: last one wins per node.
+            state = node_state(record.get("node", "n0"))
+            state["health"] = _HEALTH_EVENTS[record["kind"]]
+            if record["kind"] == "node_down":
+                state["failovers"] += record.get("drained", 0)
 
     for state in nodes.values():
         p99s = state.pop("lc_p99")
@@ -129,8 +144,8 @@ def _node_table(summary: dict) -> str | None:
         return None
     windows = summary["meta"]["windows"]
     headers = [
-        "node", "ticks", "apps", "link util", "done", "offload",
-        "LC p99 ms", "throttled",
+        "node", "health", "ticks", "apps", "link util", "done", "offload",
+        "LC p99 ms", "throttled", "failovers",
         *(f"burn {w:g}s" for w in windows),
     ]
     rows = []
@@ -138,6 +153,7 @@ def _node_table(summary: dict) -> str | None:
         rows.append(
             (
                 label,
+                state["health"],
                 state["ticks"],
                 state["running"],
                 _fmt(state["link_util"]),
@@ -145,6 +161,7 @@ def _node_table(summary: dict) -> str | None:
                 _fmt(state["offload_rate"], "{:.1%}"),
                 _fmt(state["lc_p99_ms"], "{:.2f}"),
                 state["throttled_ticks"],
+                state["failovers"],
                 *(
                     _fmt(state["peak_burn"].get(f"{w:g}", 0.0), "{:.2f}")
                     for w in windows
@@ -208,6 +225,7 @@ def format_fleet_report(records: list[dict], skipped: int = 0) -> str:
         "throttled node-ticks": sum(
             s["throttled_ticks"] for s in nodes.values()
         ),
+        "failover drains": sum(s["failovers"] for s in nodes.values()),
         "SLO objective": summary["meta"]["objective"],
     }
     if skipped:

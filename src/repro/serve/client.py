@@ -3,6 +3,7 @@
 from __future__ import annotations
 
 import json
+import random
 import socket
 import time
 
@@ -29,6 +30,7 @@ class DaemonClient:
         retries: int = 5,
         backoff_s: float = 0.05,
         sleep=time.sleep,
+        jitter_seed: int | None = None,
     ) -> None:
         if port <= 0:
             raise DaemonClientError("client needs the daemon's port")
@@ -38,6 +40,16 @@ class DaemonClient:
         self.retries = retries
         self.backoff_s = backoff_s
         self.sleep = sleep
+        # Seeded backoff jitter decorrelates a herd of clients retrying
+        # the same outage; None seeds from the port so distinct clients
+        # still spread while any given seed replays the exact schedule.
+        self._jitter_rng = random.Random(
+            port if jitter_seed is None else jitter_seed
+        )
+
+    def _backoff(self, attempt: int) -> float:
+        """Linear backoff with up to +50% seeded jitter per attempt."""
+        return self.backoff_s * attempt * (1.0 + 0.5 * self._jitter_rng.random())
 
     def request(self, payload: dict) -> dict:
         """Send one request; retries dropped/failed connections."""
@@ -45,7 +57,7 @@ class DaemonClient:
         last_error: Exception | None = None
         for attempt in range(self.retries + 1):
             if attempt:
-                self.sleep(self.backoff_s * attempt)
+                self.sleep(self._backoff(attempt))
             try:
                 with socket.create_connection(
                     (self.host, self.port), timeout=self.timeout_s

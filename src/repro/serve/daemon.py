@@ -44,8 +44,9 @@ from repro.faults.checkpoint import (
     _engine_to_dict,
     _require,
 )
+from repro.cluster.failover import FleetHealthManager
 from repro.faults.errors import CheckpointError
-from repro.faults.plan import FaultPlan
+from repro.faults.plan import FLEET_KINDS, FaultPlan
 from repro.hardware.pool import RemotePoolConfig
 from repro.obs.fsio import atomic_write_text
 from repro.obs.live.slo import SloEngine
@@ -193,6 +194,18 @@ class OrchestratorDaemon:
         self.scheduler = LeastLoadedPlacement(
             InterferenceThresholdPolicy(self.config.max_link_utilization)
         )
+        #: Fleet failure-domain manager; armed only when the fault plan
+        #: carries fleet-level kinds (node_crash / node_rejoin /
+        #: pool_device_fail), so plain daemons stay bit-identical.
+        self.health: FleetHealthManager | None = None
+        if self.plan is not None and any(
+            spec.kind in FLEET_KINDS for spec in self.plan.faults
+        ):
+            self.plan.validate(self.fleet.n_nodes)
+            self.health = FleetHealthManager(
+                self.plan, scheduler=self.scheduler
+            )
+            self.fleet.health = self.health
         self.breaker = CircuitBreaker(
             failure_threshold=1,
             cooldown_s=self.config.breaker_cooldown_s,
@@ -463,6 +476,7 @@ class OrchestratorDaemon:
             status = "parked"
             self.counters["parked"] += 1
         self.counters["submitted"] += 1
+        self.fleet.note_submitted()
         entry = self._new_entry(
             app, status,
             node=node, mode=decision.mode.value,
@@ -574,7 +588,10 @@ class OrchestratorDaemon:
         entry = self.ledger.get(req_id)
         if entry is None:
             return {"ok": False, "error": f"unknown deployment id {req_id!r}"}
-        return {"ok": True, **entry}
+        response = {"ok": True, **entry}
+        if self.health is not None and entry.get("node"):
+            response["node_health"] = self.health.status(entry["node"]).value
+        return response
 
     def _op_drain(self, data: dict) -> dict:
         self.begin_drain(str(data.get("reason") or "client drain request"))
@@ -587,7 +604,7 @@ class OrchestratorDaemon:
             else "paused" if self.paused
             else "serving"
         )
-        return {
+        response = {
             "ok": True,
             "status": status,
             "clock": round(self.fleet.now, 6),
@@ -601,6 +618,18 @@ class OrchestratorDaemon:
                 "downgrades": dict(self.monitor.downgrades),
             },
         }
+        if self.health is not None:
+            summary = self.health.summary()
+            response["node_health"] = {
+                node: self.health.status(node).value
+                for node in (
+                    engine.node_label or f"n{index}"
+                    for index, engine in enumerate(self.fleet.engines)
+                )
+            }
+            response["failovers"] = summary["failovers"]
+            response["failover_queue"] = summary["failover_queue"]
+        return response
 
     def _op_pause(self, data: dict) -> dict:
         self.paused = True
@@ -665,6 +694,10 @@ class OrchestratorDaemon:
             "next_id": self._next_id,
             "counters": self.counters,
             "cleared_wedges": sorted(self._cleared_wedges),
+            "fleet_submitted": self.fleet.submitted,
+            "health": (
+                self.health.state_dict() if self.health is not None else None
+            ),
         }
         return atomic_write_text(path, json.dumps(payload) + "\n")
 
@@ -706,6 +739,9 @@ class OrchestratorDaemon:
         daemon._next_id = _require(data, "next_id", "daemon")
         daemon.counters.update(_require(data, "counters", "daemon"))
         daemon._cleared_wedges = set(data.get("cleared_wedges", []))
+        daemon.fleet.submitted = int(data.get("fleet_submitted", 0))
+        if daemon.health is not None and data.get("health") is not None:
+            daemon.health.load_state_dict(data["health"], daemon.profiles)
         for entry in daemon.ledger.values():
             if entry["status"] in _OPEN_STATUSES and (
                 entry.get("decided_s") is not None

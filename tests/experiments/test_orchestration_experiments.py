@@ -6,8 +6,11 @@ the benchmark harness at real training scale.
 
 import pytest
 
+import numpy as np
+
 from repro.experiments import (
     ablations,
+    availability,
     fig16_be_orchestration,
     fig17_lc_orchestration,
     traffic_reduction,
@@ -82,6 +85,41 @@ class TestTraffic:
             assert 0 <= entry.offload_fraction <= 1
         assert result.reduction_vs("adrias-0.8", "random") <= 1.0
         assert "traffic" in result.format().lower()
+
+
+class TestAvailability:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return availability.run(scale=MICRO)
+
+    def test_conditions_complete_work(self, result):
+        assert result.healthy.completed > 0
+        assert result.faulted.completed > 0
+        assert result.n_nodes == availability.N_NODES
+
+    def test_ledger_never_violated(self, result):
+        assert result.healthy.conservation_violations == 0
+        assert result.faulted.conservation_violations == 0
+        assert result.healthy.conservation_checks > 0
+
+    def test_nothing_silently_lost(self, result):
+        assert result.residual_parked == 0
+        displaced = result.drained + result.evicted
+        if displaced:
+            assert result.replayed == displaced
+            assert result.recovered_fraction == pytest.approx(1.0)
+            assert np.isfinite(result.recovery_time_mean_s)
+
+    def test_deterministic_across_runs(self, result):
+        again = availability.run(scale=MICRO)
+        assert again.faulted == result.faulted
+        assert again.healthy == result.healthy
+        assert again.drained == result.drained
+
+    def test_format(self, result):
+        text = result.format()
+        assert "Availability" in text
+        assert "recovered fraction" in text
 
 
 class TestAblationDrivers:

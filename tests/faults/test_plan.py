@@ -6,6 +6,7 @@ from repro.faults.errors import FaultPlanError
 from repro.faults.plan import (
     DAEMON_KINDS,
     FAULT_KINDS,
+    FLEET_KINDS,
     TRAINER_KINDS,
     FaultPlan,
     FaultSpec,
@@ -133,11 +134,15 @@ class TestSampleDerivation:
         assert FaultPlan.sample(seed=5) != FaultPlan.sample(seed=6)
 
     def test_covers_every_subsystem(self):
-        # Engine-clock kinds only; trainer- and daemon-clock kinds
-        # come from sample_trainer / sample_daemon instead.
+        # Engine-clock kinds only; trainer-, daemon- and fleet-scoped
+        # kinds come from sample_trainer / sample_daemon /
+        # sample_availability instead.
         plan = FaultPlan.sample(seed=0)
         kinds = {s.kind for s in plan.faults}
-        expected = set(FAULT_KINDS) - set(TRAINER_KINDS) - set(DAEMON_KINDS)
+        expected = (
+            set(FAULT_KINDS) - set(TRAINER_KINDS) - set(DAEMON_KINDS)
+            - set(FLEET_KINDS)
+        )
         assert kinds == expected
 
     def test_trainer_sample_covers_trainer_kinds(self):
